@@ -1,0 +1,291 @@
+// Package netdag's root benchmark harness regenerates every table and
+// figure of the paper's evaluation (§IV) plus the DESIGN.md ablations.
+// Each benchmark times one full regeneration of its artifact and, once
+// per process, prints the artifact's rows so `go test -bench=.` doubles
+// as the reproduction driver (EXPERIMENTS.md records the expected
+// shapes):
+//
+//	BenchmarkTableI_SoftVsWeaklyHard      — Table I
+//	BenchmarkValidation_Soft              — §IV-A, eq. 11
+//	BenchmarkValidation_WeaklyHard        — §IV-A, eq. 12
+//	BenchmarkFig2_MIMOMakespan            — fig. 2
+//	BenchmarkFig3_CartpoleWeaklyHard      — fig. 3
+//	BenchmarkFig4_DesignSpaceExploration  — fig. 4
+//	BenchmarkAblation_*                   — A1, A2, A3
+package netdag
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/netdag/netdag/internal/expt"
+	"github.com/netdag/netdag/internal/figures"
+)
+
+// printOnce guards the one-time artifact dumps so repeated benchmark
+// iterations do not spam the output.
+var printOnce sync.Map
+
+func dumpOnce(key string, render func() string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println()
+		fmt.Print(render())
+	}
+}
+
+func BenchmarkTableI_SoftVsWeaklyHard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.TableI()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("tableI", func() string {
+				tab := expt.NewTable("Table I — same app, both paradigms", "paradigm", "guarantee", "makespan (µs)", "bus (µs)")
+				for _, r := range rows {
+					tab.Addf("%s\t%s\t%d\t%d", r.Paradigm, r.Guarantee, r.Makespan, r.BusTime)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkTableI_SoftToWeaklyHardBridge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.TableIBridge()
+		if i == 0 {
+			dumpOnce("bridge", func() string {
+				tab := expt.NewTable("Table I bridge — P(soft-0.84 task exhibits (6,10) over horizon n)",
+					"horizon n", "probability")
+				for _, r := range rows {
+					tab.Addf("%d\t%.6f", r.Horizon, r.Probability)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkValidation_Soft(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Validation(10000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Soft {
+			if !r.Pass {
+				b.Fatalf("soft validation failed for %s", r.Name)
+			}
+		}
+		if i == 0 {
+			dumpOnce("valSoft", func() string {
+				tab := expt.NewTable("§IV-A soft validation", "task", "target", "scheduled", "statistic", "pass")
+				for _, r := range res.Soft {
+					tab.Addf("%s\t%.4f\t%.4f\t%.4f\t%v", r.Name, r.Target, r.Scheduled, r.Statistic, r.Pass)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkValidation_WeaklyHard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := figures.Validation(10000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.WH {
+			if !r.Pass {
+				b.Fatalf("weakly-hard validation failed for %s", r.Name)
+			}
+		}
+		if i == 0 {
+			dumpOnce("valWH", func() string {
+				tab := expt.NewTable("§IV-A weakly-hard validation", "task", "requirement", "guarantee", "worst misses", "pass")
+				for _, r := range res.WH {
+					tab.Addf("%s\t%v\t%v\t%d\t%v", r.Name, r.Requirement, r.Guarantee, r.WorstMisses, r.Pass)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkFig2_MIMOMakespan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("fig2", func() string {
+				tab := expt.NewTable("Fig. 2 — A_MIMO makespan vs weakly-hard constraints",
+					"level", "constrained actuators", "makespan (µs)")
+				for _, p := range points {
+					tab.Addf("%v\t%d\t%d", p.Level, p.Constrained, p.Makespan)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkFig3_CartpoleWeaklyHard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := figures.Fig3(100, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("fig3", func() string {
+				tab := expt.NewTable("Fig. 3 — cartpole balance vs (m,K) faults",
+					"window K", "misses m", "mean steps")
+				for _, c := range cells {
+					tab.Addf("%d\t%d\t%.1f", c.Window, c.Misses, c.MeanSteps)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkFig4_DesignSpaceExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := figures.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("fig4", func() string {
+				tab := expt.NewTable("Fig. 4 — power design-space exploration",
+					"Q", "worst mean fSS", "diameter", "latency (µs)")
+				for _, p := range points {
+					lat := "-"
+					if p.Feasible {
+						lat = fmt.Sprintf("%d", p.Latency)
+					}
+					tab.Addf("%.1f\t%.3f\t%d\t%s", p.Q, p.WorstFSS, p.Diameter, lat)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkAblation_OplusVsExact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := figures.AblationA1()
+		if i == 0 {
+			dumpOnce("a1", func() string {
+				tab := expt.NewTable("A1 — ⊕ abstraction vs exact conjunction",
+					"x", "y", "⊕ misses", "exact misses")
+				for _, r := range rows {
+					tab.Addf("%v\t%v\t%d\t%d", r.X, r.Y, r.OplusMisses, r.ExactMisses)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkAblation_PerFloodVsGlobalNTX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationA2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("a2", func() string {
+				tab := expt.NewTable("A2 — NETDAG per-flood χ vs global N_TX baseline",
+					"soft target", "NETDAG bus (µs)", "baseline bus (µs)", "NETDAG span (µs)", "baseline span (µs)")
+				for _, r := range rows {
+					tab.Addf("%.2f\t%d\t%d\t%d\t%d", r.Target, r.NETDAGBus, r.BaselineBus, r.NETDAGSpan, r.BaselineSpan)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkAblation_ExactVsGreedyChi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationA4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("a4", func() string {
+				tab := expt.NewTable("A4 — exact vs greedy χ optimization (bus time)",
+					"level", "exact bus (µs)", "greedy bus (µs)")
+				for _, r := range rows {
+					tab.Addf("%v\t%d\t%d", r.Level, r.ExactBus, r.GreedyBus)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkAblation_TopologyDependence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationA6(2000, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("a6", func() string {
+				tab := expt.NewTable("A6 — topology dependence: routed TDMA vs flooded LWB",
+					"stack", "delivery on design topology", "delivery after mobility")
+				for _, r := range rows {
+					tab.Addf("%s\t%.3f\t%.3f", r.Stack, r.DesignRate, r.MutatedRate)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkAblation_ClockFidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationA5(600, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("a5", func() string {
+				tab := expt.NewTable("A5 — abstract vs clock-accurate execution",
+					"guard (µs)", "end-task hit rate", "beacon capture", "desync rate")
+				for _, r := range rows {
+					g := "abstract"
+					if r.GuardUS >= 0 {
+						g = fmt.Sprintf("%.0f", r.GuardUS)
+					}
+					tab.Addf("%s\t%.3f\t%.3f\t%.3f", g, r.HitRate, r.BeaconRate, r.DesyncRate)
+				}
+				return tab.String()
+			})
+		}
+	}
+}
+
+func BenchmarkAblation_ExactVsGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := figures.AblationA3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			dumpOnce("a3", func() string {
+				tab := expt.NewTable("A3 — exact vs greedy placement",
+					"instance", "exact makespan (µs)", "greedy makespan (µs)")
+				for _, r := range rows {
+					tab.Addf("%s\t%d\t%d", r.Instance, r.ExactSpan, r.GreedySpan)
+				}
+				return tab.String()
+			})
+		}
+	}
+}

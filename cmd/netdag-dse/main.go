@@ -1,0 +1,46 @@
+// Command netdag-dse regenerates fig. 4 of the paper: the §IV-D
+// transmission-power design-space exploration — per power setting Q, the
+// profiled worst-case mean filtered signal strength, the network
+// diameter, and the end-to-end latency NETDAG reports for A_MIMO under
+// the eq. (15) statistic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netdag/netdag/internal/dse"
+	"github.com/netdag/netdag/internal/expt"
+	"github.com/netdag/netdag/internal/figures"
+)
+
+func main() {
+	deadline := flag.Int64("deadline", 0, "if positive, report the minimum power meeting this latency (µs)")
+	flag.Parse()
+
+	points, err := figures.Fig4()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netdag-dse:", err)
+		os.Exit(1)
+	}
+	tab := expt.NewTable("Fig. 4 — transmission-power design-space exploration",
+		"Q", "worst mean fSS", "diameter", "usable", "latency (µs)")
+	for _, p := range points {
+		lat := "-"
+		if p.Feasible {
+			lat = fmt.Sprintf("%d", p.Latency)
+		}
+		tab.Addf("%.1f\t%.3f\t%d\t%v\t%s", p.Q, p.WorstFSS, p.Diameter, p.Usable, lat)
+	}
+	fmt.Print(tab.String())
+
+	if *deadline > 0 {
+		best, ok := dse.MinPowerForLatency(points, *deadline)
+		if !ok {
+			fmt.Printf("no power setting meets a %d µs latency deadline\n", *deadline)
+			return
+		}
+		fmt.Printf("minimum power meeting %d µs: Q=%.1f (latency %d µs)\n", *deadline, best.Q, best.Latency)
+	}
+}

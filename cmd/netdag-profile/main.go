@@ -1,0 +1,99 @@
+// Command netdag-profile performs the profiling step the paper assumes
+// the designer has done a priori: it estimates the network statistics
+// λ_s(N_TX) (flood success probability, by flood simulation over a
+// topology) and λ_WH(N_TX) (miss-form weakly-hard bounds, from
+// Gilbert-Elliott burst-loss traces) and prints them as tables a
+// scheduling spec can reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"github.com/netdag/netdag/internal/expt"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/network"
+)
+
+func main() {
+	topoKind := flag.String("topology", "grid", "topology: line | grid | star | clique | geometric")
+	nodes := flag.Int("nodes", 9, "node count (grid uses the nearest square)")
+	prr := flag.Float64("prr", 0.8, "uniform link packet reception ratio (non-geometric)")
+	power := flag.Float64("q", 0.5, "transmission power for geometric topologies")
+	maxNTX := flag.Int("maxntx", 8, "largest N_TX to profile")
+	trials := flag.Int("trials", 2000, "flood simulations per N_TX")
+	window := flag.Int("window", 50, "weakly-hard analysis window")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	topo, err := buildTopology(*topoKind, *nodes, *prr, *power, rng)
+	if err != nil {
+		fatal(err)
+	}
+	diam, err := topo.Diameter()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("topology: %s, %d nodes, diameter %d, mean link PRR %.3f\n\n",
+		*topoKind, topo.NumNodes(), diam, topo.MeanPRR())
+
+	params := glossy.DefaultParams()
+	soft, err := glossy.ProfileSoft(topo, 0, *maxNTX, *trials, params, rng)
+	if err != nil {
+		fatal(err)
+	}
+	st := expt.NewTable("soft statistic λ_s (flood simulation)", "N_TX", "P(flood succeeds)", "slot µs (8-byte msg)")
+	for n := 1; n <= *maxNTX; n++ {
+		st.Addf("%d\t%.4f\t%d", n, soft.SuccessProb(n), params.SlotDuration(n, 8, diam))
+	}
+	fmt.Print(st.String())
+	fmt.Println()
+
+	ch := glossy.GilbertElliott{PGB: 0.05, PBG: 0.3, PerTXGood: topo.MeanPRR(), PerTXBad: topo.MeanPRR() / 5}
+	tab, err := glossy.ProfileWH(ch, *maxNTX, 200*(*window), *window, rng)
+	if err != nil {
+		fatal(err)
+	}
+	wt := expt.NewTable("weakly-hard statistic λ_WH (Gilbert-Elliott bursts)", "N_TX", "miss bound")
+	for n := 1; n <= *maxNTX; n++ {
+		wt.Addf("%d\t%v", n, tab.MissConstraint(n))
+	}
+	fmt.Print(wt.String())
+
+	if err := glossy.CheckSoftMonotone(soft, *maxNTX); err != nil {
+		fatal(err)
+	}
+	if err := glossy.CheckWHMonotone(tab, *maxNTX); err != nil {
+		fatal(err)
+	}
+}
+
+func buildTopology(kind string, nodes int, prr, q float64, rng *rand.Rand) (*network.Topology, error) {
+	switch kind {
+	case "line":
+		return network.Line(nodes, prr), nil
+	case "star":
+		return network.Star(nodes, prr), nil
+	case "clique":
+		return network.Clique(nodes, prr), nil
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= nodes {
+			side++
+		}
+		return network.Grid(side, side, prr), nil
+	case "geometric":
+		topo, _, err := network.RandomGeometric(nodes, q, rng)
+		return topo, err
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netdag-profile:", err)
+	os.Exit(1)
+}

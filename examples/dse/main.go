@@ -1,0 +1,56 @@
+// Design-space exploration example (paper §IV-D): profile a mobile
+// deployment at several radio transmission-power settings, derive the
+// eq. (15) network statistic per setting, and use NETDAG to find the
+// minimum power that still meets the application's latency requirement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/dse"
+	"github.com/netdag/netdag/internal/expt"
+)
+
+func main() {
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cons := make(map[dag.TaskID]float64)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = 0.9
+	}
+	cfg := dse.DefaultConfig(g, cons)
+	cfg.MobileNodes = 13 // one mobile node per task
+
+	points, err := dse.Explore(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab := expt.NewTable("power exploration (fig. 4 workflow)",
+		"Q", "worst mean fSS", "D(N)", "latency (µs)")
+	for _, p := range points {
+		lat := "infeasible"
+		if p.Feasible {
+			lat = fmt.Sprintf("%d", p.Latency)
+		} else if !p.Usable {
+			lat = "disconnected"
+		}
+		tab.Addf("%.1f\t%.3f\t%d\t%s", p.Q, p.WorstFSS, p.Diameter, lat)
+	}
+	fmt.Print(tab.String())
+
+	// The designer's final query: cheapest power meeting a deadline.
+	var deadline int64 = 200000 // 200 ms
+	best, ok := dse.MinPowerForLatency(points, deadline)
+	fmt.Println()
+	if !ok {
+		fmt.Printf("no setting meets a %d µs deadline\n", deadline)
+		return
+	}
+	fmt.Printf("minimum power meeting %d µs: Q=%.1f (latency %d µs, diameter %d)\n",
+		deadline, best.Q, best.Latency, best.Diameter)
+}

@@ -1,0 +1,95 @@
+// Operations example: a deployed NETDAG system watched at runtime.
+// A schedule designed under weakly-hard constraints runs over a lossy
+// topology; each actuation task's outcome stream feeds an O(1) online
+// monitor (wh.Monitor) that tracks the (m, K) requirement and reports
+// remaining headroom, while wh.Infer recovers the empirical network
+// statistic from the observed traces — closing the profile → schedule →
+// deploy → observe loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/expt"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/validate"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func main() {
+	// Design: the A_MIMO application under a (20,40)~ actuation bound.
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := wh.MissConstraint{Misses: 20, Window: 40}
+	cons := make(map[dag.TaskID]wh.MissConstraint)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = req
+	}
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: core.WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("designed: makespan %d µs, actuator bound %v\n\n", s.Makespan, req)
+
+	// Deploy on a deliberately weaker grid than the design assumed so
+	// real misses appear in the monitors.
+	topo := network.Grid(4, 4, 0.55)
+	d, err := lwb.NewDeployment(g, s, topo, p.Params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	seqs, err := d.Run(2000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Runtime monitoring per actuator.
+	tab := expt.NewTable("runtime monitors after 2000 executions",
+		"actuator", "hit rate", "violations", "headroom (misses)")
+	for _, a := range apps.Actuators(g) {
+		mon, err := wh.NewMissMonitor(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mon.PushSeq(seqs[a])
+		tab.Addf("%s\t%.4f\t%d\t%d",
+			g.Task(a).Name, seqs[a].HitRate(), mon.Violations(), mon.HeadroomHits())
+	}
+	fmt.Print(tab.String())
+
+	// Formal end-to-end check (hypothesis tests / window audits).
+	reports, err := validate.Deployed(p, d, 2000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	dep := expt.NewTable("deployed validation", "actuator", "worst window misses", "budget", "pass")
+	for _, r := range reports {
+		dep.Addf("%s\t%d\t%d\t%v", r.Name, r.WorstMisses, r.WHTarget.Misses, r.Pass)
+	}
+	fmt.Print(dep.String())
+
+	// Infer the empirical per-task constraint from the observed traces —
+	// what a designer would feed back into the next scheduling round.
+	fmt.Println()
+	inf := expt.NewTable("inferred empirical constraints (window 40)", "actuator", "observed bound")
+	for _, a := range apps.Actuators(g) {
+		got := wh.Infer(seqs[a], []int{40})[0]
+		inf.Addf("%s\t%v", g.Task(a).Name, got)
+	}
+	fmt.Print(inf.String())
+}

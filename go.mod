@@ -1,0 +1,3 @@
+module github.com/netdag/netdag
+
+go 1.22

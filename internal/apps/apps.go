@@ -1,0 +1,236 @@
+// Package apps builds the networked applications used across the NETDAG
+// experiments, examples and benchmarks: the paper's A_MIMO instance
+// (§IV-B: six sensing tasks, three control tasks, four actuation tasks,
+// randomly selected links), switched-controller applications, simple
+// sense-compute-actuate pipelines, and random layered DAGs for stress
+// tests. All generators are deterministic under a caller-provided seed;
+// DESIGN.md records the seeds used for the published-figure
+// reproductions.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/dag"
+)
+
+// MIMOConfig parameterizes the MIMO generator. The zero value is not
+// valid; use DefaultMIMO for the paper's instance shape.
+type MIMOConfig struct {
+	Sensors     int
+	Controllers int
+	Actuators   int
+	SensorWCET  int64
+	CtrlWCET    int64
+	ActWCET     int64
+	SensorWidth int // bytes per sensor message
+	CtrlWidth   int // bytes per control message
+	Seed        int64
+}
+
+// DefaultMIMO is the paper's A_MIMO shape: 6 sensing, 3 control, 4
+// actuation tasks with randomly selected links (seed fixed for
+// reproducibility; the paper does not publish its instance).
+func DefaultMIMO() MIMOConfig {
+	return MIMOConfig{
+		Sensors:     6,
+		Controllers: 3,
+		Actuators:   4,
+		SensorWCET:  500,
+		CtrlWCET:    2000,
+		ActWCET:     300,
+		SensorWidth: 8,
+		CtrlWidth:   4,
+		Seed:        2020,
+	}
+}
+
+// MIMO builds a MIMO application: each controller reads a random
+// non-empty subset of sensors and drives a random non-empty subset of
+// actuators; every sensor feeds at least one controller and every
+// actuator is driven by at least one controller. Each task runs on its
+// own node (sensing and actuation are physically bound, §II-B).
+func MIMO(cfg MIMOConfig) (*dag.Graph, error) {
+	if cfg.Sensors < 1 || cfg.Controllers < 1 || cfg.Actuators < 1 {
+		return nil, fmt.Errorf("apps: MIMO needs at least one of each task kind, got %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := dag.New()
+	sensors := make([]dag.TaskID, cfg.Sensors)
+	for i := range sensors {
+		sensors[i] = g.MustAddTask(fmt.Sprintf("sense%d", i), fmt.Sprintf("ns%d", i), cfg.SensorWCET)
+	}
+	ctrls := make([]dag.TaskID, cfg.Controllers)
+	for i := range ctrls {
+		ctrls[i] = g.MustAddTask(fmt.Sprintf("ctrl%d", i), fmt.Sprintf("nc%d", i), cfg.CtrlWCET)
+	}
+	acts := make([]dag.TaskID, cfg.Actuators)
+	for i := range acts {
+		acts[i] = g.MustAddTask(fmt.Sprintf("act%d", i), fmt.Sprintf("na%d", i), cfg.ActWCET)
+	}
+	// Random sensor -> controller links; then patch uncovered sensors.
+	for _, c := range ctrls {
+		picked := false
+		for _, s := range sensors {
+			if rng.Float64() < 0.5 {
+				g.MustConnect(s, c, cfg.SensorWidth)
+				picked = true
+			}
+		}
+		if !picked {
+			g.MustConnect(sensors[rng.Intn(len(sensors))], c, cfg.SensorWidth)
+		}
+	}
+	for _, s := range sensors {
+		if _, ok := g.MessageOf(s); !ok {
+			g.MustConnect(s, ctrls[rng.Intn(len(ctrls))], cfg.SensorWidth)
+		}
+	}
+	// Random controller -> actuator links; every actuator driven.
+	covered := make(map[dag.TaskID]bool)
+	for _, c := range ctrls {
+		picked := false
+		for _, a := range acts {
+			if rng.Float64() < 0.5 {
+				g.MustConnect(c, a, cfg.CtrlWidth)
+				covered[a] = true
+				picked = true
+			}
+		}
+		if !picked {
+			a := acts[rng.Intn(len(acts))]
+			g.MustConnect(c, a, cfg.CtrlWidth)
+			covered[a] = true
+		}
+	}
+	for _, a := range acts {
+		if !covered[a] {
+			g.MustConnect(ctrls[rng.Intn(len(ctrls))], a, cfg.CtrlWidth)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Actuators returns the actuator task IDs of a MIMO/switched application
+// built by this package (tasks named act0, act1, ...).
+func Actuators(g *dag.Graph) []dag.TaskID {
+	var out []dag.TaskID
+	for i := 0; ; i++ {
+		t, ok := g.TaskByName(fmt.Sprintf("act%d", i))
+		if !ok {
+			return out
+		}
+		out = append(out, t.ID)
+	}
+}
+
+// Controllers returns the controller task IDs (tasks named ctrl0, ...).
+func Controllers(g *dag.Graph) []dag.TaskID {
+	var out []dag.TaskID
+	for i := 0; ; i++ {
+		t, ok := g.TaskByName(fmt.Sprintf("ctrl%d", i))
+		if !ok {
+			return out
+		}
+		out = append(out, t.ID)
+	}
+}
+
+// SwitchedConfig parameterizes the switched-control generator of §IV-B:
+// several controllers of different quality (and WCET) all drive the same
+// actuator.
+type SwitchedConfig struct {
+	Sensors   int
+	CtrlWCETs []int64 // one controller per entry; larger = higher quality
+	ActWCET   int64
+	Width     int
+}
+
+// DefaultSwitched gives two sensors and three controllers of increasing
+// cost driving one actuator.
+func DefaultSwitched() SwitchedConfig {
+	return SwitchedConfig{
+		Sensors:   2,
+		CtrlWCETs: []int64{800, 2000, 5000},
+		ActWCET:   300,
+		Width:     8,
+	}
+}
+
+// Switched builds a switched-control application: every controller reads
+// every sensor and messages the single actuator task.
+func Switched(cfg SwitchedConfig) (*dag.Graph, error) {
+	if cfg.Sensors < 1 || len(cfg.CtrlWCETs) < 1 {
+		return nil, fmt.Errorf("apps: switched app needs sensors and controllers, got %+v", cfg)
+	}
+	g := dag.New()
+	sensors := make([]dag.TaskID, cfg.Sensors)
+	for i := range sensors {
+		sensors[i] = g.MustAddTask(fmt.Sprintf("sense%d", i), fmt.Sprintf("ns%d", i), 500)
+	}
+	act := g.MustAddTask("act0", "na0", cfg.ActWCET)
+	for i, wcet := range cfg.CtrlWCETs {
+		c := g.MustAddTask(fmt.Sprintf("ctrl%d", i), fmt.Sprintf("nc%d", i), wcet)
+		for _, s := range sensors {
+			g.MustConnect(s, c, cfg.Width)
+		}
+		g.MustConnect(c, act, 4)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Pipeline builds a linear sense -> stage1 -> ... -> act chain across
+// distinct nodes — the quickstart application.
+func Pipeline(stages int, wcet int64, width int) (*dag.Graph, error) {
+	if stages < 2 {
+		return nil, fmt.Errorf("apps: pipeline needs at least 2 stages, got %d", stages)
+	}
+	g := dag.New()
+	prev := g.MustAddTask("stage0", "n0", wcet)
+	for i := 1; i < stages; i++ {
+		cur := g.MustAddTask(fmt.Sprintf("stage%d", i), fmt.Sprintf("n%d", i), wcet)
+		g.MustConnect(prev, cur, width)
+		prev = cur
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RandomLayered builds a random layered DAG: `layers` layers of `width`
+// tasks each, every task on its own node, each task reading 1..fanin
+// random tasks of the previous layer. Deterministic under seed.
+func RandomLayered(layers, width, fanin int, seed int64) (*dag.Graph, error) {
+	if layers < 1 || width < 1 || fanin < 1 {
+		return nil, fmt.Errorf("apps: bad layered config %d/%d/%d", layers, width, fanin)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := dag.New()
+	prev := make([]dag.TaskID, 0, width)
+	for l := 0; l < layers; l++ {
+		cur := make([]dag.TaskID, 0, width)
+		for w := 0; w < width; w++ {
+			id := g.MustAddTask(fmt.Sprintf("t%d_%d", l, w), fmt.Sprintf("n%d_%d", l, w), int64(200+rng.Intn(800)))
+			cur = append(cur, id)
+			if l > 0 {
+				k := 1 + rng.Intn(fanin)
+				for j := 0; j < k; j++ {
+					g.MustConnect(prev[rng.Intn(len(prev))], id, 4+rng.Intn(12))
+				}
+			}
+		}
+		prev = cur
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,131 @@
+package apps
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/dag"
+)
+
+func TestMIMOShape(t *testing.T) {
+	g, err := MIMO(DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 13 {
+		t.Errorf("A_MIMO tasks = %d, want 13 (6+3+4)", g.NumTasks())
+	}
+	if len(Actuators(g)) != 4 || len(Controllers(g)) != 3 {
+		t.Errorf("actuators/controllers = %d/%d", len(Actuators(g)), len(Controllers(g)))
+	}
+	// Every sensor emits a message; every controller emits a message.
+	msgs := g.NumMessages()
+	if msgs != 9 {
+		t.Errorf("A_MIMO messages = %d, want 9 (6 sensors + 3 controllers)", msgs)
+	}
+	// Every actuator has at least one controller ancestor.
+	for _, a := range Actuators(g) {
+		if len(g.MsgAncestors(a)) == 0 {
+			t.Errorf("actuator %d is not driven", a)
+		}
+	}
+	// Structure: sources are sensors, sinks are actuators.
+	if len(g.Sources()) != 6 {
+		t.Errorf("sources = %d, want 6", len(g.Sources()))
+	}
+	if len(g.Sinks()) != 4 {
+		t.Errorf("sinks = %d, want 4", len(g.Sinks()))
+	}
+}
+
+func TestMIMODeterministicUnderSeed(t *testing.T) {
+	a, err := MIMO(DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := MIMO(DefaultMIMO())
+	if a.NumMessages() != b.NumMessages() {
+		t.Fatal("MIMO not deterministic")
+	}
+	for _, m := range a.Messages() {
+		bm := b.Message(m.ID)
+		if bm.Source != m.Source || len(bm.Dests) != len(m.Dests) {
+			t.Fatalf("message %d differs between identical seeds", m.ID)
+		}
+	}
+	cfg := DefaultMIMO()
+	cfg.Seed = 999
+	c, err := MIMO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = c // different seed must still validate
+}
+
+func TestMIMOValidation(t *testing.T) {
+	cfg := DefaultMIMO()
+	cfg.Sensors = 0
+	if _, err := MIMO(cfg); err == nil {
+		t.Error("zero sensors accepted")
+	}
+}
+
+func TestSwitchedShape(t *testing.T) {
+	g, err := Switched(DefaultSwitched())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sensors + 3 controllers + 1 actuator.
+	if g.NumTasks() != 6 {
+		t.Errorf("switched tasks = %d, want 6", g.NumTasks())
+	}
+	act, ok := g.TaskByName("act0")
+	if !ok {
+		t.Fatal("actuator missing")
+	}
+	// All controllers message the same actuator.
+	if got := len(g.Preds(act.ID)); got != 3 {
+		t.Errorf("actuator fan-in = %d, want 3", got)
+	}
+	if _, err := Switched(SwitchedConfig{}); err == nil {
+		t.Error("empty switched config accepted")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	g, err := Pipeline(4, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 4 || g.NumMessages() != 3 {
+		t.Errorf("pipeline shape %d/%d, want 4/3", g.NumTasks(), g.NumMessages())
+	}
+	if _, err := Pipeline(1, 500, 8); err == nil {
+		t.Error("1-stage pipeline accepted")
+	}
+}
+
+func TestRandomLayeredValidates(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := RandomLayered(3, 3, 2, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if g.NumTasks() != 9 {
+			t.Errorf("seed %d: tasks = %d", seed, g.NumTasks())
+		}
+		if _, err := g.TopoOrder(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+	if _, err := RandomLayered(0, 3, 2, 1); err == nil {
+		t.Error("zero layers accepted")
+	}
+}
+
+func TestActuatorsOnNonMIMOGraph(t *testing.T) {
+	g := dag.New()
+	g.MustAddTask("foo", "n0", 10)
+	if got := Actuators(g); len(got) != 0 {
+		t.Errorf("Actuators on plain graph = %v", got)
+	}
+}

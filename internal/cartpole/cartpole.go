@@ -1,0 +1,190 @@
+// Package cartpole implements the classic cartpole balancing environment
+// (Barto, Sutton & Anderson 1983, with the parameterization popularized
+// by the OpenAI Gym CartPole task) together with the weakly-hard fault
+// injection of the paper's §IV-C: on a miss, the actuator holds the
+// previous control output (eq. 14), and miss patterns are drawn from the
+// eq. (12) adversarial boundary sets.
+package cartpole
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// State is the cartpole state vector.
+type State struct {
+	X        float64 // cart position (m)
+	XDot     float64 // cart velocity (m/s)
+	Theta    float64 // pole angle (rad, 0 = upright)
+	ThetaDot float64 // pole angular velocity (rad/s)
+}
+
+// Vector returns the state as a slice for function approximators.
+func (s State) Vector() []float64 { return []float64{s.X, s.XDot, s.Theta, s.ThetaDot} }
+
+// Params are the physical constants of the environment.
+type Params struct {
+	Gravity  float64
+	MassCart float64
+	MassPole float64
+	HalfPole float64 // half the pole length (m)
+	ForceMag float64 // magnitude applied per action unit (N)
+	Tau      float64 // integration step (s)
+	XLimit   float64 // |x| beyond which the episode fails
+	ThetaLim float64 // |theta| beyond which the episode fails (rad)
+	MaxSteps int     // episode cap ("solved" horizon)
+}
+
+// DefaultParams is the standard CartPole-v1 parameterization.
+func DefaultParams() Params {
+	return Params{
+		Gravity:  9.8,
+		MassCart: 1.0,
+		MassPole: 0.1,
+		HalfPole: 0.5,
+		ForceMag: 10.0,
+		Tau:      0.02,
+		XLimit:   2.4,
+		ThetaLim: 12 * math.Pi / 180,
+		MaxSteps: 500,
+	}
+}
+
+// Env is a cartpole instance.
+type Env struct {
+	P     Params
+	state State
+	steps int
+	done  bool
+}
+
+// New returns an environment with the given parameters.
+func New(p Params) *Env { return &Env{P: p} }
+
+// Reset draws a fresh initial state with each component uniform in
+// [-0.05, 0.05], the Gym convention. rng must be non-nil.
+func (e *Env) Reset(rng *rand.Rand) (State, error) {
+	if rng == nil {
+		return State{}, errors.New("cartpole: Reset requires a non-nil rng")
+	}
+	u := func() float64 { return rng.Float64()*0.1 - 0.05 }
+	e.state = State{X: u(), XDot: u(), Theta: u(), ThetaDot: u()}
+	e.steps = 0
+	e.done = false
+	return e.state, nil
+}
+
+// State returns the current state.
+func (e *Env) State() State { return e.state }
+
+// Steps returns the number of steps taken since Reset.
+func (e *Env) Steps() int { return e.steps }
+
+// Done reports whether the episode has ended (failure or step cap).
+func (e *Env) Done() bool { return e.done }
+
+// Step applies a control in [-1, 1] (scaled by ForceMag) and advances the
+// dynamics by one Euler step. The boolean reports whether the episode
+// has ended (failure or step cap).
+func (e *Env) Step(control float64) (State, bool, error) {
+	if e.done {
+		return e.state, false, errors.New("cartpole: Step on finished episode")
+	}
+	if math.IsNaN(control) || math.IsInf(control, 0) {
+		return e.state, false, fmt.Errorf("cartpole: non-finite control %v", control)
+	}
+	if control > 1 {
+		control = 1
+	} else if control < -1 {
+		control = -1
+	}
+	p := e.P
+	force := control * p.ForceMag
+	s := e.state
+	cosT, sinT := math.Cos(s.Theta), math.Sin(s.Theta)
+	totalMass := p.MassCart + p.MassPole
+	poleMassLength := p.MassPole * p.HalfPole
+	temp := (force + poleMassLength*s.ThetaDot*s.ThetaDot*sinT) / totalMass
+	thetaAcc := (p.Gravity*sinT - cosT*temp) /
+		(p.HalfPole * (4.0/3.0 - p.MassPole*cosT*cosT/totalMass))
+	xAcc := temp - poleMassLength*thetaAcc*cosT/totalMass
+	s.X += p.Tau * s.XDot
+	s.XDot += p.Tau * xAcc
+	s.Theta += p.Tau * s.ThetaDot
+	s.ThetaDot += p.Tau * thetaAcc
+	e.state = s
+	e.steps++
+	if math.Abs(s.X) > p.XLimit || math.Abs(s.Theta) > p.ThetaLim || e.steps >= p.MaxSteps {
+		e.done = true
+	}
+	return e.state, e.done, nil
+}
+
+// Failed reports whether the episode ended by constraint violation
+// rather than by reaching the step cap.
+func (e *Env) Failed() bool {
+	return e.done && e.steps < e.P.MaxSteps
+}
+
+// Controller maps an observed state to a control in [-1, 1].
+type Controller interface {
+	Act(s State) float64
+}
+
+// ControllerFunc adapts a function to the Controller interface.
+type ControllerFunc func(State) float64
+
+// Act implements Controller.
+func (f ControllerFunc) Act(s State) float64 { return f(s) }
+
+// RunEpisode runs one fault-free episode and returns the number of steps
+// the pole stayed balanced.
+func RunEpisode(env *Env, c Controller, rng *rand.Rand) (int, error) {
+	return RunEpisodeWithFaults(env, c, nil, rng)
+}
+
+// RunEpisodeWithFaults runs one episode injecting the given miss pattern
+// per the paper's eq. (14): at step t, if misses[t] is true the actuator
+// holds the previous control output (y(t) = y(t−1)); otherwise it applies
+// the fresh controller output. The initial output y(0-) is 0. A nil or
+// exhausted pattern means no further misses. It returns the balanced
+// step count.
+//
+// Polarity note: the paper samples ω from weakly-hard satisfaction sets
+// where a 1 marks a *miss* in eq. (14); this function takes the pattern
+// as an explicit miss mask to keep the polarity unambiguous (use
+// MissMask to derive one from a wh.Seq).
+func RunEpisodeWithFaults(env *Env, c Controller, misses []bool, rng *rand.Rand) (int, error) {
+	if c == nil {
+		return 0, errors.New("cartpole: nil controller")
+	}
+	if _, err := env.Reset(rng); err != nil {
+		return 0, err
+	}
+	y := 0.0
+	for t := 0; !env.Done(); t++ {
+		if t < len(misses) && misses[t] {
+			// hold y
+		} else {
+			y = c.Act(env.State())
+		}
+		if _, _, err := env.Step(y); err != nil {
+			return 0, err
+		}
+	}
+	return env.Steps(), nil
+}
+
+// MissMask converts a weakly-hard hit sequence (true = flood success)
+// into the eq. (14) miss mask (true = hold the previous output).
+func MissMask(seq wh.Seq) []bool {
+	out := make([]bool, len(seq))
+	for i, hit := range seq {
+		out[i] = !hit
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package cartpole
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewSource(0xca47)) }
+
+func TestResetDistribution(t *testing.T) {
+	env := New(DefaultParams())
+	rng := testRNG()
+	for i := 0; i < 100; i++ {
+		s, err := env.Reset(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range s.Vector() {
+			if v < -0.05 || v > 0.05 {
+				t.Fatalf("initial state component %v outside [-0.05, 0.05]", v)
+			}
+		}
+	}
+	if _, err := env.Reset(nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestUncontrolledPoleFalls(t *testing.T) {
+	env := New(DefaultParams())
+	rng := testRNG()
+	if _, err := env.Reset(rng); err != nil {
+		t.Fatal(err)
+	}
+	for !env.Done() {
+		if _, _, err := env.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !env.Failed() {
+		t.Error("zero control should drop the pole before the step cap")
+	}
+	if env.Steps() >= DefaultParams().MaxSteps {
+		t.Errorf("uncontrolled pole survived %d steps", env.Steps())
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	env := New(DefaultParams())
+	if _, _, err := env.Step(math.NaN()); err == nil {
+		t.Error("NaN control accepted")
+	}
+	rng := testRNG()
+	if _, err := env.Reset(rng); err != nil {
+		t.Fatal(err)
+	}
+	for !env.Done() {
+		if _, _, err := env.Step(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := env.Step(0); err == nil {
+		t.Error("Step after episode end accepted")
+	}
+}
+
+func TestEnergyConservationSanity(t *testing.T) {
+	// With gravity off, an upright stationary pole under zero control
+	// must stay put.
+	p := DefaultParams()
+	p.Gravity = 0
+	env := New(p)
+	rng := testRNG()
+	if _, err := env.Reset(rng); err != nil {
+		t.Fatal(err)
+	}
+	env.state = State{} // perfectly upright, at rest
+	for i := 0; i < 100; i++ {
+		s, _, err := env.Step(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Theta) > 1e-12 || math.Abs(s.X) > 1e-12 {
+			t.Fatalf("state drifted without forces: %+v", s)
+		}
+	}
+}
+
+func TestForcePushesCart(t *testing.T) {
+	env := New(DefaultParams())
+	rng := testRNG()
+	if _, err := env.Reset(rng); err != nil {
+		t.Fatal(err)
+	}
+	env.state = State{}
+	s, _, err := env.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.XDot <= 0 {
+		t.Errorf("positive force produced cart velocity %v", s.XDot)
+	}
+	// Pushing the cart right tips the pole left (reaction).
+	if s2, _, _ := env.Step(1); s2.ThetaDot >= 0 {
+		t.Errorf("positive force should produce negative pole acceleration, thetadot %v", s2.ThetaDot)
+	}
+}
+
+func TestControlSaturation(t *testing.T) {
+	env := New(DefaultParams())
+	rng := testRNG()
+	if _, err := env.Reset(rng); err != nil {
+		t.Fatal(err)
+	}
+	env.state = State{}
+	s1, _, err := env.Step(5) // clamped to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := New(DefaultParams())
+	if _, err := env2.Reset(testRNG()); err != nil {
+		t.Fatal(err)
+	}
+	env2.state = State{}
+	s2, _, err := env2.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.XDot != s2.XDot {
+		t.Errorf("control not saturated: %v vs %v", s1.XDot, s2.XDot)
+	}
+}
+
+func TestTrainedControllerBalances(t *testing.T) {
+	ctl, err := TrainedController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := New(DefaultParams())
+	rng := testRNG()
+	total := 0
+	const episodes = 20
+	for e := 0; e < episodes; e++ {
+		steps, err := RunEpisode(env, ctl, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += steps
+	}
+	mean := float64(total) / episodes
+	if mean < 400 {
+		t.Errorf("trained controller balances only %.0f/500 steps on average", mean)
+	}
+}
+
+func TestFaultsDegradePerformance(t *testing.T) {
+	ctl, err := TrainedController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	rng := testRNG()
+	clean, err := EvaluateWeaklyHard(ctl, p, wh.MissConstraint{Misses: 0, Window: 10}, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := EvaluateWeaklyHard(ctl, p, wh.MissConstraint{Misses: 6, Window: 10}, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.MeanSteps >= clean.MeanSteps {
+		t.Errorf("heavy faults did not degrade performance: %.0f vs %.0f",
+			faulty.MeanSteps, clean.MeanSteps)
+	}
+}
+
+func TestMissMaskPolarity(t *testing.T) {
+	seq := wh.MustParseSeq("101")
+	mask := MissMask(seq)
+	want := []bool{false, true, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Fatalf("MissMask(%v) = %v, want %v", seq, mask, want)
+		}
+	}
+}
+
+func TestRunEpisodeWithFaultsHoldsOutput(t *testing.T) {
+	// A controller that counts calls: on miss steps it must not be
+	// consulted.
+	calls := 0
+	ctl := ControllerFunc(func(State) float64 {
+		calls++
+		return 0
+	})
+	env := New(DefaultParams())
+	misses := make([]bool, DefaultParams().MaxSteps)
+	for i := range misses {
+		misses[i] = i%2 == 1 // miss every other step
+	}
+	steps, err := RunEpisodeWithFaults(env, ctl, misses, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCalls := (steps + 1) / 2
+	if calls != wantCalls {
+		t.Errorf("controller consulted %d times over %d steps with alternating misses, want %d",
+			calls, steps, wantCalls)
+	}
+}
+
+func TestFaultGridShape(t *testing.T) {
+	ctl := ControllerFunc(func(s State) float64 {
+		// A decent hand-written policy keeps the grid test fast.
+		return -(2.0*s.Theta + 0.5*s.ThetaDot + 0.1*s.X + 0.3*s.XDot) * 3
+	})
+	cells, err := FaultGrid(ctl, DefaultParams(), []int{5, 10}, 3, 5, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows 5 and 10, m = 0..3 each: 8 cells.
+	if len(cells) != 8 {
+		t.Fatalf("grid has %d cells, want 8", len(cells))
+	}
+	if _, err := FaultGrid(ctl, DefaultParams(), []int{0}, 2, 5, testRNG()); err == nil {
+		t.Error("invalid window accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package cartpole
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/netdag/netdag/internal/nn"
+)
+
+// NNController drives the cart with a trained MLP (4 inputs, tanh output
+// in [-1, 1]).
+type NNController struct {
+	Net *nn.MLP
+}
+
+// Act implements Controller.
+func (c NNController) Act(s State) float64 {
+	out, err := c.Net.Forward(s.Vector())
+	if err != nil {
+		// The network is constructed with 4 inputs; a failure here is a
+		// programming error, surfaced loudly rather than silently zeroed.
+		panic(fmt.Sprintf("cartpole: controller forward pass: %v", err))
+	}
+	return out[0]
+}
+
+// TrainController trains a fresh NN controller with the cross-entropy
+// method, deterministic under cfg.Seed. The objective is the mean
+// balanced-step count over several random episodes.
+func TrainController(p Params, cfg nn.CEMConfig) (NNController, float64, error) {
+	net, err := nn.NewMLP(4, 8, 1)
+	if err != nil {
+		return NNController{}, 0, err
+	}
+	objective := func(m *nn.MLP, rng *rand.Rand) float64 {
+		const episodes = 5
+		total := 0
+		ctl := NNController{Net: m}
+		env := New(p)
+		for e := 0; e < episodes; e++ {
+			steps, err := RunEpisode(env, ctl, rng)
+			if err != nil {
+				return 0
+			}
+			total += steps
+		}
+		return float64(total) / episodes
+	}
+	_, score, err := nn.CEM(net, cfg, objective)
+	if err != nil {
+		return NNController{}, 0, err
+	}
+	return NNController{Net: net}, score, nil
+}
+
+var (
+	trainedOnce sync.Once
+	trainedCtl  NNController
+	trainedErr  error
+)
+
+// TrainedController returns the process-wide pretrained controller
+// (trained once with the default CEM configuration and cached). It is the
+// "state-of-the-art neural network controller" of the fig. 3
+// reproduction; DESIGN.md records the substitution.
+func TrainedController() (NNController, error) {
+	trainedOnce.Do(func() {
+		trainedCtl, _, trainedErr = TrainController(DefaultParams(), nn.DefaultCEM())
+	})
+	return trainedCtl, trainedErr
+}

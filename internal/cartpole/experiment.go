@@ -1,0 +1,71 @@
+package cartpole
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Cell is one grid point of the fig. 3 experiment: the mean balanced-step
+// count of the controller under injected (m, K) weakly-hard faults.
+type Cell struct {
+	Misses    int // m: permitted misses per window
+	Window    int // K
+	Episodes  int
+	MeanSteps float64
+}
+
+// EvaluateWeaklyHard measures controller performance under adversarial
+// (m, K) fault injection: each episode draws a miss pattern from the
+// eq. (12) boundary set of the miss-form constraint and applies eq. (14)
+// hold-last-output faults. m = 0 reproduces fault-free behaviour.
+func EvaluateWeaklyHard(ctl Controller, p Params, c wh.MissConstraint, episodes int, rng *rand.Rand) (Cell, error) {
+	if rng == nil {
+		return Cell{}, errors.New("cartpole: EvaluateWeaklyHard requires a non-nil rng")
+	}
+	if episodes <= 0 {
+		return Cell{}, fmt.Errorf("cartpole: episodes must be positive, got %d", episodes)
+	}
+	if err := c.Validate(); err != nil {
+		return Cell{}, err
+	}
+	env := New(p)
+	total := 0
+	for e := 0; e < episodes; e++ {
+		pattern, err := wh.SynthesizeRandom(c, p.MaxSteps, rng)
+		if err != nil {
+			return Cell{}, err
+		}
+		steps, err := RunEpisodeWithFaults(env, ctl, MissMask(pattern), rng)
+		if err != nil {
+			return Cell{}, err
+		}
+		total += steps
+	}
+	return Cell{
+		Misses: c.Misses, Window: c.Window,
+		Episodes: episodes, MeanSteps: float64(total) / float64(episodes),
+	}, nil
+}
+
+// FaultGrid runs the full fig. 3 sweep: for every window K and every miss
+// budget m in 0..maxMisses (capped at K−1), it evaluates the controller
+// and returns the grid of cells in (K, m) order.
+func FaultGrid(ctl Controller, p Params, windows []int, maxMisses, episodes int, rng *rand.Rand) ([]Cell, error) {
+	var out []Cell
+	for _, k := range windows {
+		if k < 1 {
+			return nil, fmt.Errorf("cartpole: invalid window %d", k)
+		}
+		for m := 0; m <= maxMisses && m < k; m++ {
+			cell, err := EvaluateWeaklyHard(ctl, p, wh.MissConstraint{Misses: m, Window: k}, episodes, rng)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}

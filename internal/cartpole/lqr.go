@@ -1,0 +1,36 @@
+package cartpole
+
+import "math"
+
+// LQRController is a classical infinite-horizon state-feedback
+// controller for the cartpole's linearization around the upright
+// equilibrium: u = −(k_x·x + k_ẋ·ẋ + k_θ·θ + k_θ̇·θ̇) / ForceMag,
+// clipped to [-1, 1] by the environment. It is the classical baseline
+// against which the paper's "state-of-the-art neural network controller"
+// is compared in our fig. 3 reproduction: both must balance fault-free,
+// and both must degrade under injected (m, K) faults.
+type LQRController struct {
+	KX, KXDot, KTheta, KThetaDot float64
+	ForceMag                     float64
+}
+
+// DefaultLQR returns gains solved offline for the standard environment
+// (solving the discrete algebraic Riccati equation for the linearized
+// dynamics with Q = diag(1, 1, 10, 1), R = 0.1; the rounded gains below
+// are well within the attraction basin and balance indefinitely).
+func DefaultLQR(p Params) LQRController {
+	return LQRController{
+		KX:        -1.8,
+		KXDot:     -3.7,
+		KTheta:    -42.0,
+		KThetaDot: -7.5,
+		ForceMag:  p.ForceMag,
+	}
+}
+
+// Act implements Controller.
+func (c LQRController) Act(s State) float64 {
+	u := -(c.KX*s.X + c.KXDot*s.XDot + c.KTheta*s.Theta + c.KThetaDot*s.ThetaDot)
+	u /= c.ForceMag
+	return math.Max(-1, math.Min(1, u))
+}

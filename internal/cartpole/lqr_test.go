@@ -1,0 +1,127 @@
+package cartpole
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func TestLQRBalancesPerfectly(t *testing.T) {
+	p := DefaultParams()
+	ctl := DefaultLQR(p)
+	env := New(p)
+	rng := testRNG()
+	for e := 0; e < 25; e++ {
+		steps, err := RunEpisode(env, ctl, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if steps != p.MaxSteps {
+			t.Fatalf("episode %d balanced only %d/%d steps", e, steps, p.MaxSteps)
+		}
+	}
+}
+
+func TestLQRControlDirection(t *testing.T) {
+	ctl := DefaultLQR(DefaultParams())
+	// Pole leaning right (positive theta): push right (positive u).
+	if u := ctl.Act(State{Theta: 0.1}); u <= 0 {
+		t.Errorf("lean right -> control %v, want positive", u)
+	}
+	if u := ctl.Act(State{Theta: -0.1}); u >= 0 {
+		t.Errorf("lean left -> control %v, want negative", u)
+	}
+	// Output clipped to [-1, 1].
+	if u := ctl.Act(State{Theta: 2}); u > 1 || u < -1 {
+		t.Errorf("control %v outside [-1,1]", u)
+	}
+}
+
+func TestLQRDegradesUnderFaults(t *testing.T) {
+	// The classical controller tolerates much longer hold bursts than
+	// the learned one (it breaks near 14-step holds vs the NN's ~3) —
+	// but sufficiently dense faults must still destroy it.
+	p := DefaultParams()
+	ctl := DefaultLQR(p)
+	rng := testRNG()
+	clean, err := EvaluateWeaklyHard(ctl, p, wh.MissConstraint{Misses: 0, Window: 15}, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := EvaluateWeaklyHard(ctl, p, wh.MissConstraint{Misses: 14, Window: 15}, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.MeanSteps >= clean.MeanSteps/2 {
+		t.Errorf("14/15 faults did not collapse LQR: %.0f vs %.0f", heavy.MeanSteps, clean.MeanSteps)
+	}
+}
+
+// TestControllerComparisonShapes runs the fig. 3 mechanism for both the
+// learned and the classical controller: the qualitative trends must be
+// controller-independent (the paper's observation is about weakly-hard
+// actuation, not about a specific policy) — though the miss budget at
+// which each controller collapses differs, which is itself a useful
+// input to weakly-hard constraint selection.
+func TestControllerComparisonShapes(t *testing.T) {
+	p := DefaultParams()
+	nn, err := TrainedController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name          string
+		ctl           Controller
+		dense, sparse wh.MissConstraint
+	}{
+		// Each controller probed at its own breaking density.
+		{"nn", nn, wh.MissConstraint{Misses: 4, Window: 5}, wh.MissConstraint{Misses: 4, Window: 20}},
+		{"lqr", DefaultLQR(p), wh.MissConstraint{Misses: 16, Window: 18}, wh.MissConstraint{Misses: 16, Window: 60}},
+	}
+	for _, tc := range cases {
+		rng := testRNG()
+		clean, err := EvaluateWeaklyHard(tc.ctl, p, wh.MissConstraint{Misses: 0, Window: 5}, 25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dense, err := EvaluateWeaklyHard(tc.ctl, p, tc.dense, 25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, err := EvaluateWeaklyHard(tc.ctl, p, tc.sparse, 25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dense.MeanSteps >= clean.MeanSteps {
+			t.Errorf("%s: dense faults (%.0f) not worse than clean (%.0f)", tc.name, dense.MeanSteps, clean.MeanSteps)
+		}
+		if sparse.MeanSteps <= dense.MeanSteps {
+			t.Errorf("%s: sparser faults (%.0f) not better than dense (%.0f)", tc.name, sparse.MeanSteps, dense.MeanSteps)
+		}
+	}
+}
+
+// TestLQROutlastsNNUnderBursts pins the robustness ordering: at a
+// moderate burst length the classical controller survives where the
+// learned policy fails.
+func TestLQROutlastsNNUnderBursts(t *testing.T) {
+	p := DefaultParams()
+	nn, err := TrainedController()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wh.MissConstraint{Misses: 4, Window: 5}
+	rng := testRNG()
+	nnCell, err := EvaluateWeaklyHard(nn, p, c, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lqrCell, err := EvaluateWeaklyHard(DefaultLQR(p), p, c, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lqrCell.MeanSteps <= nnCell.MeanSteps {
+		t.Errorf("expected LQR (%.0f) to outlast the NN (%.0f) at %v",
+			lqrCell.MeanSteps, nnCell.MeanSteps, c)
+	}
+}

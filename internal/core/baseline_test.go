@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func TestGlobalNTXBaselineFeasible(t *testing.T) {
+	p, g := softPipeline(t, 0.9)
+	s, err := GlobalNTXBaseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Fatalf("baseline schedule invalid: %v", err)
+	}
+	// All floods share one N_TX.
+	first := s.Rounds[0].BeaconNTX
+	for _, r := range s.Rounds {
+		if r.BeaconNTX != first {
+			t.Errorf("baseline beacon χ differs: %d vs %d", r.BeaconNTX, first)
+		}
+		for _, sl := range r.Slots {
+			if sl.NTX != first {
+				t.Errorf("baseline slot χ differs: %d vs %d", sl.NTX, first)
+			}
+		}
+	}
+	last, _ := g.TaskByName("stage2")
+	if got := SatisfiedSoft(p, s, last.ID); got < 0.9 {
+		t.Errorf("baseline misses the soft target: %v", got)
+	}
+}
+
+func TestNETDAGNeverWorseThanBaselineSoft(t *testing.T) {
+	for _, target := range []float64{0.5, 0.8, 0.9, 0.99, 0.999} {
+		p, _ := softPipeline(t, target)
+		netdag, err := Solve(p)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		base, err := GlobalNTXBaseline(p)
+		if err != nil {
+			t.Fatalf("target %v baseline: %v", target, err)
+		}
+		if netdag.Makespan > base.Makespan {
+			t.Errorf("target %v: NETDAG %d worse than baseline %d", target, netdag.Makespan, base.Makespan)
+		}
+		if netdag.BusTime > base.BusTime {
+			t.Errorf("target %v: NETDAG bus %d worse than baseline %d", target, netdag.BusTime, base.BusTime)
+		}
+	}
+}
+
+func TestNETDAGNeverWorseThanBaselineWH(t *testing.T) {
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := make(map[dag.TaskID]wh.MissConstraint)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = wh.MissConstraint{Misses: 24, Window: 40}
+	}
+	p := &Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+		GreedyChi: true,
+	}
+	netdag, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := GlobalNTXBaseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netdag.BusTime > base.BusTime {
+		t.Errorf("NETDAG bus time %d worse than global-N_TX baseline %d", netdag.BusTime, base.BusTime)
+	}
+}
+
+func TestBaselineUnsat(t *testing.T) {
+	p, _ := softPipeline(t, 0.9999999)
+	p.SoftStat = glossy.BernoulliSoft{PerTX: 0.3}
+	p.MaxNTX = 2
+	if _, err := GlobalNTXBaseline(p); err == nil {
+		t.Error("baseline satisfied an unreachable target")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func benchMIMOProblem(b *testing.B, greedy bool) *Problem {
+	b.Helper()
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cons := make(map[dag.TaskID]wh.MissConstraint)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = wh.MissConstraint{Misses: 24, Window: 40}
+	}
+	return &Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+		GreedyChi: greedy,
+	}
+}
+
+func BenchmarkSolveMIMOExactChi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchMIMOProblem(b, false)
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveMIMOGreedyChi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchMIMOProblem(b, true)
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSoftPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := apps.Pipeline(4, 500, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink := g.Sinks()[0]
+		p := &Problem{
+			App: g, Params: glossy.DefaultParams(), Diameter: 3,
+			Mode:     Soft,
+			SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+			SoftCons: map[dag.TaskID]float64{sink: 0.9},
+		}
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGlobalNTXBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchMIMOProblem(b, false)
+		if _, err := GlobalNTXBaseline(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleValidate(b *testing.B) {
+	p := benchMIMOProblem(b, true)
+	s, err := Solve(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(p.App); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package core
+
+import "fmt"
+
+// This file solves the χ-assignment subproblem: given a round assignment
+// l, pick the retransmission parameter N_TX for every flood (message
+// slots and round beacons) so that every task-level constraint holds,
+// minimizing the total reserved bus time. Both paradigms reduce to the
+// same covering structure:
+//
+//   - soft (eq. 6):  Π_{x∈pred(τ)} λ_s(χ(x)) >= F_s(τ)
+//     ⇔ Σ_{x∈pred(τ)} −log λ_s(χ(x)) <= −log F_s(τ)
+//   - weakly hard (eq. 10 via ⊕): Σ_{x∈pred(τ)} misses(λ_WH(χ(x)))
+//     <= F_WH(τ).Misses, plus per-flood window lower bounds on χ.
+//
+// Each flood has a non-increasing per-level "deficit" and an increasing
+// per-level cost; each constrained task imposes a budget on the sum of
+// deficits over its predecessor floods. The feasible χ vectors form an
+// upward-closed set (statistics are monotone), searched exactly by branch
+// and bound on small instances and greedily otherwise.
+
+// chiInstance is the covering problem over floods 0..n-1.
+type chiInstance struct {
+	n     int
+	upper int
+	lower []int       // per-flood minimum χ (window bounds etc.), >= 1
+	def   [][]float64 // def[f][i] = deficit of flood f at χ = i+1, non-increasing
+	cost  [][]int64   // cost[f][i] = reserved duration at χ = i+1, increasing
+	cons  []chiConstraint
+}
+
+type chiConstraint struct {
+	task   string // for error messages
+	floods []int
+	budget float64
+}
+
+const chiEps = 1e-9
+
+// solve picks exact or greedy search. The exact search runs when the
+// number of floods that actually appear in constraints is small
+// (unconstrained floods are pinned to their lower bounds and never
+// branched on); both return the chosen χ per flood.
+func (ci *chiInstance) solve(forceGreedy bool) ([]int, error) {
+	if err := ci.checkFeasibleAtUpper(); err != nil {
+		return nil, err
+	}
+	if !forceGreedy && ci.numConstrained() <= exactChiFloodLimit {
+		return ci.solveExact()
+	}
+	return ci.solveGreedy()
+}
+
+// numConstrained counts floods referenced by at least one constraint.
+func (ci *chiInstance) numConstrained() int {
+	seen := make([]bool, ci.n)
+	cnt := 0
+	for _, c := range ci.cons {
+		for _, f := range c.floods {
+			if !seen[f] {
+				seen[f] = true
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// checkFeasibleAtUpper verifies the instance is satisfiable with every
+// flood at MaxNTX — if not, no χ vector works and the caller reports
+// ErrUnsat with the violated task.
+func (ci *chiInstance) checkFeasibleAtUpper() error {
+	for f := 0; f < ci.n; f++ {
+		if ci.lower[f] > ci.upper {
+			return fmt.Errorf("%w: flood %d needs χ >= %d but MaxNTX is %d",
+				ErrUnsat, f, ci.lower[f], ci.upper)
+		}
+	}
+	for _, c := range ci.cons {
+		sum := 0.0
+		for _, f := range c.floods {
+			sum += ci.def[f][ci.upper-1]
+		}
+		if sum > c.budget+chiEps {
+			return fmt.Errorf("%w: task %s unreachable even at MaxNTX (deficit %.4g > budget %.4g)",
+				ErrUnsat, c.task, sum, c.budget)
+		}
+	}
+	return nil
+}
+
+// violated returns the index of a violated constraint under chi, or -1.
+func (ci *chiInstance) violated(chi []int) int {
+	for i, c := range ci.cons {
+		sum := 0.0
+		for _, f := range c.floods {
+			sum += ci.def[f][chi[f]-1]
+		}
+		if sum > c.budget+chiEps {
+			return i
+		}
+	}
+	return -1
+}
+
+// totalCost sums the per-flood costs.
+func (ci *chiInstance) totalCost(chi []int) int64 {
+	var t int64
+	for f, v := range chi {
+		t += ci.cost[f][v-1]
+	}
+	return t
+}
+
+// solveGreedy starts every flood at its lower bound and repeatedly bumps
+// the flood with the best deficit-reduction per cost among a violated
+// constraint's floods.
+func (ci *chiInstance) solveGreedy() ([]int, error) {
+	chi := make([]int, ci.n)
+	copy(chi, ci.lower)
+	for {
+		vi := ci.violated(chi)
+		if vi < 0 {
+			return chi, nil
+		}
+		c := ci.cons[vi]
+		bestF, bestScore := -1, 0.0
+		for _, f := range c.floods {
+			if chi[f] >= ci.upper {
+				continue
+			}
+			drop := ci.def[f][chi[f]-1] - ci.def[f][chi[f]]
+			inc := float64(ci.cost[f][chi[f]] - ci.cost[f][chi[f]-1])
+			if inc <= 0 {
+				inc = 1
+			}
+			score := drop / inc
+			if bestF < 0 || score > bestScore {
+				bestF, bestScore = f, score
+			}
+		}
+		if bestF < 0 {
+			// Cannot raise anything further; checkFeasibleAtUpper rules
+			// this out unless deficits are flat, in which case the
+			// budget is genuinely unreachable.
+			return nil, fmt.Errorf("%w: task %s (greedy dead end)", ErrUnsat, c.task)
+		}
+		chi[bestF]++
+	}
+}
+
+// solveExact is a branch-and-bound over χ vectors minimizing total cost.
+// Floods outside every constraint are pinned to their lower bounds; for
+// branching floods only Pareto-optimal levels are considered (a level
+// whose deficit equals a cheaper level's is pure cost); the incumbent is
+// seeded with the greedy solution so the cost bound prunes from the
+// start. The bound combines committed cost with remaining lower-bound
+// costs, and a per-constraint feasibility prune assumes unassigned
+// floods go to MaxNTX.
+func (ci *chiInstance) solveExact() ([]int, error) {
+	chi := make([]int, ci.n)
+	copy(chi, ci.lower)
+	// Branch order: constrained floods only.
+	inCons := make([]bool, ci.n)
+	for _, c := range ci.cons {
+		for _, f := range c.floods {
+			inCons[f] = true
+		}
+	}
+	var order []int
+	for f := 0; f < ci.n; f++ {
+		if inCons[f] {
+			order = append(order, f)
+		}
+	}
+	// Pareto level sets per branching flood.
+	levels := make([][]int, ci.n)
+	for _, f := range order {
+		lv := []int{ci.lower[f]}
+		for v := ci.lower[f] + 1; v <= ci.upper; v++ {
+			if ci.def[f][v-1] < ci.def[f][lv[len(lv)-1]-1]-chiEps {
+				lv = append(lv, v)
+			}
+		}
+		levels[f] = lv
+	}
+	best := make([]int, ci.n)
+	bestCost := int64(-1)
+	// Seed with greedy: any feasible incumbent makes the cost bound
+	// active immediately.
+	if g, err := ci.solveGreedy(); err == nil {
+		copy(best, g)
+		bestCost = ci.totalCost(g)
+	}
+	// pinnedCost: cost of all non-branching floods at lower bound.
+	var pinnedCost int64
+	for f := 0; f < ci.n; f++ {
+		if !inCons[f] {
+			pinnedCost += ci.cost[f][ci.lower[f]-1]
+		}
+	}
+	// minRemCost[i] = Σ over order[i:] of cost at lower bound.
+	minRemCost := make([]int64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		f := order[i]
+		minRemCost[i] = minRemCost[i+1] + ci.cost[f][ci.lower[f]-1]
+	}
+	// assigned[f] reports whether flood f's level is final in the
+	// current partial assignment.
+	assigned := make([]bool, ci.n)
+	for f := 0; f < ci.n; f++ {
+		assigned[f] = !inCons[f]
+	}
+	// The search is exact while the node budget lasts; beyond it the
+	// incumbent (at worst the greedy solution) is returned. This keeps
+	// the scheduler's worst case polynomial while giving true optima on
+	// paper-scale instances.
+	const nodeBudget = 300000
+	nodes := 0
+	var rec func(i int, committed int64)
+	rec = func(i int, committed int64) {
+		nodes++
+		if nodes > nodeBudget {
+			return
+		}
+		if bestCost >= 0 && committed+minRemCost[i] >= bestCost {
+			return
+		}
+		if i == len(order) {
+			if ci.violated(chi) >= 0 {
+				return
+			}
+			bestCost = committed
+			copy(best, chi)
+			return
+		}
+		// Feasibility prune: optimistic deficit per constraint, with
+		// unassigned floods at MaxNTX.
+		for _, c := range ci.cons {
+			sum := 0.0
+			for _, fl := range c.floods {
+				if assigned[fl] {
+					sum += ci.def[fl][chi[fl]-1]
+				} else {
+					sum += ci.def[fl][ci.upper-1]
+				}
+			}
+			if sum > c.budget+chiEps {
+				return
+			}
+		}
+		f := order[i]
+		assigned[f] = true
+		for _, v := range levels[f] {
+			chi[f] = v
+			rec(i+1, committed+ci.cost[f][v-1])
+		}
+		chi[f] = ci.lower[f]
+		assigned[f] = false
+	}
+	rec(0, pinnedCost)
+	if bestCost < 0 {
+		return nil, fmt.Errorf("%w: exact χ search found no assignment", ErrUnsat)
+	}
+	return best, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/netdag/netdag/internal/dag"
+)
+
+func TestDeadlineRestrictsSchedules(t *testing.T) {
+	p, g := softPipeline(t, 0.9)
+	free, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	// A deadline at the unconstrained completion time is feasible.
+	p2, _ := softPipeline(t, 0.9)
+	p2.Deadlines = map[dag.TaskID]int64{last.ID: free.Tasks[last.ID].Finish}
+	s2, err := Solve(p2)
+	if err != nil {
+		t.Fatalf("deadline at optimum rejected: %v", err)
+	}
+	if s2.Tasks[last.ID].Finish > free.Tasks[last.ID].Finish {
+		t.Errorf("deadline not honored: finish %d > %d", s2.Tasks[last.ID].Finish, free.Tasks[last.ID].Finish)
+	}
+	// A deadline strictly inside the minimum makespan is infeasible.
+	p3, _ := softPipeline(t, 0.9)
+	p3.Deadlines = map[dag.TaskID]int64{last.ID: free.Makespan / 2}
+	if _, err := Solve(p3); err == nil {
+		t.Error("impossible deadline accepted")
+	}
+}
+
+func TestDeadlineBelowWCETRejected(t *testing.T) {
+	p, g := softPipeline(t, 0.9)
+	first, _ := g.TaskByName("stage0")
+	p.Deadlines = map[dag.TaskID]int64{first.ID: g.Task(first.ID).WCET - 1}
+	if _, err := Solve(p); !errors.Is(err, ErrBadConstraint) {
+		t.Errorf("deadline below WCET: %v, want ErrBadConstraint", err)
+	}
+}
+
+func TestReleaseTimeShiftsTask(t *testing.T) {
+	p, g := softPipeline(t, 0.9)
+	first, _ := g.TaskByName("stage0")
+	p.ReleaseTimes = map[dag.TaskID]int64{first.ID: 5000}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks[first.ID].Start < 5000 {
+		t.Errorf("release time ignored: start %d", s.Tasks[first.ID].Start)
+	}
+	if err := s.Validate(g); err != nil {
+		t.Errorf("released schedule invalid: %v", err)
+	}
+	p2, _ := softPipeline(t, 0.9)
+	p2.ReleaseTimes = map[dag.TaskID]int64{first.ID: -1}
+	if _, err := Solve(p2); !errors.Is(err, ErrBadConstraint) {
+		t.Errorf("negative release: %v, want ErrBadConstraint", err)
+	}
+}
+
+func TestDeadlineAppliesToBaseline(t *testing.T) {
+	p, g := softPipeline(t, 0.9)
+	base, err := GlobalNTXBaseline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	p2, _ := softPipeline(t, 0.9)
+	p2.Deadlines = map[dag.TaskID]int64{last.ID: base.Makespan / 2}
+	if _, err := GlobalNTXBaseline(p2); err == nil {
+		t.Error("baseline ignored an impossible deadline")
+	}
+}

@@ -1,0 +1,39 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Solve schedules a sense→control→actuate pipeline under a weakly-hard
+// actuation constraint.
+func ExampleSolve() {
+	app := dag.New()
+	sense := app.MustAddTask("sense", "n0", 500)
+	ctrl := app.MustAddTask("ctrl", "n1", 2000)
+	act := app.MustAddTask("act", "n2", 300)
+	app.MustConnect(sense, ctrl, 8)
+	app.MustConnect(ctrl, act, 4)
+	if err := app.Validate(); err != nil {
+		panic(err)
+	}
+	p := &core.Problem{
+		App:      app,
+		Params:   glossy.DefaultParams(),
+		Diameter: 3,
+		Mode:     core.WeaklyHard,
+		WHStat:   glossy.SyntheticWH{},
+		WHCons:   map[dag.TaskID]wh.MissConstraint{act: {Misses: 10, Window: 40}},
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	guar, _ := core.SatisfiedWH(p, s, act)
+	fmt.Println(len(s.Rounds), "rounds; guarantee", guar)
+	// Output: 2 rounds; guarantee (10,60)~
+}

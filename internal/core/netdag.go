@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/solver"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Schedule computes a feasible (soft or weakly-hard) real-time schedule
+// minimizing makespan. The search decomposes as the paper's SMT encoding
+// does implicitly:
+//
+//  1. enumerate admissible assignments l of messages to rounds
+//     (topological partial orders of the line graph, eq. 2);
+//  2. per assignment, choose χ minimizing total reserved bus time
+//     subject to the task-level constraints (eq. 6 / eq. 10);
+//  3. per (l, χ), place tasks and rounds exactly (branch and bound over
+//     the eq. 4/5 conditions) and keep the best makespan.
+//
+// Rounds act as global blackout windows, so total bus time dominates the
+// communication contribution to makespan; step 2's objective makes the
+// decomposition makespan-minimal in all but adversarial corner cases
+// (the A3 ablation quantifies this against exhaustive search on small
+// instances).
+func Solve(p *Problem) (*Schedule, error) {
+	if err := p.normalize(); err != nil {
+		return nil, err
+	}
+	lg, err := dag.NewLineGraph(p.App)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := p.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = lg.MinRounds() + DefaultExtraRounds
+	}
+	if maxRounds < lg.MinRounds() {
+		return nil, fmt.Errorf("core: MaxRounds %d below the line graph's minimum %d", maxRounds, lg.MinRounds())
+	}
+	var best *Schedule
+	explored := 0
+	var firstErr error
+	cpWCET := p.App.CriticalPathWCET()
+	msgs := p.App.Messages()
+	lg.EnumerateAssignments(maxRounds, func(l []int) bool {
+		explored++
+		assign := append([]int(nil), l...)
+		// Cheap lower bound: rounds are global blackouts, so the
+		// makespan is at least the critical-path WCET plus the cheapest
+		// possible bus time for this assignment (all floods at χ = 1).
+		if best != nil {
+			rounds := 0
+			for _, r := range assign {
+				if r+1 > rounds {
+					rounds = r + 1
+				}
+			}
+			lb := cpWCET + int64(rounds)*p.Params.BeaconDuration(1, p.Diameter)
+			for _, m := range msgs {
+				lb += p.Params.SlotDuration(1, m.Width, p.Diameter)
+			}
+			if lb >= best.Makespan {
+				return true
+			}
+		}
+		sched, err := p.scheduleForAssignment(assign)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return true
+		}
+		if best == nil || sched.Makespan < best.Makespan {
+			best = sched
+		}
+		return true
+	})
+	if best == nil {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("%w: no admissible round assignment", ErrUnsat)
+	}
+	best.Explored = explored
+	return best, nil
+}
+
+// predFloods returns, for a task, the flood indices of pred(τ): its
+// ancestor messages plus the beacons of the rounds carrying them. Flood
+// indexing: messages occupy 0..M-1 (by MsgID), beacons occupy M..M+R-1
+// (by round index).
+func predFloods(app *dag.Graph, assign []int, nMsgs int, id dag.TaskID) []int {
+	msgs := app.MsgAncestors(id)
+	var floods []int
+	roundSeen := make(map[int]bool)
+	for _, m := range msgs {
+		floods = append(floods, int(m))
+		r := assign[m]
+		if !roundSeen[r] {
+			roundSeen[r] = true
+			floods = append(floods, nMsgs+r)
+		}
+	}
+	return floods
+}
+
+// scheduleForAssignment runs steps 2 and 3 for one round assignment.
+func (p *Problem) scheduleForAssignment(assign []int) (*Schedule, error) {
+	app := p.App
+	msgs := app.Messages()
+	nMsgs := len(msgs)
+	rounds := 0
+	for _, r := range assign {
+		if r+1 > rounds {
+			rounds = r + 1
+		}
+	}
+	nFloods := nMsgs + rounds
+
+	ci := &chiInstance{
+		n:     nFloods,
+		upper: p.MaxNTX,
+		lower: make([]int, nFloods),
+		def:   make([][]float64, nFloods),
+		cost:  make([][]int64, nFloods),
+	}
+	for f := 0; f < nFloods; f++ {
+		ci.lower[f] = 1
+		ci.def[f] = make([]float64, p.MaxNTX)
+		ci.cost[f] = make([]int64, p.MaxNTX)
+		width := p.Params.BeaconWidth
+		if f < nMsgs {
+			width = msgs[f].Width
+		}
+		for n := 1; n <= p.MaxNTX; n++ {
+			ci.cost[f][n-1] = p.Params.SlotDuration(n, width, p.Diameter)
+			switch p.Mode {
+			case Soft:
+				lam := p.SoftStat.SuccessProb(n)
+				if lam <= 0 {
+					ci.def[f][n-1] = math.Inf(1)
+				} else {
+					ci.def[f][n-1] = -math.Log(lam)
+				}
+			case WeaklyHard:
+				ci.def[f][n-1] = float64(p.WHStat.MissConstraint(n).Misses)
+			}
+		}
+	}
+
+	// Task-level constraints become covering constraints; weakly-hard
+	// constraints additionally impose per-flood window lower bounds.
+	// Iterate tasks in ID order (not map order) so the covering
+	// constraints — and therefore any cost ties inside the χ search —
+	// are deterministic across runs.
+	switch p.Mode {
+	case Soft:
+		for _, task := range app.Tasks() {
+			id := task.ID
+			target, has := p.SoftCons[id]
+			if !has {
+				continue
+			}
+			floods := predFloods(app, assign, nMsgs, id)
+			if len(floods) == 0 || target <= 0 {
+				continue // trivially satisfied: no networked dependencies
+			}
+			if target >= 1 {
+				return nil, fmt.Errorf("%w: task %q demands probability 1 over a lossy bus",
+					ErrUnsat, app.Task(id).Name)
+			}
+			ci.cons = append(ci.cons, chiConstraint{
+				task:   app.Task(id).Name,
+				floods: floods,
+				budget: -math.Log(target),
+			})
+		}
+	case WeaklyHard:
+		for _, task := range app.Tasks() {
+			id := task.ID
+			target, has := p.WHCons[id]
+			if !has {
+				continue
+			}
+			floods := predFloods(app, assign, nMsgs, id)
+			if len(floods) == 0 || target.Trivial() {
+				continue
+			}
+			// Window bound: every predecessor flood's guarantee window
+			// must cover the requirement's (the ⊕ window is the minimum
+			// over predecessors, and eq. 10 needs it >= F.Window).
+			minN, ok := p.minNTXForWindow(target.Window)
+			if !ok {
+				return nil, fmt.Errorf("%w: task %q needs a %d-round guarantee window; statistic cannot provide it within MaxNTX=%d",
+					ErrUnsat, app.Task(id).Name, target.Window, p.MaxNTX)
+			}
+			for _, f := range floods {
+				if minN > ci.lower[f] {
+					ci.lower[f] = minN
+				}
+			}
+			ci.cons = append(ci.cons, chiConstraint{
+				task:   app.Task(id).Name,
+				floods: floods,
+				budget: float64(target.Misses),
+			})
+		}
+	}
+
+	chi, err := ci.solve(p.GreedyChi)
+	if err != nil {
+		return nil, err
+	}
+
+	return p.place(assign, chi, rounds)
+}
+
+// minNTXForWindow returns the smallest n with λ_WH(n).Window >= w.
+func (p *Problem) minNTXForWindow(w int) (int, bool) {
+	for n := 1; n <= p.MaxNTX; n++ {
+		if p.WHStat.MissConstraint(n).Window >= w {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// place runs the exact timing search for fixed (l, χ) and assembles the
+// Schedule.
+func (p *Problem) place(assign, chi []int, rounds int) (*Schedule, error) {
+	app := p.App
+	msgs := app.Messages()
+	nMsgs := len(msgs)
+
+	// Round durations per eq. (3): beacon term + slot terms.
+	roundDur := make([]int64, rounds)
+	roundSlots := make([][]Slot, rounds)
+	for r := 0; r < rounds; r++ {
+		roundDur[r] = p.Params.BeaconDuration(chi[nMsgs+r], p.Diameter)
+	}
+	for _, m := range msgs {
+		r := assign[m.ID]
+		d := p.Params.SlotDuration(chi[m.ID], m.Width, p.Diameter)
+		roundDur[r] += d
+		roundSlots[r] = append(roundSlots[r], Slot{
+			Msg: m.ID, NTX: chi[m.ID], Width: m.Width, Duration: d,
+		})
+	}
+
+	prob := solver.NewProblem(1)
+	taskAct := make(map[dag.TaskID]solver.ActID)
+	for _, t := range app.Tasks() {
+		taskAct[t.ID] = prob.AddActivity(t.Name, t.WCET)
+	}
+	roundAct := make([]solver.ActID, rounds)
+	for r := 0; r < rounds; r++ {
+		roundAct[r] = prob.AddActivity(fmt.Sprintf("round%d", r), roundDur[r])
+	}
+	// (4a) task precedence.
+	for _, t := range app.Tasks() {
+		for _, s := range app.Succs(t.ID) {
+			prob.Precede(taskAct[t.ID], taskAct[s])
+		}
+	}
+	// (4b) rounds totally ordered.
+	for r := 1; r < rounds; r++ {
+		prob.Precede(roundAct[r-1], roundAct[r])
+	}
+	// (4c) producers before the round; consumers after.
+	for _, m := range msgs {
+		r := assign[m.ID]
+		prob.Precede(taskAct[m.Source], roundAct[r])
+		for _, c := range m.Dests {
+			prob.Precede(roundAct[r], taskAct[c])
+		}
+	}
+	// (5) tasks never overlap communication.
+	for _, t := range app.Tasks() {
+		for r := 0; r < rounds; r++ {
+			prob.Disjoint(taskAct[t.ID], roundAct[r])
+		}
+	}
+	// Task-level deadlines and release times (ζ constraints).
+	for id, d := range p.Deadlines {
+		prob.Deadline(taskAct[id], d)
+	}
+	for id, rel := range p.ReleaseTimes {
+		prob.Release(taskAct[id], rel)
+	}
+	var res solver.Result
+	var err error
+	if p.GreedyPlacement {
+		res, err = prob.Greedy()
+	} else {
+		res, err = prob.Minimize(p.SolverNodes)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: timing search failed: %w", err)
+	}
+
+	sched := &Schedule{
+		Mode:   p.Mode,
+		Tasks:  make(map[dag.TaskID]TaskTime, app.NumTasks()),
+		Assign: append([]int(nil), assign...),
+	}
+	for _, t := range app.Tasks() {
+		st := res.Starts[taskAct[t.ID]]
+		sched.Tasks[t.ID] = TaskTime{Task: t.ID, Start: st, Finish: st + t.WCET}
+	}
+	for r := 0; r < rounds; r++ {
+		sched.Rounds = append(sched.Rounds, Round{
+			Index:     r,
+			Start:     res.Starts[roundAct[r]],
+			Duration:  roundDur[r],
+			BeaconNTX: chi[nMsgs+r],
+			Slots:     roundSlots[r],
+		})
+		sched.BusTime += roundDur[r]
+	}
+	sched.Makespan = res.Makespan
+	sched.Optimal = res.Optimal
+	return sched, nil
+}
+
+// MinMakespan returns only the optimal makespan for the problem — the
+// "minimum feasible latency" query of §IV-B that drives figs. 2 and 4.
+func MinMakespan(p *Problem) (int64, error) {
+	s, err := Solve(p)
+	if err != nil {
+		return 0, err
+	}
+	return s.Makespan, nil
+}
+
+// SatisfiedSoft reports the success probability the schedule guarantees
+// for the given task under the problem's statistic (the left side of
+// eq. 6), or 1 when it has no networked dependencies.
+func SatisfiedSoft(p *Problem, s *Schedule, id dag.TaskID) float64 {
+	prob := 1.0
+	msgs := p.App.MsgAncestors(id)
+	roundSeen := make(map[int]bool)
+	for _, m := range msgs {
+		ntx, _ := s.SlotNTX(m)
+		prob *= p.SoftStat.SuccessProb(ntx)
+		r := s.Assign[m]
+		if !roundSeen[r] {
+			roundSeen[r] = true
+			prob *= p.SoftStat.SuccessProb(s.Rounds[r].BeaconNTX)
+		}
+	}
+	return prob
+}
+
+// SatisfiedWH returns the ⊕-folded guarantee the schedule provides for
+// the given task (the left side of eq. 9/10) and whether the task has
+// networked dependencies at all.
+func SatisfiedWH(p *Problem, s *Schedule, id dag.TaskID) (wh.MissConstraint, bool) {
+	msgs := p.App.MsgAncestors(id)
+	if len(msgs) == 0 {
+		return wh.MissConstraint{}, false
+	}
+	var gs []wh.MissConstraint
+	roundSeen := make(map[int]bool)
+	for _, m := range msgs {
+		ntx, _ := s.SlotNTX(m)
+		gs = append(gs, p.WHStat.MissConstraint(ntx))
+		r := s.Assign[m]
+		if !roundSeen[r] {
+			roundSeen[r] = true
+			gs = append(gs, p.WHStat.MissConstraint(s.Rounds[r].BeaconNTX))
+		}
+	}
+	return wh.OplusAll(gs...), true
+}

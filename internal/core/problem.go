@@ -1,0 +1,233 @@
+// Package core implements NETDAG, the application-aware time-triggered
+// scheduler for networked applications over the Low-Power Wireless Bus
+// (Wardega & Li, DATE 2020).
+//
+// Given an application task-dependency graph with WCETs, placements and
+// message widths (internal/dag), the Glossy timing model and a network
+// statistic (internal/glossy), and task-level real-time constraints —
+// soft success probabilities or weakly-hard (m,K) bounds — the scheduler
+// produces a makespan-minimal feasible schedule (ζ, χ, l):
+//
+//   - l assigns every unique-source message to an LWB communication
+//     round (a topological partial order of the application line graph,
+//     paper eq. 2),
+//   - χ picks the Glossy retransmission parameter N_TX for every message
+//     slot and round beacon so the task-level constraints hold (paper
+//     eq. 6 for soft, eq. 9/10 via the ⊕ abstraction for weakly hard),
+//   - ζ places tasks and rounds in time so precedence holds and no task
+//     overlaps any communication round (paper eq. 4, 5), minimized for
+//     makespan by the branch-and-bound solver in internal/solver.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Mode selects the real-time paradigm of a scheduling problem.
+type Mode int
+
+const (
+	// Soft schedules under probabilistic task-level constraints
+	// (§III-B): each constrained task succeeds with at least the given
+	// probability over independent runs.
+	Soft Mode = iota
+	// WeaklyHard schedules under (m,K) task-level constraints (§III-C):
+	// bounded non-determinism suitable for safety-critical control.
+	WeaklyHard
+)
+
+// String renders the mode.
+func (m Mode) String() string {
+	switch m {
+	case Soft:
+		return "soft"
+	case WeaklyHard:
+		return "weakly-hard"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Problem is a complete NETDAG scheduling instance.
+type Problem struct {
+	App      *dag.Graph    // the application (validated)
+	Params   glossy.Params // hardware profiling constants of eq. (3)
+	Diameter int           // bound on the network diameter D(N)
+
+	Mode Mode
+
+	// SoftStat and SoftCons configure Soft mode: the network statistic
+	// λ_s and the per-task minimum success probabilities F_s. Tasks
+	// absent from the map are unconstrained.
+	SoftStat glossy.SoftStatistic
+	SoftCons map[dag.TaskID]float64
+
+	// WHStat and WHCons configure WeaklyHard mode: the network statistic
+	// λ_WH and the per-task miss-form constraints F_WH.
+	WHStat glossy.WHStatistic
+	WHCons map[dag.TaskID]wh.MissConstraint
+
+	// Deadlines optionally bounds task completion times (ζ(τ) <= d):
+	// the task-level deadline constraints the §IV-D workflow feeds into
+	// NETDAG. Tasks absent from the map are unconstrained. Deadlines
+	// restrict feasibility but not the makespan objective.
+	Deadlines map[dag.TaskID]int64
+
+	// ReleaseTimes optionally forbids tasks from starting before the
+	// given instant (e.g. sensor data not available until a phase
+	// reference). Tasks absent from the map may start at time 0.
+	ReleaseTimes map[dag.TaskID]int64
+
+	// MaxNTX bounds the retransmission parameter per flood (χ domain is
+	// 1..MaxNTX). Zero selects DefaultMaxNTX.
+	MaxNTX int
+	// MaxRounds bounds the round assignments explored. Zero selects the
+	// line graph's minimum plus DefaultExtraRounds.
+	MaxRounds int
+	// SolverNodes bounds the branch-and-bound timing search per round
+	// assignment. Zero selects DefaultSolverNodes.
+	SolverNodes int
+	// GreedyChi forces the greedy χ optimizer even on small instances
+	// (used by the ablations; the default picks exact search when the
+	// flood count permits).
+	GreedyChi bool
+	// GreedyPlacement replaces the exact branch-and-bound timing search
+	// with the polynomial chronological-dispatch heuristic (the A3
+	// ablation measures the optimality gap this costs).
+	GreedyPlacement bool
+}
+
+// Defaults for optional Problem knobs.
+const (
+	DefaultMaxNTX      = 8
+	DefaultExtraRounds = 1
+	DefaultSolverNodes = 200000
+	// exactChiFloodLimit is the largest flood count for which the exact
+	// χ search runs by default.
+	exactChiFloodLimit = 14
+)
+
+// Errors reported by the scheduler.
+var (
+	ErrNoStatistic   = errors.New("core: missing network statistic for the selected mode")
+	ErrBadConstraint = errors.New("core: invalid task-level constraint")
+	ErrStructure     = errors.New("core: constraints violate the structure induced by the dependency graph")
+	ErrUnsat         = errors.New("core: no feasible schedule satisfies the task-level constraints")
+)
+
+// normalize fills defaults and performs cheap validation shared by both
+// modes.
+func (p *Problem) normalize() error {
+	if p.App == nil {
+		return errors.New("core: nil application")
+	}
+	if err := p.App.Validate(); err != nil {
+		return err
+	}
+	if err := p.Params.Validate(); err != nil {
+		return err
+	}
+	if p.Diameter < 1 {
+		return fmt.Errorf("core: diameter bound must be >= 1, got %d", p.Diameter)
+	}
+	if p.MaxNTX == 0 {
+		p.MaxNTX = DefaultMaxNTX
+	}
+	if p.MaxNTX < 1 {
+		return fmt.Errorf("core: MaxNTX must be >= 1, got %d", p.MaxNTX)
+	}
+	if p.SolverNodes == 0 {
+		p.SolverNodes = DefaultSolverNodes
+	}
+	for id, d := range p.Deadlines {
+		if t := p.App.Task(id); d < t.WCET {
+			return fmt.Errorf("%w: task %q deadline %d below its WCET %d",
+				ErrBadConstraint, t.Name, d, t.WCET)
+		}
+	}
+	for id, r := range p.ReleaseTimes {
+		if r < 0 {
+			return fmt.Errorf("%w: task %q release time %d negative",
+				ErrBadConstraint, p.App.Task(id).Name, r)
+		}
+	}
+	switch p.Mode {
+	case Soft:
+		if p.SoftStat == nil {
+			return ErrNoStatistic
+		}
+		for id, f := range p.SoftCons {
+			if f < 0 || f > 1 {
+				return fmt.Errorf("%w: task %q probability %v outside [0,1]",
+					ErrBadConstraint, p.App.Task(id).Name, f)
+			}
+		}
+		return p.validateSoftStructure()
+	case WeaklyHard:
+		if p.WHStat == nil {
+			return ErrNoStatistic
+		}
+		for id, c := range p.WHCons {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("%w: task %q: %v", ErrBadConstraint, p.App.Task(id).Name, err)
+			}
+		}
+		return p.validateWHStructure()
+	default:
+		return fmt.Errorf("core: unknown mode %v", p.Mode)
+	}
+}
+
+// validateSoftStructure enforces the §III-B structure: along every
+// dependency edge between two constrained tasks, the upstream requirement
+// must be at least as strong (F_s(τ) >= F_s(μ) for τ -> μ) — a weaker
+// upstream task could never support a stronger downstream guarantee over
+// a lossy bus.
+func (p *Problem) validateSoftStructure() error {
+	for _, t := range p.App.Tasks() {
+		fs, ok := p.SoftCons[t.ID]
+		if !ok {
+			continue
+		}
+		for _, s := range p.App.Succs(t.ID) {
+			fd, ok := p.SoftCons[s]
+			if !ok {
+				continue
+			}
+			if fs < fd {
+				return fmt.Errorf("%w: soft F(%s)=%v < F(%s)=%v along %s -> %s",
+					ErrStructure, t.Name, fs, p.App.Task(s).Name, fd, t.Name, p.App.Task(s).Name)
+			}
+		}
+	}
+	return nil
+}
+
+// validateWHStructure enforces the §III-C structure: along every edge
+// between constrained tasks, F_WH(τ) ⪯ F_WH(μ) — the upstream constraint
+// dominates (is at least as hard as) the downstream one, checked with the
+// exact Bernat-Burns order on miss forms.
+func (p *Problem) validateWHStructure() error {
+	for _, t := range p.App.Tasks() {
+		fu, ok := p.WHCons[t.ID]
+		if !ok {
+			continue
+		}
+		for _, s := range p.App.Succs(t.ID) {
+			fd, ok := p.WHCons[s]
+			if !ok {
+				continue
+			}
+			if !wh.PrecedesBBMiss(fu, fd) {
+				return fmt.Errorf("%w: weakly-hard F(%s)=%v does not dominate F(%s)=%v",
+					ErrStructure, t.Name, fu, p.App.Task(s).Name, fd)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// TestRandomInstancesScheduleAndAudit is the core property test: across
+// random layered applications, modes and targets, every schedule the
+// solver emits passes the independent eq. 4/5 audit and meets its
+// declared guarantees; infeasibility is reported as ErrUnsat rather than
+// a bogus schedule.
+func TestRandomInstancesScheduleAndAudit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	solved, unsat := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		layers := 2 + rng.Intn(2)
+		width := 1 + rng.Intn(3)
+		g, err := apps.RandomLayered(layers, width, 2, rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinks := g.Sinks()
+		p := &Problem{
+			App:       g,
+			Params:    glossy.DefaultParams(),
+			Diameter:  1 + rng.Intn(4),
+			MaxNTX:    4 + rng.Intn(5),
+			GreedyChi: rng.Intn(2) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			p.Mode = Soft
+			p.SoftStat = glossy.BernoulliSoft{PerTX: 0.6 + 0.35*rng.Float64()}
+			p.SoftCons = map[dag.TaskID]float64{}
+			for _, s := range sinks {
+				p.SoftCons[s] = 0.5 + 0.45*rng.Float64()
+			}
+		} else {
+			p.Mode = WeaklyHard
+			p.WHStat = glossy.SyntheticWH{}
+			p.WHCons = map[dag.TaskID]wh.MissConstraint{}
+			for _, s := range sinks {
+				p.WHCons[s] = wh.MissConstraint{Misses: 10 + rng.Intn(25), Window: 40}
+			}
+		}
+		s, err := Solve(p)
+		if err != nil {
+			if !errors.Is(err, ErrUnsat) {
+				t.Fatalf("trial %d: unexpected error class: %v", trial, err)
+			}
+			unsat++
+			continue
+		}
+		solved++
+		if err := s.Validate(g); err != nil {
+			t.Fatalf("trial %d: schedule audit failed: %v", trial, err)
+		}
+		switch p.Mode {
+		case Soft:
+			for id, target := range p.SoftCons {
+				if got := SatisfiedSoft(p, s, id); got < target-1e-9 {
+					t.Errorf("trial %d: task %d guaranteed %v < target %v", trial, id, got, target)
+				}
+			}
+		case WeaklyHard:
+			for id, target := range p.WHCons {
+				guar, ok := SatisfiedWH(p, s, id)
+				if ok && !wh.SufficientlyImpliesMiss(guar, target) {
+					t.Errorf("trial %d: task %d guarantee %v misses %v", trial, id, guar, target)
+				}
+			}
+		}
+	}
+	if solved == 0 {
+		t.Fatal("no random instance was solvable; generator parameters degenerate")
+	}
+	t.Logf("random instances: %d solved, %d unsat", solved, unsat)
+}
+
+// TestSolveIsDeterministic re-solves the same instance and expects
+// byte-identical outcomes — the scheduler must not depend on map
+// iteration order.
+func TestSolveIsDeterministic(t *testing.T) {
+	mk := func() *Problem {
+		g, err := apps.MIMO(apps.DefaultMIMO())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := make(map[dag.TaskID]wh.MissConstraint)
+		for _, a := range apps.Actuators(g) {
+			cons[a] = wh.MissConstraint{Misses: 24, Window: 40}
+		}
+		return &Problem{
+			App: g, Params: glossy.DefaultParams(), Diameter: 4,
+			Mode: WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+		}
+	}
+	a, err := Solve(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b, err := Solve(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Makespan != b.Makespan || a.BusTime != b.BusTime {
+			t.Fatalf("nondeterministic solve: %d/%d vs %d/%d", a.Makespan, a.BusTime, b.Makespan, b.BusTime)
+		}
+		for r := range a.Rounds {
+			if a.Rounds[r].BeaconNTX != b.Rounds[r].BeaconNTX || a.Rounds[r].Start != b.Rounds[r].Start {
+				t.Fatalf("nondeterministic round %d", r)
+			}
+			for sl := range a.Rounds[r].Slots {
+				if a.Rounds[r].Slots[sl] != b.Rounds[r].Slots[sl] {
+					t.Fatalf("nondeterministic slot %d/%d", r, sl)
+				}
+			}
+		}
+	}
+}

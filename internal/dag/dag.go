@@ -1,0 +1,549 @@
+// Package dag models the networked applications NETDAG schedules: labeled
+// task-dependency graphs G_A = (T, E) in which vertices are tasks with
+// known WCETs placed on physical compute nodes, and edges are messages
+// with known widths exchanged over the Low-Power Wireless Bus.
+//
+// Following the paper (§III-A), edges sharing a source task carry the
+// same information — a Glossy flood delivers every message to every node
+// — so the schedulable unit is the restricted set E* of messages with
+// unique source tasks. The package also provides the line graph L(G_A)
+// over E*, whose topological partial orders are exactly the admissible
+// assignments of messages to LWB communication rounds.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within a Graph. IDs are dense indices assigned
+// in insertion order.
+type TaskID int
+
+// MsgID identifies a unique-source message (an element of E*) within a
+// Graph. IDs are dense indices assigned in order of first use of the
+// source task.
+type MsgID int
+
+// Task is a vertex of the application graph: a computation with a known
+// worst-case execution time pinned to a physical node (the placement map
+// ρ of the paper is the Node field).
+type Task struct {
+	ID   TaskID
+	Name string
+	Node string // physical node executing the task (ρ(τ))
+	WCET int64  // worst-case execution time in microseconds (τ.d)
+}
+
+// Message is an element of E*: the single logical message emitted by a
+// source task, flooded to all nodes and consumed by Dests.
+type Message struct {
+	ID     MsgID
+	Source TaskID
+	Width  int      // payload width in bytes (e.w)
+	Dests  []TaskID // consumer tasks, sorted by ID
+}
+
+// Graph is a mutable application task-dependency graph. Build it with
+// AddTask and Connect, then call Validate before handing it to the
+// scheduler. The zero value is not usable; call New.
+type Graph struct {
+	tasks []Task
+	succ  [][]TaskID // raw dependency edges task -> task
+	pred  [][]TaskID
+
+	msgs   []Message
+	msgOf  map[TaskID]MsgID // source task -> its message, if any
+	byName map[string]TaskID
+	// orderOnly marks precedence-only edges (ConnectOrder): they order
+	// tasks in time but carry no data, so reliability does not propagate
+	// across them.
+	orderOnly map[[2]TaskID]bool
+	validated bool
+}
+
+// New returns an empty application graph.
+func New() *Graph {
+	return &Graph{
+		msgOf:     make(map[TaskID]MsgID),
+		byName:    make(map[string]TaskID),
+		orderOnly: make(map[[2]TaskID]bool),
+	}
+}
+
+// Errors returned by graph construction and validation.
+var (
+	ErrDuplicateTask = errors.New("dag: duplicate task name")
+	ErrUnknownTask   = errors.New("dag: unknown task")
+	ErrCycle         = errors.New("dag: dependency cycle")
+	ErrPlacement     = errors.New("dag: same-node tasks must be dependency-ordered (paper eq. 1)")
+	ErrBadLabel      = errors.New("dag: invalid task or message label")
+)
+
+// AddTask adds a task and returns its ID. Names must be unique and
+// non-empty; WCETs must be positive; the node name must be non-empty.
+func (g *Graph) AddTask(name, node string, wcet int64) (TaskID, error) {
+	if name == "" || node == "" {
+		return -1, fmt.Errorf("%w: task needs a name and a node", ErrBadLabel)
+	}
+	if wcet <= 0 {
+		return -1, fmt.Errorf("%w: task %q WCET must be positive, got %d", ErrBadLabel, name, wcet)
+	}
+	if _, dup := g.byName[name]; dup {
+		return -1, fmt.Errorf("%w: %q", ErrDuplicateTask, name)
+	}
+	id := TaskID(len(g.tasks))
+	g.tasks = append(g.tasks, Task{ID: id, Name: name, Node: node, WCET: wcet})
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	g.byName[name] = id
+	g.validated = false
+	return id, nil
+}
+
+// MustAddTask is AddTask that panics on error, for tests and generators.
+func (g *Graph) MustAddTask(name, node string, wcet int64) TaskID {
+	id, err := g.AddTask(name, node, wcet)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Connect records the dependency src -> dst carried by src's message. All
+// edges out of src share one Message (the paper's E* restriction); the
+// message width is the maximum width requested across Connect calls,
+// since the flood must carry the widest payload any consumer needs.
+// Width must be positive. Self-loops are rejected.
+func (g *Graph) Connect(src, dst TaskID, width int) error {
+	if !g.valid(src) || !g.valid(dst) {
+		return fmt.Errorf("%w: connect %d -> %d", ErrUnknownTask, src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("%w: self-loop on task %q", ErrCycle, g.tasks[src].Name)
+	}
+	if width <= 0 {
+		return fmt.Errorf("%w: message width must be positive, got %d", ErrBadLabel, width)
+	}
+	mid, ok := g.msgOf[src]
+	if !ok {
+		mid = MsgID(len(g.msgs))
+		g.msgs = append(g.msgs, Message{ID: mid, Source: src, Width: width})
+		g.msgOf[src] = mid
+	}
+	m := &g.msgs[mid]
+	if width > m.Width {
+		m.Width = width
+	}
+	for _, d := range m.Dests {
+		if d == dst {
+			return nil // idempotent
+		}
+	}
+	m.Dests = append(m.Dests, dst)
+	sort.Slice(m.Dests, func(i, j int) bool { return m.Dests[i] < m.Dests[j] })
+	// The pair may already be ordered by an order-only edge; upgrading
+	// it to a message edge must not duplicate the dependency, and the
+	// edge stops being order-only.
+	already := false
+	for _, s := range g.succ[src] {
+		if s == dst {
+			already = true
+			break
+		}
+	}
+	if !already {
+		g.succ[src] = append(g.succ[src], dst)
+		g.pred[dst] = append(g.pred[dst], src)
+	}
+	delete(g.orderOnly, [2]TaskID{src, dst})
+	g.validated = false
+	return nil
+}
+
+// MustConnect is Connect that panics on error.
+func (g *Graph) MustConnect(src, dst TaskID, width int) {
+	if err := g.Connect(src, dst, width); err != nil {
+		panic(err)
+	}
+}
+
+// ConnectOrder records a precedence-only edge src -> dst: dst must run
+// strictly after src, but no data (and hence no bus message or
+// reliability dependency) flows between them. Order edges participate in
+// topological order, reachability and the eq. (1) placement validation —
+// the multi-rate unroller uses them to serialize same-node task
+// instances.
+func (g *Graph) ConnectOrder(src, dst TaskID) error {
+	if !g.valid(src) || !g.valid(dst) {
+		return fmt.Errorf("%w: order connect %d -> %d", ErrUnknownTask, src, dst)
+	}
+	if src == dst {
+		return fmt.Errorf("%w: order self-loop on task %q", ErrCycle, g.tasks[src].Name)
+	}
+	for _, s := range g.succ[src] {
+		if s == dst {
+			return nil // already ordered (message or order edge)
+		}
+	}
+	g.succ[src] = append(g.succ[src], dst)
+	g.pred[dst] = append(g.pred[dst], src)
+	g.orderOnly[[2]TaskID{src, dst}] = true
+	g.validated = false
+	return nil
+}
+
+// MustConnectOrder is ConnectOrder that panics on error.
+func (g *Graph) MustConnectOrder(src, dst TaskID) {
+	if err := g.ConnectOrder(src, dst); err != nil {
+		panic(err)
+	}
+}
+
+// OrderOnly reports whether the src -> dst dependency is a pure ordering
+// edge (no data).
+func (g *Graph) OrderOnly(src, dst TaskID) bool {
+	return g.orderOnly[[2]TaskID{src, dst}]
+}
+
+func (g *Graph) valid(id TaskID) bool { return id >= 0 && int(id) < len(g.tasks) }
+
+// NumTasks returns the number of tasks.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumMessages returns |E*|, the number of unique-source messages.
+func (g *Graph) NumMessages() int { return len(g.msgs) }
+
+// Task returns the task with the given ID; it panics on an invalid ID.
+func (g *Graph) Task(id TaskID) Task {
+	if !g.valid(id) {
+		panic(fmt.Sprintf("dag: invalid task id %d", id))
+	}
+	return g.tasks[id]
+}
+
+// TaskByName returns the task with the given name.
+func (g *Graph) TaskByName(name string) (Task, bool) {
+	id, ok := g.byName[name]
+	if !ok {
+		return Task{}, false
+	}
+	return g.tasks[id], true
+}
+
+// Tasks returns all tasks in ID order. The slice is a copy.
+func (g *Graph) Tasks() []Task {
+	out := make([]Task, len(g.tasks))
+	copy(out, g.tasks)
+	return out
+}
+
+// Message returns the message with the given ID; it panics on an invalid
+// ID.
+func (g *Graph) Message(id MsgID) Message {
+	if id < 0 || int(id) >= len(g.msgs) {
+		panic(fmt.Sprintf("dag: invalid message id %d", id))
+	}
+	m := g.msgs[id]
+	m.Dests = append([]TaskID(nil), m.Dests...)
+	return m
+}
+
+// Messages returns E* in ID order. The slice and its Dests are copies.
+func (g *Graph) Messages() []Message {
+	out := make([]Message, len(g.msgs))
+	for i := range g.msgs {
+		out[i] = g.Message(MsgID(i))
+	}
+	return out
+}
+
+// MessageOf returns the message emitted by the given task, if any.
+func (g *Graph) MessageOf(src TaskID) (Message, bool) {
+	mid, ok := g.msgOf[src]
+	if !ok {
+		return Message{}, false
+	}
+	return g.Message(mid), true
+}
+
+// Succs returns the direct successor tasks of id (copy).
+func (g *Graph) Succs(id TaskID) []TaskID {
+	return append([]TaskID(nil), g.succ[id]...)
+}
+
+// Preds returns the direct predecessor tasks of id (copy).
+func (g *Graph) Preds(id TaskID) []TaskID {
+	return append([]TaskID(nil), g.pred[id]...)
+}
+
+// Validate checks the structural requirements the scheduler assumes:
+// the dependency relation is acyclic, and any two tasks placed on the
+// same physical node are ordered by the dependency relation (paper
+// eq. 1, which sidesteps intra-node preemption).
+func (g *Graph) Validate() error {
+	if _, err := g.topoOrder(); err != nil {
+		return err
+	}
+	reach := g.reachability()
+	byNode := make(map[string][]TaskID)
+	for _, t := range g.tasks {
+		byNode[t.Node] = append(byNode[t.Node], t.ID)
+	}
+	for node, ids := range byNode {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if !reach[a][b] && !reach[b][a] {
+					return fmt.Errorf("%w: %q and %q both on node %q",
+						ErrPlacement, g.tasks[a].Name, g.tasks[b].Name, node)
+				}
+			}
+		}
+	}
+	g.validated = true
+	return nil
+}
+
+// topoOrder returns a topological order of the tasks or ErrCycle.
+func (g *Graph) topoOrder() ([]TaskID, error) {
+	indeg := make([]int, len(g.tasks))
+	for _, succs := range g.succ {
+		for _, s := range succs {
+			indeg[s]++
+		}
+	}
+	var queue []TaskID
+	for i := range g.tasks {
+		if indeg[i] == 0 {
+			queue = append(queue, TaskID(i))
+		}
+	}
+	var order []TaskID
+	for len(queue) > 0 {
+		// Pop the smallest ID for deterministic output.
+		best := 0
+		for i := range queue {
+			if queue[i] < queue[best] {
+				best = i
+			}
+		}
+		v := queue[best]
+		queue = append(queue[:best], queue[best+1:]...)
+		order = append(order, v)
+		for _, s := range g.succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(g.tasks) {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// TopoOrder returns a deterministic topological order of the task IDs.
+// It returns an error if the graph is cyclic.
+func (g *Graph) TopoOrder() ([]TaskID, error) { return g.topoOrder() }
+
+// reachability computes the full transitive reachability matrix.
+func (g *Graph) reachability() [][]bool {
+	n := len(g.tasks)
+	reach := make([][]bool, n)
+	order, _ := g.topoOrder()
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	// Process in reverse topological order so successor sets are final.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, s := range g.succ[v] {
+			reach[v][s] = true
+			for j := 0; j < n; j++ {
+				if reach[s][j] {
+					reach[v][j] = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// Reaches reports whether src precedes dst in the dependency order
+// (transitively, src != dst). It requires an acyclic graph.
+func (g *Graph) Reaches(src, dst TaskID) bool {
+	if _, err := g.topoOrder(); err != nil {
+		panic("dag: Reaches on cyclic graph")
+	}
+	return g.reachability()[src][dst]
+}
+
+// ConsumesMessage reports whether dst consumes src's message over the
+// bus (a message edge src -> dst exists, as opposed to a local
+// precedence-only edge).
+func (g *Graph) ConsumesMessage(src, dst TaskID) bool {
+	mid, ok := g.msgOf[src]
+	if !ok {
+		return false
+	}
+	for _, d := range g.msgs[mid].Dests {
+		if d == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// MsgAncestors returns, for the given task, the set of messages on any
+// data-dependency path into it — the message part of the paper's pred(τ)
+// operator (the round part is added by the scheduler once messages are
+// assigned to rounds). Order-only edges are not traversed: they carry no
+// data, so upstream floods beyond them cannot affect this task's
+// success. The result is sorted by message ID.
+func (g *Graph) MsgAncestors(id TaskID) []MsgID {
+	seen := make(map[TaskID]bool)
+	var msgs []MsgID
+	var walk func(t TaskID)
+	walk = func(t TaskID) {
+		for _, p := range g.pred[t] {
+			if g.OrderOnly(p, t) {
+				continue
+			}
+			if g.ConsumesMessage(p, t) {
+				mid := g.msgOf[p]
+				found := false
+				for _, m := range msgs {
+					if m == mid {
+						found = true
+						break
+					}
+				}
+				if !found {
+					msgs = append(msgs, mid)
+				}
+			}
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(id)
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+	return msgs
+}
+
+// Sources returns tasks with no predecessors, in ID order.
+func (g *Graph) Sources() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.pred[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Sinks returns tasks with no successors, in ID order.
+func (g *Graph) Sinks() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.succ[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Nodes returns the set of physical node names used by the placement, in
+// sorted order.
+func (g *Graph) Nodes() []string {
+	set := make(map[string]bool)
+	for _, t := range g.tasks {
+		set[t.Node] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge combines several applications into one graph sharing the bus —
+// the normal LWB situation, where independent applications' messages are
+// multiplexed into the same rounds. Task names are prefixed with the
+// application's label ("<label>/<name>") to stay unique; physical node
+// names are shared verbatim, so two applications placing unordered tasks
+// on the same node will fail eq. (1) validation exactly as a real
+// deployment would need arbitration. The returned map translates
+// (label, original ID) to the merged ID.
+func Merge(apps map[string]*Graph) (*Graph, map[string]map[TaskID]TaskID, error) {
+	if len(apps) == 0 {
+		return nil, nil, errors.New("dag: merge of no applications")
+	}
+	labels := make([]string, 0, len(apps))
+	for l := range apps {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := New()
+	trans := make(map[string]map[TaskID]TaskID, len(apps))
+	for _, label := range labels {
+		g := apps[label]
+		if g == nil {
+			return nil, nil, fmt.Errorf("dag: nil application %q", label)
+		}
+		m := make(map[TaskID]TaskID, g.NumTasks())
+		for _, t := range g.Tasks() {
+			id, err := out.AddTask(label+"/"+t.Name, t.Node, t.WCET)
+			if err != nil {
+				return nil, nil, err
+			}
+			m[t.ID] = id
+		}
+		for _, t := range g.Tasks() {
+			for _, s := range g.succ[t.ID] {
+				if g.OrderOnly(t.ID, s) {
+					if err := out.ConnectOrder(m[t.ID], m[s]); err != nil {
+						return nil, nil, err
+					}
+					continue
+				}
+				msg, _ := g.MessageOf(t.ID)
+				if err := out.Connect(m[t.ID], m[s], msg.Width); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		trans[label] = m
+	}
+	return out, trans, nil
+}
+
+// CriticalPathWCET returns the largest total WCET along any dependency
+// path — a communication-free lower bound on the application makespan.
+func (g *Graph) CriticalPathWCET() int64 {
+	order, err := g.topoOrder()
+	if err != nil {
+		panic("dag: CriticalPathWCET on cyclic graph")
+	}
+	finish := make([]int64, len(g.tasks))
+	var best int64
+	for _, v := range order {
+		f := int64(0)
+		for _, p := range g.pred[v] {
+			if finish[p] > f {
+				f = finish[p]
+			}
+		}
+		finish[v] = f + g.tasks[v].WCET
+		if finish[v] > best {
+			best = finish[v]
+		}
+	}
+	return best
+}

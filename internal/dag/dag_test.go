@@ -1,0 +1,363 @@
+package dag
+
+import (
+	"errors"
+	"testing"
+)
+
+// pipeline3 builds sense -> compute -> act on three nodes with an 8-byte
+// and a 4-byte message.
+func pipeline3(t testing.TB) (*Graph, TaskID, TaskID, TaskID) {
+	t.Helper()
+	g := New()
+	sense := g.MustAddTask("sense", "n0", 100)
+	compute := g.MustAddTask("compute", "n1", 500)
+	act := g.MustAddTask("act", "n2", 50)
+	g.MustConnect(sense, compute, 8)
+	g.MustConnect(compute, act, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g, sense, compute, act
+}
+
+func TestAddTaskValidation(t *testing.T) {
+	g := New()
+	if _, err := g.AddTask("", "n0", 10); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("empty name accepted: %v", err)
+	}
+	if _, err := g.AddTask("a", "", 10); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("empty node accepted: %v", err)
+	}
+	if _, err := g.AddTask("a", "n0", 0); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("zero WCET accepted: %v", err)
+	}
+	if _, err := g.AddTask("a", "n0", 10); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	if _, err := g.AddTask("a", "n1", 10); !errors.Is(err, ErrDuplicateTask) {
+		t.Errorf("duplicate name accepted: %v", err)
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	g := New()
+	a := g.MustAddTask("a", "n0", 10)
+	b := g.MustAddTask("b", "n1", 10)
+	if err := g.Connect(a, a, 4); !errors.Is(err, ErrCycle) {
+		t.Errorf("self-loop accepted: %v", err)
+	}
+	if err := g.Connect(a, TaskID(99), 4); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("unknown destination accepted: %v", err)
+	}
+	if err := g.Connect(a, b, 0); !errors.Is(err, ErrBadLabel) {
+		t.Errorf("zero width accepted: %v", err)
+	}
+	if err := g.Connect(a, b, 4); err != nil {
+		t.Fatalf("valid edge rejected: %v", err)
+	}
+	// Idempotent reconnect.
+	if err := g.Connect(a, b, 4); err != nil {
+		t.Fatalf("reconnect rejected: %v", err)
+	}
+	m, _ := g.MessageOf(a)
+	if len(m.Dests) != 1 {
+		t.Errorf("reconnect duplicated destination: %v", m.Dests)
+	}
+}
+
+func TestUniqueSourceMessages(t *testing.T) {
+	// Two edges out of the same source share one message whose width is
+	// the max requested (the flood carries the widest payload).
+	g := New()
+	src := g.MustAddTask("src", "n0", 10)
+	d1 := g.MustAddTask("d1", "n1", 10)
+	d2 := g.MustAddTask("d2", "n2", 10)
+	g.MustConnect(src, d1, 4)
+	g.MustConnect(src, d2, 12)
+	if g.NumMessages() != 1 {
+		t.Fatalf("NumMessages = %d, want 1 (E* restriction)", g.NumMessages())
+	}
+	m, ok := g.MessageOf(src)
+	if !ok {
+		t.Fatal("MessageOf(src) missing")
+	}
+	if m.Width != 12 {
+		t.Errorf("message width = %d, want max(4,12) = 12", m.Width)
+	}
+	if len(m.Dests) != 2 {
+		t.Errorf("message dests = %v, want two", m.Dests)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g := New()
+	a := g.MustAddTask("a", "n0", 10)
+	b := g.MustAddTask("b", "n1", 10)
+	c := g.MustAddTask("c", "n2", 10)
+	g.MustConnect(a, b, 4)
+	g.MustConnect(b, c, 4)
+	g.MustConnect(c, a, 4)
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("Validate on cyclic graph = %v, want ErrCycle", err)
+	}
+}
+
+func TestValidateEnforcesPlacementOrder(t *testing.T) {
+	// Two unrelated tasks on the same node violate paper eq. (1).
+	g := New()
+	g.MustAddTask("a", "shared", 10)
+	g.MustAddTask("b", "shared", 10)
+	if err := g.Validate(); !errors.Is(err, ErrPlacement) {
+		t.Errorf("Validate = %v, want ErrPlacement", err)
+	}
+	// Ordered same-node tasks are fine.
+	g2 := New()
+	a := g2.MustAddTask("a", "shared", 10)
+	b := g2.MustAddTask("b", "shared", 10)
+	g2.MustConnect(a, b, 4)
+	if err := g2.Validate(); err != nil {
+		t.Errorf("Validate on ordered same-node tasks: %v", err)
+	}
+	// Transitive ordering through a third node also satisfies eq. (1).
+	g3 := New()
+	a3 := g3.MustAddTask("a", "shared", 10)
+	mid := g3.MustAddTask("mid", "other", 10)
+	b3 := g3.MustAddTask("b", "shared", 10)
+	g3.MustConnect(a3, mid, 4)
+	g3.MustConnect(mid, b3, 4)
+	if err := g3.Validate(); err != nil {
+		t.Errorf("Validate on transitively ordered tasks: %v", err)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g, _, _, _ := pipeline3(t)
+	o1, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := g.TopoOrder()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("TopoOrder not deterministic: %v vs %v", o1, o2)
+		}
+	}
+	pos := make(map[TaskID]int)
+	for i, id := range o1 {
+		pos[id] = i
+	}
+	for _, tk := range g.Tasks() {
+		for _, s := range g.Succs(tk.ID) {
+			if pos[tk.ID] >= pos[s] {
+				t.Errorf("topo order violates edge %d -> %d", tk.ID, s)
+			}
+		}
+	}
+}
+
+func TestReaches(t *testing.T) {
+	g, sense, compute, act := pipeline3(t)
+	if !g.Reaches(sense, act) {
+		t.Error("sense should reach act")
+	}
+	if g.Reaches(act, sense) {
+		t.Error("act must not reach sense")
+	}
+	if g.Reaches(compute, compute) {
+		t.Error("Reaches must be irreflexive")
+	}
+}
+
+func TestMsgAncestors(t *testing.T) {
+	g, sense, compute, act := pipeline3(t)
+	mSense, _ := g.MessageOf(sense)
+	mCompute, _ := g.MessageOf(compute)
+	anc := g.MsgAncestors(act)
+	if len(anc) != 2 || anc[0] != mSense.ID || anc[1] != mCompute.ID {
+		t.Errorf("MsgAncestors(act) = %v, want [%d %d]", anc, mSense.ID, mCompute.ID)
+	}
+	if got := g.MsgAncestors(sense); len(got) != 0 {
+		t.Errorf("MsgAncestors(sense) = %v, want empty", got)
+	}
+	if got := g.MsgAncestors(compute); len(got) != 1 || got[0] != mSense.ID {
+		t.Errorf("MsgAncestors(compute) = %v, want [%d]", got, mSense.ID)
+	}
+}
+
+func TestSourcesSinksNodes(t *testing.T) {
+	g, sense, _, act := pipeline3(t)
+	if s := g.Sources(); len(s) != 1 || s[0] != sense {
+		t.Errorf("Sources = %v", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != act {
+		t.Errorf("Sinks = %v", s)
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 3 || nodes[0] != "n0" || nodes[2] != "n2" {
+		t.Errorf("Nodes = %v", nodes)
+	}
+}
+
+func TestCriticalPathWCET(t *testing.T) {
+	g, _, _, _ := pipeline3(t)
+	if got := g.CriticalPathWCET(); got != 650 {
+		t.Errorf("CriticalPathWCET = %d, want 650", got)
+	}
+	// Parallel branches: the longer branch dominates.
+	g2 := New()
+	a := g2.MustAddTask("a", "n0", 100)
+	b := g2.MustAddTask("b", "n1", 900)
+	c := g2.MustAddTask("c", "n2", 100)
+	d := g2.MustAddTask("d", "n3", 100)
+	g2.MustConnect(a, b, 4)
+	g2.MustConnect(a, c, 4)
+	g2.MustConnect(b, d, 4)
+	g2.MustConnect(c, d, 4)
+	if got := g2.CriticalPathWCET(); got != 1100 {
+		t.Errorf("diamond CriticalPathWCET = %d, want 1100", got)
+	}
+}
+
+func TestConnectOrderSemantics(t *testing.T) {
+	g := New()
+	a := g.MustAddTask("a", "shared", 10)
+	b := g.MustAddTask("b", "shared", 10)
+	if err := g.ConnectOrder(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Order edges satisfy eq. (1): same-node tasks are now ordered.
+	if err := g.Validate(); err != nil {
+		t.Fatalf("order edge did not satisfy placement rule: %v", err)
+	}
+	if !g.OrderOnly(a, b) {
+		t.Error("edge not marked order-only")
+	}
+	if !g.Reaches(a, b) {
+		t.Error("order edge missing from reachability")
+	}
+	// No message created.
+	if g.NumMessages() != 0 {
+		t.Errorf("order edge created %d messages", g.NumMessages())
+	}
+	if g.ConsumesMessage(a, b) {
+		t.Error("order edge reported as message consumption")
+	}
+	// Self-loop and unknown task rejected.
+	if err := g.ConnectOrder(a, a); err == nil {
+		t.Error("order self-loop accepted")
+	}
+	if err := g.ConnectOrder(a, TaskID(9)); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestConnectUpgradesOrderEdge(t *testing.T) {
+	g := New()
+	a := g.MustAddTask("a", "n0", 10)
+	b := g.MustAddTask("b", "n1", 10)
+	g.MustConnectOrder(a, b)
+	if err := g.Connect(a, b, 4); err != nil {
+		t.Fatal(err)
+	}
+	if g.OrderOnly(a, b) {
+		t.Error("upgraded edge still order-only")
+	}
+	if !g.ConsumesMessage(a, b) {
+		t.Error("upgraded edge has no message")
+	}
+	// No duplicate dependency entries.
+	if got := len(g.Succs(a)); got != 1 {
+		t.Errorf("succ count = %d, want 1", got)
+	}
+	if got := len(g.Preds(b)); got != 1 {
+		t.Errorf("pred count = %d, want 1", got)
+	}
+}
+
+func TestMsgAncestorsStopAtOrderEdges(t *testing.T) {
+	// q --msg--> p --order--> t: t must not inherit q's message.
+	g := New()
+	q := g.MustAddTask("q", "n0", 10)
+	p := g.MustAddTask("p", "n1", 10)
+	tt := g.MustAddTask("t", "n2", 10)
+	g.MustConnect(q, p, 4)
+	g.MustConnectOrder(p, tt)
+	if anc := g.MsgAncestors(tt); len(anc) != 0 {
+		t.Errorf("order edge leaked message ancestors: %v", anc)
+	}
+	// p itself still depends on q's message.
+	if anc := g.MsgAncestors(p); len(anc) != 1 {
+		t.Errorf("p ancestors = %v, want one", anc)
+	}
+}
+
+func TestMergeApplications(t *testing.T) {
+	g1, _, _, _ := pipeline3(t)
+	g2 := New()
+	a := g2.MustAddTask("mon", "m0", 100)
+	b := g2.MustAddTask("log", "m1", 100)
+	g2.MustConnect(a, b, 2)
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	merged, trans, err := Merge(map[string]*Graph{"ctl": g1, "mon": g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumTasks() != 5 {
+		t.Errorf("merged tasks = %d, want 5", merged.NumTasks())
+	}
+	if merged.NumMessages() != 3 {
+		t.Errorf("merged messages = %d, want 3", merged.NumMessages())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatalf("merged graph invalid: %v", err)
+	}
+	// Name prefixing and translation map agree.
+	sense, ok := merged.TaskByName("ctl/sense")
+	if !ok {
+		t.Fatal("prefixed task missing")
+	}
+	orig, _ := g1.TaskByName("sense")
+	if trans["ctl"][orig.ID] != sense.ID {
+		t.Error("translation map inconsistent")
+	}
+	// Applications stay independent: no cross-app reachability.
+	mon, _ := merged.TaskByName("mon/mon")
+	if merged.Reaches(sense.ID, mon.ID) || merged.Reaches(mon.ID, sense.ID) {
+		t.Error("merge created cross-application dependencies")
+	}
+	if _, _, err := Merge(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestMergeConflictingPlacementDetected(t *testing.T) {
+	// Two apps placing unordered tasks on the same node: the merged
+	// graph must fail eq. (1).
+	g1 := New()
+	g1.MustAddTask("a", "shared", 10)
+	g2 := New()
+	g2.MustAddTask("b", "shared", 10)
+	merged, _, err := Merge(map[string]*Graph{"x": g1, "y": g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); !errors.Is(err, ErrPlacement) {
+		t.Errorf("Validate = %v, want ErrPlacement", err)
+	}
+}
+
+func TestAccessorCopiesAreIsolated(t *testing.T) {
+	g, sense, _, _ := pipeline3(t)
+	msgs := g.Messages()
+	if len(msgs) == 0 || len(msgs[0].Dests) == 0 {
+		t.Fatal("unexpected empty messages")
+	}
+	msgs[0].Dests[0] = TaskID(42)
+	fresh, _ := g.MessageOf(sense)
+	if fresh.Dests[0] == TaskID(42) {
+		t.Error("Messages() leaked internal state")
+	}
+}

@@ -1,0 +1,55 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the application graph in Graphviz DOT form: tasks are
+// boxes grouped by physical node, message edges are solid and labeled
+// with their width, order-only edges are dashed. Handy for inspecting
+// generated or unrolled applications.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph application {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+	// Group tasks by node into clusters for readability.
+	byNode := make(map[string][]Task)
+	for _, t := range g.tasks {
+		byNode[t.Node] = append(byNode[t.Node], t)
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, n)
+		for _, t := range byNode[n] {
+			fmt.Fprintf(&b, "    t%d [label=\"%s\\n%d µs\"];\n", t.ID, escape(t.Name), t.WCET)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, t := range g.tasks {
+		for _, s := range g.succ[t.ID] {
+			if g.OrderOnly(t.ID, s) {
+				fmt.Fprintf(&b, "  t%d -> t%d [style=dashed, color=gray];\n", t.ID, s)
+				continue
+			}
+			width := 0
+			if m, ok := g.MessageOf(t.ID); ok {
+				width = m.Width
+			}
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"%dB\"];\n", t.ID, s, width)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

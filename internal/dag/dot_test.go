@@ -1,0 +1,42 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, _, _, _ := pipeline3(t)
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph application",
+		"sense",
+		"compute",
+		"act",
+		"8B", // message width label
+		"4B",
+		"cluster_0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTOrderEdgesDashed(t *testing.T) {
+	g := New()
+	a := g.MustAddTask("a", "n0", 10)
+	b := g.MustAddTask("b", "n0", 10)
+	g.MustConnectOrder(a, b)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "style=dashed") {
+		t.Error("order edge not rendered dashed")
+	}
+}

@@ -1,0 +1,194 @@
+package dag
+
+import "fmt"
+
+// LineGraph is L(G_A) restricted to E*: its vertices are the
+// unique-source messages and there is an edge m1 -> m2 whenever some
+// consumer of m1 is the source of m2 — message m2's payload can depend on
+// m1's, so m1 must travel in an earlier communication round. A
+// topological partial order of this graph (paper eq. 2) is exactly an
+// admissible assignment l of messages to rounds.
+type LineGraph struct {
+	n     int
+	succ  [][]MsgID
+	pred  [][]MsgID
+	depth []int // longest chain of predecessors, 0-based
+}
+
+// NewLineGraph builds the line graph of g over E*. The application graph
+// must be acyclic (call g.Validate first); the line graph of a DAG is a
+// DAG.
+func NewLineGraph(g *Graph) (*LineGraph, error) {
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, fmt.Errorf("dag: line graph of cyclic application: %w", err)
+	}
+	n := g.NumMessages()
+	lg := &LineGraph{
+		n:     n,
+		succ:  make([][]MsgID, n),
+		pred:  make([][]MsgID, n),
+		depth: make([]int, n),
+	}
+	for _, m := range g.Messages() {
+		for _, dst := range m.Dests {
+			if next, ok := g.MessageOf(dst); ok {
+				lg.succ[m.ID] = append(lg.succ[m.ID], next.ID)
+				lg.pred[next.ID] = append(lg.pred[next.ID], m.ID)
+			}
+		}
+	}
+	// Depths via topological order of the application guarantee acyclic
+	// processing: messages inherit order from their source tasks.
+	order, _ := g.TopoOrder()
+	for _, tid := range order {
+		m, ok := g.MessageOf(tid)
+		if !ok {
+			continue
+		}
+		d := 0
+		for _, p := range lg.pred[m.ID] {
+			if lg.depth[p]+1 > d {
+				d = lg.depth[p] + 1
+			}
+		}
+		lg.depth[m.ID] = d
+	}
+	return lg, nil
+}
+
+// NumMessages returns the number of vertices (|E*|).
+func (lg *LineGraph) NumMessages() int { return lg.n }
+
+// Succs returns the direct successors of m (copy).
+func (lg *LineGraph) Succs(m MsgID) []MsgID { return append([]MsgID(nil), lg.succ[m]...) }
+
+// Preds returns the direct predecessors of m (copy).
+func (lg *LineGraph) Preds(m MsgID) []MsgID { return append([]MsgID(nil), lg.pred[m]...) }
+
+// Depth returns the longest predecessor chain length of m; messages with
+// no predecessors have depth 0. Depth is a lower bound on the round index
+// a message can be assigned to.
+func (lg *LineGraph) Depth(m MsgID) int { return lg.depth[m] }
+
+// MinRounds returns the minimum number of communication rounds any
+// admissible assignment needs: one more than the maximum depth (or zero
+// for message-free applications).
+func (lg *LineGraph) MinRounds() int {
+	if lg.n == 0 {
+		return 0
+	}
+	max := 0
+	for _, d := range lg.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// ValidAssignment reports whether l (indexed by MsgID) is a topological
+// partial order of the line graph: every edge m1 -> m2 has
+// l[m1] < l[m2], and every entry is non-negative.
+func (lg *LineGraph) ValidAssignment(l []int) bool {
+	if len(l) != lg.n {
+		return false
+	}
+	for _, r := range l {
+		if r < 0 {
+			return false
+		}
+	}
+	for m := 0; m < lg.n; m++ {
+		for _, s := range lg.succ[m] {
+			if l[m] >= l[s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EnumerateAssignments calls fn with every admissible assignment of
+// messages to rounds 0..maxRounds-1 that uses a prefix of the round
+// indices with no empty round in between (canonical form: the set of used
+// round indices is {0, 1, ..., r-1} for some r). Assignments are passed
+// in a reused buffer; fn must copy if it retains the slice. Enumeration
+// stops early when fn returns false. The total number of assignments
+// grows quickly with |E*| and maxRounds; callers bound maxRounds.
+func (lg *LineGraph) EnumerateAssignments(maxRounds int, fn func(l []int) bool) {
+	if lg.n == 0 {
+		fn(nil)
+		return
+	}
+	if maxRounds < lg.MinRounds() {
+		return
+	}
+	// Assign messages in an order compatible with line-graph precedence
+	// (by depth, then ID) so each message's predecessors are already
+	// placed when it is considered.
+	order := make([]MsgID, lg.n)
+	for i := range order {
+		order[i] = MsgID(i)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && lg.less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	l := make([]int, lg.n)
+	counts := make([]int, maxRounds) // messages per round, for surjectivity
+	stopped := false
+	for rounds := lg.MinRounds(); rounds <= maxRounds && !stopped; rounds++ {
+		var rec func(idx, empty int)
+		rec = func(idx, empty int) {
+			if stopped {
+				return
+			}
+			if empty > len(order)-idx {
+				return // not enough messages left to fill every round
+			}
+			if idx == len(order) {
+				if !fn(l) {
+					stopped = true
+				}
+				return
+			}
+			m := order[idx]
+			lo := 0
+			for _, p := range lg.pred[m] {
+				if l[p]+1 > lo {
+					lo = l[p] + 1
+				}
+			}
+			for r := lo; r < rounds; r++ {
+				l[m] = r
+				counts[r]++
+				e := empty
+				if counts[r] == 1 {
+					e--
+				}
+				rec(idx+1, e)
+				counts[r]--
+				if stopped {
+					return
+				}
+			}
+		}
+		rec(0, rounds)
+	}
+}
+
+func (lg *LineGraph) less(a, b MsgID) bool {
+	if lg.depth[a] != lg.depth[b] {
+		return lg.depth[a] < lg.depth[b]
+	}
+	return a < b
+}
+
+// EarliestAssignment returns the canonical ASAP assignment l[m] =
+// Depth(m), which uses MinRounds rounds and is always admissible.
+func (lg *LineGraph) EarliestAssignment() []int {
+	l := make([]int, lg.n)
+	copy(l, lg.depth)
+	return l
+}

@@ -1,0 +1,226 @@
+package dag
+
+import "testing"
+
+// fanDAG builds: s1, s2 -> c -> a1, a2 (four messages: s1, s2, c; wait —
+// only tasks that emit edges have messages: s1, s2, c).
+func fanDAG(t testing.TB) (*Graph, *LineGraph) {
+	t.Helper()
+	g := New()
+	s1 := g.MustAddTask("s1", "n0", 10)
+	s2 := g.MustAddTask("s2", "n1", 10)
+	c := g.MustAddTask("c", "n2", 20)
+	a1 := g.MustAddTask("a1", "n3", 5)
+	a2 := g.MustAddTask("a2", "n4", 5)
+	g.MustConnect(s1, c, 4)
+	g.MustConnect(s2, c, 4)
+	g.MustConnect(c, a1, 2)
+	g.MustConnect(c, a2, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := NewLineGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, lg
+}
+
+func TestLineGraphStructure(t *testing.T) {
+	g, lg := fanDAG(t)
+	if lg.NumMessages() != 3 {
+		t.Fatalf("NumMessages = %d, want 3", lg.NumMessages())
+	}
+	s1, _ := g.TaskByName("s1")
+	s2, _ := g.TaskByName("s2")
+	c, _ := g.TaskByName("c")
+	m1, _ := g.MessageOf(s1.ID)
+	m2, _ := g.MessageOf(s2.ID)
+	mc, _ := g.MessageOf(c.ID)
+	if lg.Depth(m1.ID) != 0 || lg.Depth(m2.ID) != 0 {
+		t.Errorf("sensor messages should have depth 0")
+	}
+	if lg.Depth(mc.ID) != 1 {
+		t.Errorf("control message depth = %d, want 1", lg.Depth(mc.ID))
+	}
+	if got := lg.Succs(m1.ID); len(got) != 1 || got[0] != mc.ID {
+		t.Errorf("Succs(m1) = %v, want [%d]", got, mc.ID)
+	}
+	if got := lg.Preds(mc.ID); len(got) != 2 {
+		t.Errorf("Preds(mc) = %v, want two", got)
+	}
+	if lg.MinRounds() != 2 {
+		t.Errorf("MinRounds = %d, want 2", lg.MinRounds())
+	}
+}
+
+func TestValidAssignment(t *testing.T) {
+	_, lg := fanDAG(t)
+	// Messages 0,1 are sensor messages; 2 is the control message.
+	if !lg.ValidAssignment([]int{0, 0, 1}) {
+		t.Error("ASAP assignment rejected")
+	}
+	if !lg.ValidAssignment([]int{0, 1, 2}) {
+		t.Error("spread assignment rejected")
+	}
+	if lg.ValidAssignment([]int{0, 0, 0}) {
+		t.Error("assignment violating precedence accepted")
+	}
+	if lg.ValidAssignment([]int{1, 0, 1}) {
+		t.Error("assignment with equal round across an edge accepted")
+	}
+	if lg.ValidAssignment([]int{0, 0}) {
+		t.Error("short assignment accepted")
+	}
+	if lg.ValidAssignment([]int{0, -1, 1}) {
+		t.Error("negative round accepted")
+	}
+}
+
+func TestEarliestAssignment(t *testing.T) {
+	_, lg := fanDAG(t)
+	l := lg.EarliestAssignment()
+	if !lg.ValidAssignment(l) {
+		t.Fatalf("EarliestAssignment %v invalid", l)
+	}
+	for m := 0; m < lg.NumMessages(); m++ {
+		if l[m] != lg.Depth(MsgID(m)) {
+			t.Errorf("EarliestAssignment[%d] = %d, want depth %d", m, l[m], lg.Depth(MsgID(m)))
+		}
+	}
+}
+
+func TestEnumerateAssignmentsCompleteAndValid(t *testing.T) {
+	_, lg := fanDAG(t)
+	const maxRounds = 3
+	seen := make(map[string]bool)
+	lg.EnumerateAssignments(maxRounds, func(l []int) bool {
+		if !lg.ValidAssignment(l) {
+			t.Fatalf("enumerated invalid assignment %v", l)
+		}
+		key := ""
+		for _, r := range l {
+			key += string(rune('0' + r))
+		}
+		if seen[key] {
+			t.Fatalf("assignment %v enumerated twice", l)
+		}
+		seen[key] = true
+		return true
+	})
+	// Brute-force count: all l in {0..2}^3 that are valid and use a
+	// gapless prefix of rounds.
+	want := 0
+	for a := 0; a < maxRounds; a++ {
+		for b := 0; b < maxRounds; b++ {
+			for c := 0; c < maxRounds; c++ {
+				l := []int{a, b, c}
+				if !lg.ValidAssignment(l) {
+					continue
+				}
+				used := map[int]bool{a: true, b: true, c: true}
+				max := a
+				if b > max {
+					max = b
+				}
+				if c > max {
+					max = c
+				}
+				gapless := true
+				for r := 0; r <= max; r++ {
+					if !used[r] {
+						gapless = false
+					}
+				}
+				if gapless {
+					want++
+				}
+			}
+		}
+	}
+	if len(seen) != want {
+		t.Errorf("enumerated %d assignments, brute force %d", len(seen), want)
+	}
+}
+
+func TestEnumerateAssignmentsEarlyStop(t *testing.T) {
+	_, lg := fanDAG(t)
+	calls := 0
+	lg.EnumerateAssignments(3, func(l []int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("enumeration continued after fn returned false: %d calls", calls)
+	}
+}
+
+func TestEnumerateAssignmentsRespectsMaxRounds(t *testing.T) {
+	_, lg := fanDAG(t)
+	lg.EnumerateAssignments(lg.MinRounds()-1, func(l []int) bool {
+		t.Fatalf("enumeration produced %v below MinRounds", l)
+		return false
+	})
+}
+
+func TestLineGraphEmptyApplication(t *testing.T) {
+	g := New()
+	g.MustAddTask("only", "n0", 10)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := NewLineGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.MinRounds() != 0 {
+		t.Errorf("MinRounds of message-free app = %d, want 0", lg.MinRounds())
+	}
+	called := false
+	lg.EnumerateAssignments(3, func(l []int) bool {
+		called = true
+		if len(l) != 0 {
+			t.Errorf("expected empty assignment, got %v", l)
+		}
+		return true
+	})
+	if !called {
+		t.Error("enumeration skipped the empty assignment")
+	}
+}
+
+func TestLineGraphChain(t *testing.T) {
+	// A chain a->b->c->d has three messages in a path; every admissible
+	// assignment is strictly increasing.
+	g := New()
+	a := g.MustAddTask("a", "n0", 10)
+	b := g.MustAddTask("b", "n1", 10)
+	c := g.MustAddTask("c", "n2", 10)
+	d := g.MustAddTask("d", "n3", 10)
+	g.MustConnect(a, b, 4)
+	g.MustConnect(b, c, 4)
+	g.MustConnect(c, d, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := NewLineGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.MinRounds() != 3 {
+		t.Fatalf("MinRounds = %d, want 3", lg.MinRounds())
+	}
+	count := 0
+	lg.EnumerateAssignments(3, func(l []int) bool {
+		count++
+		for i := 0; i+1 < len(l); i++ {
+			if l[i] >= l[i+1] {
+				t.Errorf("chain assignment %v not strictly increasing", l)
+			}
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("chain with 3 rounds admits %d assignments, want exactly 1", count)
+	}
+}

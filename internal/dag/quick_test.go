@@ -1,0 +1,142 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG builds a random layered graph from a seed (forward edges
+// only, hence always acyclic).
+func randomDAG(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	n := 3 + rng.Intn(8)
+	ids := make([]TaskID, n)
+	for i := range ids {
+		ids[i] = g.MustAddTask(taskName(i), nodeName(i), int64(rng.Intn(900)+100))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				g.MustConnect(ids[i], ids[j], rng.Intn(16)+1)
+			}
+		}
+	}
+	return g
+}
+
+func taskName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+func nodeName(i int) string { return "node" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+// Property: topological order respects every edge, on random DAGs.
+func TestQuickTopoOrderValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return false
+		}
+		pos := make(map[TaskID]int)
+		for i, id := range order {
+			pos[id] = i
+		}
+		for _, tk := range g.Tasks() {
+			for _, s := range g.Succs(tk.ID) {
+				if pos[tk.ID] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Reaches is consistent with direct edges and transitive.
+func TestQuickReachesTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed)
+		reach := func(a, b TaskID) bool { return g.Reaches(a, b) }
+		for _, tk := range g.Tasks() {
+			for _, s := range g.Succs(tk.ID) {
+				if !reach(tk.ID, s) {
+					return false
+				}
+				for _, s2 := range g.Succs(s) {
+					if !reach(tk.ID, s2) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every message ancestor of a task is the message of a task
+// that reaches it; and the direct producers' messages are included.
+func TestQuickMsgAncestorsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed)
+		for _, tk := range g.Tasks() {
+			anc := g.MsgAncestors(tk.ID)
+			ancSet := make(map[MsgID]bool, len(anc))
+			for _, m := range anc {
+				if !g.Reaches(g.Message(m).Source, tk.ID) {
+					return false
+				}
+				ancSet[m] = true
+			}
+			for _, p := range g.Preds(tk.ID) {
+				if g.ConsumesMessage(p, tk.ID) {
+					m, _ := g.MessageOf(p)
+					if !ancSet[m.ID] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every enumerated round assignment is valid and the earliest
+// assignment is minimal round-count.
+func TestQuickLineGraphAssignments(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomDAG(seed)
+		lg, err := NewLineGraph(g)
+		if err != nil {
+			return false
+		}
+		if lg.NumMessages() > 6 {
+			return true // keep enumeration cheap
+		}
+		ok := true
+		count := 0
+		lg.EnumerateAssignments(lg.MinRounds()+1, func(l []int) bool {
+			count++
+			if !lg.ValidAssignment(l) {
+				ok = false
+				return false
+			}
+			return count < 2000
+		})
+		if lg.NumMessages() > 0 && count == 0 {
+			return false // earliest assignment must always exist
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

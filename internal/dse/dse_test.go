@@ -1,0 +1,136 @@
+package dse
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+)
+
+func exploreMIMO(t testing.TB) []Point {
+	t.Helper()
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := make(map[dag.TaskID]float64)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = 0.9
+	}
+	cfg := DefaultConfig(g, cons)
+	cfg.MobileNodes = 13 // one per task, as deployed
+	points, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points
+}
+
+func TestExploreShapes(t *testing.T) {
+	points := exploreMIMO(t)
+	if len(points) != 10 {
+		t.Fatalf("explored %d settings, want 10", len(points))
+	}
+	// fSS̄ non-decreasing in Q (fig. 4 left panel).
+	for i := 1; i < len(points); i++ {
+		if points[i].WorstFSS < points[i-1].WorstFSS-1e-12 {
+			t.Errorf("fSS decreased from Q=%v to Q=%v", points[i-1].Q, points[i].Q)
+		}
+	}
+	// Diameter non-increasing over usable settings (fig. 4 middle).
+	for i := 1; i < len(points); i++ {
+		if points[i-1].Usable && points[i].Usable &&
+			points[i].Diameter > points[i-1].Diameter {
+			t.Errorf("diameter rose with power at Q=%v", points[i].Q)
+		}
+	}
+	// Latency non-increasing over feasible settings (fig. 4 right).
+	var lastLat int64 = -1
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		if lastLat >= 0 && p.Latency > lastLat {
+			t.Errorf("latency rose with power at Q=%v: %d after %d", p.Q, p.Latency, lastLat)
+		}
+		lastLat = p.Latency
+	}
+	// At least one setting must be feasible — otherwise the workflow
+	// demonstrates nothing.
+	feasible := 0
+	for _, p := range points {
+		if p.Feasible {
+			feasible++
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible power setting in the sweep")
+	}
+}
+
+func TestExploreReportsEnergy(t *testing.T) {
+	points := exploreMIMO(t)
+	var lastCharge float64 = -1
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		if p.RadioChargeUC <= 0 {
+			t.Errorf("Q=%v: missing radio charge", p.Q)
+		}
+		if p.DutyCycle <= 0 || p.DutyCycle > 1 {
+			t.Errorf("Q=%v: duty cycle %v outside (0,1]", p.Q, p.DutyCycle)
+		}
+		// Radio charge tracks bus time, which shrinks with power (at
+		// fixed TX current — see the Point doc comment).
+		if lastCharge >= 0 && p.RadioChargeUC > lastCharge+1e-9 {
+			t.Errorf("radio charge rose with power at Q=%v", p.Q)
+		}
+		lastCharge = p.RadioChargeUC
+	}
+}
+
+func TestMinPowerForLatency(t *testing.T) {
+	points := exploreMIMO(t)
+	// A generous deadline: the minimum feasible Q should be selected.
+	best, ok := MinPowerForLatency(points, 1<<40)
+	if !ok {
+		t.Fatal("no setting meets an effectively unbounded deadline")
+	}
+	for _, p := range points {
+		if p.Feasible && p.Q < best.Q {
+			t.Errorf("MinPowerForLatency skipped cheaper feasible Q=%v", p.Q)
+		}
+	}
+	// An impossible deadline.
+	if _, ok := MinPowerForLatency(points, 1); ok {
+		t.Error("1 µs deadline reported satisfiable")
+	}
+}
+
+func TestExploreValidation(t *testing.T) {
+	if _, err := Explore(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	g, _ := apps.Pipeline(2, 100, 4)
+	cfg := DefaultConfig(g, nil)
+	cfg.Qs = []float64{2}
+	if _, err := Explore(cfg); err == nil {
+		t.Error("out-of-range power setting accepted")
+	}
+	cfg2 := DefaultConfig(g, nil)
+	cfg2.Qs = nil
+	if _, err := Explore(cfg2); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestExploreDeterministicUnderSeed(t *testing.T) {
+	a := exploreMIMO(t)
+	b := exploreMIMO(t)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("exploration not deterministic at point %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

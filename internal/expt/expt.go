@@ -1,0 +1,151 @@
+// Package expt provides the small reporting toolkit shared by the
+// experiment binaries and benchmarks: aligned plain-text tables and
+// (x, y) series in the shape the paper's tables and figures report.
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is an aligned plain-text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Add appends a row; missing cells render empty, extra cells are kept
+// (the widest row wins).
+func (t *Table) Add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(format string, args ...interface{}) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	cell := func(row []string, i int) string {
+		if i < len(row) {
+			return row[i]
+		}
+		return ""
+	}
+	for i := 0; i < cols; i++ {
+		if w := len(cell(t.headers, i)); w > width[i] {
+			width[i] = w
+		}
+		for _, r := range t.rows {
+			if w := len(cell(r, i)); w > width[i] {
+				width[i] = w
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell(row, i))
+		}
+		b.WriteString("\n")
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		total := 0
+		for _, w := range width {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total-2) + "\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as RFC-4180 CSV (header row first) for
+// external plotting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.headers) > 0 {
+		if err := cw.Write(t.headers); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is a labeled (x, y) sequence — one line of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// MonotoneNonDecreasing reports whether Y never decreases along X order —
+// the shape assertion several figures need.
+func (s *Series) MonotoneNonDecreasing() bool {
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// MonotoneNonIncreasing reports whether Y never increases.
+func (s *Series) MonotoneNonIncreasing() bool {
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] > s.Y[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the series as "label: (x, y) ..." rows.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Label)
+	for i := range s.X {
+		fmt.Fprintf(&b, " (%g, %g)", s.X[i], s.Y[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,330 @@
+package figures
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func TestFig2Shapes(t *testing.T) {
+	points, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := Fig2Levels()
+	if len(points) != len(levels)*5 {
+		t.Fatalf("fig2 has %d points, want %d", len(points), len(levels)*5)
+	}
+	// Within each level, makespan is non-decreasing in the number of
+	// constrained actuators (the paper's first trend).
+	byLevel := make(map[wh.MissConstraint][]Fig2Point)
+	for _, p := range points {
+		byLevel[p.Level] = append(byLevel[p.Level], p)
+	}
+	for level, ps := range byLevel {
+		for i := 1; i < len(ps); i++ {
+			if ps[i].Constrained != ps[i-1].Constrained+1 {
+				t.Fatalf("level %v: points out of order", level)
+			}
+			if ps[i].Makespan < ps[i-1].Makespan {
+				t.Errorf("level %v: makespan dropped from %d to %d when constraining actuator %d",
+					level, ps[i-1].Makespan, ps[i].Makespan, ps[i].Constrained)
+			}
+		}
+	}
+	// Across levels at full constraint coverage, stricter levels cost at
+	// least as much (the paper's second trend). Levels are ordered
+	// loosest first.
+	var fullSpan []int64
+	for _, level := range levels {
+		for _, p := range byLevel[level] {
+			if p.Constrained == 4 {
+				fullSpan = append(fullSpan, p.Makespan)
+			}
+		}
+	}
+	for i := 1; i < len(fullSpan); i++ {
+		if fullSpan[i] < fullSpan[i-1] {
+			t.Errorf("stricter level got cheaper: %v", fullSpan)
+		}
+	}
+	// The sweep must not be flat: the strictest full assignment must
+	// cost strictly more than the unconstrained baseline.
+	base := byLevel[levels[0]][0].Makespan
+	strictest := fullSpan[len(fullSpan)-1]
+	if strictest <= base {
+		t.Errorf("constraints never moved the makespan: base %d, strictest %d", base, strictest)
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	cells, err := Fig3(30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index cells by (window, misses).
+	grid := make(map[[2]int]float64)
+	for _, c := range cells {
+		grid[[2]int{c.Window, c.Misses}] = c.MeanSteps
+	}
+	// Fixed K: performance degrades as m grows (allow small sampling
+	// slack; require the ends of each row to be well separated).
+	for _, k := range Fig3Windows {
+		clean, okC := grid[[2]int{k, 0}]
+		worst, okW := grid[[2]int{k, min(Fig3MaxMisses, k-1)}]
+		if !okC || !okW {
+			t.Fatalf("grid missing ends for window %d", k)
+		}
+		if worst >= clean {
+			t.Errorf("window %d: max faults (%f) not worse than fault-free (%f)", k, worst, clean)
+		}
+	}
+	// Fixed m (use the largest injected budget present in all windows):
+	// performance improves as K grows from the smallest to the largest
+	// window.
+	m := 4
+	smallK, bigK := Fig3Windows[0], Fig3Windows[len(Fig3Windows)-1]
+	if grid[[2]int{bigK, m}] <= grid[[2]int{smallK, m}] {
+		t.Errorf("m=%d: window %d (%f) not better than window %d (%f)",
+			m, bigK, grid[[2]int{bigK, m}], smallK, grid[[2]int{smallK, m}])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestFig4Shapes(t *testing.T) {
+	points, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	feasible := 0
+	var lastLat int64 = -1
+	for i, p := range points {
+		if i > 0 && p.WorstFSS < points[i-1].WorstFSS-1e-12 {
+			t.Errorf("fSS not monotone at Q=%v", p.Q)
+		}
+		if p.Feasible {
+			feasible++
+			if lastLat >= 0 && p.Latency > lastLat {
+				t.Errorf("latency rose with power at Q=%v", p.Q)
+			}
+			lastLat = p.Latency
+		}
+	}
+	if feasible < 2 {
+		t.Fatalf("only %d feasible power settings; sweep uninformative", feasible)
+	}
+}
+
+func TestValidationAllPass(t *testing.T) {
+	res, err := Validation(5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Soft) == 0 || len(res.WH) == 0 {
+		t.Fatal("validation produced no reports")
+	}
+	for _, r := range res.Soft {
+		if !r.Pass {
+			t.Errorf("soft validation failed for %s: v=%v target=%v", r.Name, r.Statistic, r.Target)
+		}
+	}
+	for _, r := range res.WH {
+		if !r.Pass {
+			t.Errorf("weakly-hard validation failed for %s: worst %d budget %d",
+				r.Name, r.WorstMisses, r.Requirement.Misses)
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("TableI rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Makespan <= 0 || r.BusTime <= 0 {
+			t.Errorf("row %s has degenerate schedule: %+v", r.Paradigm, r)
+		}
+	}
+}
+
+func TestTableIBridge(t *testing.T) {
+	rows := TableIBridge()
+	if len(rows) == 0 {
+		t.Fatal("empty bridge")
+	}
+	prev := 1.0
+	for _, r := range rows {
+		if r.Probability < 0 || r.Probability > 1 {
+			t.Errorf("horizon %d: probability %v out of range", r.Horizon, r.Probability)
+		}
+		if r.Probability > prev+1e-12 {
+			t.Errorf("probability rose with horizon at %d", r.Horizon)
+		}
+		prev = r.Probability
+	}
+	// The punchline: over long horizons a soft-0.84 task almost surely
+	// violates (6,10) at least once.
+	last := rows[len(rows)-1]
+	if last.Probability > 0.1 {
+		t.Errorf("horizon %d: probability %v still high; bridge shows nothing", last.Horizon, last.Probability)
+	}
+}
+
+func TestAblationA2NETDAGWins(t *testing.T) {
+	rows, err := AblationA2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NETDAGBus > r.BaselineBus {
+			t.Errorf("target %v: NETDAG bus %d worse than baseline %d", r.Target, r.NETDAGBus, r.BaselineBus)
+		}
+	}
+	// At some target the per-flood tuning must strictly win, otherwise
+	// the ablation shows nothing.
+	won := false
+	for _, r := range rows {
+		if r.NETDAGBus < r.BaselineBus {
+			won = true
+		}
+	}
+	if !won {
+		t.Error("per-flood tuning never beat the global baseline across the sweep")
+	}
+}
+
+func TestAblationA3GreedyWithinBounds(t *testing.T) {
+	rows, err := AblationA3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GreedySpan < r.ExactSpan {
+			t.Errorf("%s: greedy %d beat exact %d (exactness bug)", r.Instance, r.GreedySpan, r.ExactSpan)
+		}
+		if r.ExactSpan > 0 && float64(r.GreedySpan) > 1.5*float64(r.ExactSpan) {
+			t.Errorf("%s: greedy %d more than 1.5x exact %d", r.Instance, r.GreedySpan, r.ExactSpan)
+		}
+	}
+}
+
+func TestAblationA4ExactNeverWorse(t *testing.T) {
+	rows, err := AblationA4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig2Levels()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig2Levels()))
+	}
+	for _, r := range rows {
+		// The exact optimizer is seeded with the greedy incumbent, so it
+		// can never reserve more bus time.
+		if r.ExactBus > r.GreedyBus {
+			t.Errorf("level %v: exact bus %d worse than greedy %d", r.Level, r.ExactBus, r.GreedyBus)
+		}
+	}
+}
+
+func TestAblationA5GuardSweep(t *testing.T) {
+	rows, err := AblationA5(600, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[0].GuardUS != -1 {
+		t.Fatal("first row must be the abstract reference")
+	}
+	ref := rows[0].HitRate
+	// Generous guards approach the abstract executor; zero guard
+	// collapses.
+	last := rows[len(rows)-1]
+	if last.HitRate < ref-0.15 {
+		t.Errorf("500 µs guard hit rate %v far below abstract %v", last.HitRate, ref)
+	}
+	zero := rows[1]
+	if zero.GuardUS != 0 {
+		t.Fatalf("second row guard = %v, want 0", zero.GuardUS)
+	}
+	if zero.HitRate >= last.HitRate {
+		t.Errorf("zero guard (%v) not worse than ample guard (%v)", zero.HitRate, last.HitRate)
+	}
+	// Hit rate is non-decreasing in guard size across the sweep.
+	for i := 2; i < len(rows); i++ {
+		if rows[i].HitRate < rows[i-1].HitRate-0.05 {
+			t.Errorf("hit rate dropped materially from guard %v to %v", rows[i-1].GuardUS, rows[i].GuardUS)
+		}
+	}
+}
+
+func TestDiameterSweepMonotone(t *testing.T) {
+	rows, err := DiameterSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Makespan < rows[i-1].Makespan {
+			t.Errorf("makespan fell when diameter rose to %d", rows[i].Diameter)
+		}
+		if rows[i].BusTime <= rows[i-1].BusTime {
+			t.Errorf("bus time did not grow when diameter rose to %d", rows[i].Diameter)
+		}
+	}
+}
+
+func TestAblationA6TopologyDependence(t *testing.T) {
+	rows, err := AblationA6(2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	tdmaRow, lwbRow := rows[0], rows[1]
+	// Both stacks work on their design topology.
+	if tdmaRow.DesignRate < 0.9 || lwbRow.DesignRate < 0.9 {
+		t.Errorf("design-topology rates too low: %+v", rows)
+	}
+	// The mutation must hurt TDMA badly and LWB barely — the paper's §I
+	// claim.
+	if tdmaRow.MutatedRate > tdmaRow.DesignRate-0.3 {
+		t.Errorf("TDMA insufficiently topology-dependent: %v -> %v", tdmaRow.DesignRate, tdmaRow.MutatedRate)
+	}
+	if lwbRow.MutatedRate < lwbRow.DesignRate-0.1 {
+		t.Errorf("LWB should be topology-agnostic: %v -> %v", lwbRow.DesignRate, lwbRow.MutatedRate)
+	}
+	if lwbRow.MutatedRate <= tdmaRow.MutatedRate {
+		t.Errorf("flooding (%v) should beat routing (%v) after the topology change",
+			lwbRow.MutatedRate, tdmaRow.MutatedRate)
+	}
+}
+
+func TestAblationA1SoundAndTight(t *testing.T) {
+	rows := AblationA1()
+	tight := 0
+	for _, r := range rows {
+		if r.ExactMisses > r.OplusMisses {
+			t.Errorf("⊕ unsound for %v, %v: exact %d > bound %d", r.X, r.Y, r.ExactMisses, r.OplusMisses)
+		}
+		if r.ExactMisses == r.OplusMisses {
+			tight++
+		}
+	}
+	if tight == 0 {
+		t.Error("⊕ never tight on the sample grid")
+	}
+}

@@ -1,0 +1,47 @@
+package glossy
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/network"
+)
+
+func BenchmarkSimulateFloodGrid(b *testing.B) {
+	topo := network.Grid(4, 4, 0.8)
+	rng := testRNG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateFlood(topo, 0, 3, 20, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateFloodClique(b *testing.B) {
+	topo := network.Clique(16, 0.9)
+	rng := testRNG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateFlood(topo, 0, 2, 10, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGilbertElliottTrace(b *testing.B) {
+	ch := GilbertElliott{PGB: 0.05, PBG: 0.3, PerTXGood: 0.95, PerTXBad: 0.1}
+	rng := testRNG()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Trace(3, 1000, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlotDuration(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		_ = p.SlotDuration(3, 16, 4)
+	}
+}

@@ -1,0 +1,188 @@
+package glossy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/network"
+)
+
+// FloodResult reports one simulated Glossy flood.
+type FloodResult struct {
+	Received []bool // per node: did it receive the payload
+	TXCounts []int  // per node: how many times it transmitted
+	// ActiveSlots counts, per node, the hop slots its radio stayed on:
+	// §II-A, a node turns its radio off once it has transmitted N_TX
+	// times (or when the reservation ends). The flood-level energy
+	// accounting uses this.
+	ActiveSlots []int
+	HopSlots    int  // hop slots elapsed until the flood went quiet
+	All         bool // every node received
+}
+
+// MeanDutyCycle returns the average over nodes of ActiveSlots divided by
+// the reservation length; it is 0 for an empty reservation.
+func (r FloodResult) MeanDutyCycle(reservedSlots int) float64 {
+	if reservedSlots <= 0 || len(r.ActiveSlots) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, a := range r.ActiveSlots {
+		sum += a
+	}
+	return float64(sum) / float64(len(r.ActiveSlots)) / float64(reservedSlots)
+}
+
+// SimulateFlood runs one event-triggered Glossy flood over a lossy
+// topology, following §II-A of the paper:
+//
+//   - In hop slot 0 the initiator transmits; everyone else listens.
+//   - A node that received the payload for the first time in slot t
+//     transmits in slot t+1, then alternates RX/TX until it has
+//     transmitted ntx times (the N_TX parameter) — Glossy's relay rule.
+//   - A listening node hears the payload if at least one neighbor is
+//     transmitting; concurrent transmissions are constructively
+//     interfering identical packets, so reception succeeds with
+//     probability 1 − Π(1 − PRR_i) over transmitting neighbors i.
+//   - The flood ends when nobody transmits or after maxSlots.
+//
+// maxSlots is the schedule's reservation (Params.HopSlots); pass a
+// negative value for "until quiet".
+func SimulateFlood(topo *network.Topology, initiator, ntx, maxSlots int, rng *rand.Rand) (FloodResult, error) {
+	if rng == nil {
+		return FloodResult{}, errors.New("glossy: SimulateFlood requires a non-nil rng")
+	}
+	n := topo.NumNodes()
+	if initiator < 0 || initiator >= n {
+		return FloodResult{}, fmt.Errorf("glossy: initiator %d out of range [0,%d)", initiator, n)
+	}
+	if ntx < 1 {
+		return FloodResult{}, fmt.Errorf("%w: %d", ErrBadNTX, ntx)
+	}
+	res := FloodResult{
+		Received:    make([]bool, n),
+		TXCounts:    make([]int, n),
+		ActiveSlots: make([]int, n),
+	}
+	off := make([]bool, n)
+	res.Received[initiator] = true
+	// willTX[v] = true when v transmits in the current hop slot.
+	willTX := make([]bool, n)
+	willTX[initiator] = true
+	res.TXCounts[initiator] = 0 // counted when the slot executes
+	for slot := 0; ; slot++ {
+		if maxSlots >= 0 && slot >= maxSlots {
+			break
+		}
+		anyTX := false
+		for v := 0; v < n; v++ {
+			if willTX[v] {
+				anyTX = true
+			}
+		}
+		if !anyTX {
+			res.HopSlots = slot
+			break
+		}
+		res.HopSlots = slot + 1
+		// Every node with its radio still on spends this slot active.
+		for v := 0; v < n; v++ {
+			if !off[v] {
+				res.ActiveSlots[v]++
+			}
+		}
+		// Resolve receptions for this slot.
+		newlyReceived := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if res.Received[v] || willTX[v] || off[v] {
+				continue
+			}
+			pLoss := 1.0
+			for _, u := range topo.Neighbors(v) {
+				if willTX[u] {
+					pLoss *= 1 - topo.PRR(u, v)
+				}
+			}
+			if pLoss < 1 && rng.Float64() < 1-pLoss {
+				newlyReceived[v] = true
+			}
+		}
+		// Account transmissions and compute next slot's transmitter set:
+		// Glossy alternates TX (on reception or after own TX) with RX;
+		// here we use the standard simplification that a node transmits
+		// in consecutive eligible slots until its N_TX budget is spent,
+		// which preserves the relay-counter bound of eq. (3).
+		nextTX := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if willTX[v] {
+				res.TXCounts[v]++
+				if res.TXCounts[v] < ntx {
+					nextTX[v] = true
+				} else {
+					off[v] = true // N_TX budget spent: radio off (§II-A)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if newlyReceived[v] {
+				res.Received[v] = true
+				if res.TXCounts[v] < ntx {
+					nextTX[v] = true
+				}
+			}
+		}
+		willTX = nextTX
+	}
+	res.All = true
+	for _, r := range res.Received {
+		if !r {
+			res.All = false
+			break
+		}
+	}
+	return res, nil
+}
+
+// FloodCharge returns the per-node radio charge (µC) of one simulated
+// flood, splitting each node's active slots into its transmissions (at
+// txCurrentMA) and listening time (rxCurrentMA). The hop-slot airtime is
+// the eq. (3) per-hop term for the given payload width.
+func FloodCharge(res FloodResult, p Params, width int, txCurrentMA, rxCurrentMA float64) []float64 {
+	hopUS := float64(p.C + p.D*int64(width))
+	out := make([]float64, len(res.ActiveSlots))
+	for v := range out {
+		tx := float64(res.TXCounts[v])
+		rx := float64(res.ActiveSlots[v]) - tx
+		if rx < 0 {
+			rx = 0
+		}
+		out[v] = (tx*txCurrentMA + rx*rxCurrentMA) * hopUS / 1000
+	}
+	return out
+}
+
+// FloodSuccessRate estimates the probability that a flood from initiator
+// reaches every node, over the given number of independent trials. It is
+// the empirical counterpart of the soft network statistic λ_s(N_TX).
+func FloodSuccessRate(topo *network.Topology, initiator, ntx, trials int, p Params, rng *rand.Rand) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("glossy: trials must be positive, got %d", trials)
+	}
+	diam, err := topo.Diameter()
+	if err != nil {
+		return 0, err
+	}
+	maxSlots := int(p.HopSlots(ntx, diam))
+	ok := 0
+	for i := 0; i < trials; i++ {
+		res, err := SimulateFlood(topo, initiator, ntx, maxSlots, rng)
+		if err != nil {
+			return 0, err
+		}
+		if res.All {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials), nil
+}

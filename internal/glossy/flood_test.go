@@ -1,0 +1,224 @@
+package glossy
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netdag/netdag/internal/network"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewSource(0x61055)) }
+
+func TestSimulateFloodPerfectClique(t *testing.T) {
+	topo := network.Clique(5, 1)
+	res, err := SimulateFlood(topo, 0, 1, -1, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.All {
+		t.Fatalf("perfect clique flood failed: %+v", res)
+	}
+	for v, r := range res.Received {
+		if !r {
+			t.Errorf("node %d did not receive", v)
+		}
+	}
+	// Everyone transmits exactly once with N_TX = 1.
+	for v, c := range res.TXCounts {
+		if c != 1 {
+			t.Errorf("node %d transmitted %d times, want 1", v, c)
+		}
+	}
+}
+
+func TestSimulateFloodPerfectLine(t *testing.T) {
+	const n = 6
+	topo := network.Line(n, 1)
+	res, err := SimulateFlood(topo, 0, 1, -1, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.All {
+		t.Fatalf("perfect line flood failed: %+v", res)
+	}
+	// The payload needs at least diameter hop slots to cross.
+	if res.HopSlots < n-1 {
+		t.Errorf("flood crossed a %d-hop line in %d slots", n-1, res.HopSlots)
+	}
+}
+
+func TestSimulateFloodRespectsReservation(t *testing.T) {
+	// With the reservation from eq. (3) and perfect links, the flood
+	// always completes within the reserved hop slots.
+	p := DefaultParams()
+	topo := network.Line(5, 1)
+	diam, _ := topo.Diameter()
+	for ntx := 1; ntx <= 3; ntx++ {
+		maxSlots := int(p.HopSlots(ntx, diam))
+		res, err := SimulateFlood(topo, 0, ntx, maxSlots, testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.All {
+			t.Errorf("perfect-link flood with ntx=%d missed nodes within its reservation", ntx)
+		}
+		if res.HopSlots > maxSlots {
+			t.Errorf("flood used %d slots, reservation %d", res.HopSlots, maxSlots)
+		}
+	}
+}
+
+func TestActiveSlotsAccounting(t *testing.T) {
+	topo := network.Clique(5, 1)
+	res, err := SimulateFlood(topo, 0, 1, 10, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, a := range res.ActiveSlots {
+		if a > res.HopSlots {
+			t.Errorf("node %d active %d slots, flood lasted %d", v, a, res.HopSlots)
+		}
+		if a <= 0 {
+			t.Errorf("node %d never active", v)
+		}
+	}
+	// The initiator spends its single transmission in slot 0 and turns
+	// off, while receivers stay on through slot 1.
+	if res.ActiveSlots[0] != 1 {
+		t.Errorf("initiator active %d slots, want 1 (radio off after N_TX)", res.ActiveSlots[0])
+	}
+	if dc := res.MeanDutyCycle(10); dc <= 0 || dc > 1 {
+		t.Errorf("duty cycle %v outside (0,1]", dc)
+	}
+	if got := (FloodResult{}).MeanDutyCycle(0); got != 0 {
+		t.Errorf("degenerate duty cycle = %v", got)
+	}
+}
+
+func TestFloodCharge(t *testing.T) {
+	topo := network.Clique(4, 1)
+	p := DefaultParams()
+	res, err := SimulateFlood(topo, 0, 2, 10, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	charges := FloodCharge(res, p, 8, 17.4, 18.8)
+	if len(charges) != 4 {
+		t.Fatalf("charges for %d nodes", len(charges))
+	}
+	for v, c := range charges {
+		if c <= 0 {
+			t.Errorf("node %d charge %v", v, c)
+		}
+		// Upper bound: all active slots at the dearer current.
+		maxC := float64(res.ActiveSlots[v]) * 18.8 * float64(p.C+p.D*8) / 1000
+		if c > maxC+1e-9 {
+			t.Errorf("node %d charge %v exceeds bound %v", v, c, maxC)
+		}
+	}
+	// A node that turned off early pays less than one that stayed on.
+	resBig, err := SimulateFlood(network.Line(5, 1), 0, 1, 20, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := FloodCharge(resBig, p, 8, 17.4, 18.8)
+	// Node 0 transmits once then sleeps; node 4 (far end) listens the
+	// whole flood before receiving.
+	if ch[0] >= ch[4] {
+		t.Errorf("early-off node pays %v, long listener %v", ch[0], ch[4])
+	}
+}
+
+func TestSimulateFloodNTXBudget(t *testing.T) {
+	topo := network.Clique(4, 1)
+	res, err := SimulateFlood(topo, 0, 3, -1, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range res.TXCounts {
+		if c > 3 {
+			t.Errorf("node %d transmitted %d > N_TX = 3 times", v, c)
+		}
+	}
+}
+
+func TestSimulateFloodValidation(t *testing.T) {
+	topo := network.Clique(3, 1)
+	if _, err := SimulateFlood(topo, 0, 1, -1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := SimulateFlood(topo, -1, 1, -1, testRNG()); err == nil {
+		t.Error("negative initiator accepted")
+	}
+	if _, err := SimulateFlood(topo, 3, 1, -1, testRNG()); err == nil {
+		t.Error("out-of-range initiator accepted")
+	}
+	if _, err := SimulateFlood(topo, 0, 0, -1, testRNG()); err == nil {
+		t.Error("N_TX = 0 accepted")
+	}
+}
+
+func TestSimulateFloodDeterministicUnderSeed(t *testing.T) {
+	topo := network.Grid(3, 3, 0.7)
+	a, err := SimulateFlood(topo, 0, 2, 10, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SimulateFlood(topo, 0, 2, 10, rand.New(rand.NewSource(42)))
+	for v := range a.Received {
+		if a.Received[v] != b.Received[v] {
+			t.Fatalf("flood not deterministic under fixed seed at node %d", v)
+		}
+	}
+}
+
+func TestSimulateFloodLossyCanFail(t *testing.T) {
+	// Very lossy single link with one transmission: failures must occur.
+	topo := network.Line(2, 0.05)
+	rng := testRNG()
+	failures := 0
+	for i := 0; i < 200; i++ {
+		res, err := SimulateFlood(topo, 0, 1, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.All {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("5% links never failed in 200 floods")
+	}
+}
+
+func TestFloodSuccessRateIncreasesWithNTX(t *testing.T) {
+	topo := network.Line(4, 0.6)
+	p := DefaultParams()
+	rng := testRNG()
+	r1, err := FloodSuccessRate(topo, 0, 1, 3000, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := FloodSuccessRate(topo, 0, 4, 3000, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 <= r1 {
+		t.Errorf("success rate did not improve with N_TX: λ(1)=%v, λ(4)=%v", r1, r4)
+	}
+	if r4 < 0.8 {
+		t.Errorf("λ(4) = %v suspiciously low for 60%% links", r4)
+	}
+}
+
+func TestFloodSuccessRateValidation(t *testing.T) {
+	topo := network.Line(3, 0.9)
+	p := DefaultParams()
+	if _, err := FloodSuccessRate(topo, 0, 1, 0, p, testRNG()); err == nil {
+		t.Error("zero trials accepted")
+	}
+	disc := network.NewTopology(3)
+	if _, err := FloodSuccessRate(disc, 0, 1, 10, p, testRNG()); err == nil {
+		t.Error("disconnected topology accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package glossy
+
+import "testing"
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("DefaultParams invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []Params{
+		{A: -1, BHW: 1, C: 400, D: 32, BeaconWidth: 16},
+		{A: 300, BHW: -1, C: 400, D: 32, BeaconWidth: 16},
+		{A: 300, BHW: 1, C: 0, D: 32, BeaconWidth: 16},
+		{A: 300, BHW: 1, C: 400, D: -5, BeaconWidth: 16},
+		{A: 300, BHW: 1, C: 400, D: 32, BeaconWidth: 0},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", p)
+		}
+	}
+}
+
+func TestHopSlots(t *testing.T) {
+	p := Params{A: 0, BHW: 1, C: 1, D: 0, BeaconWidth: 1}
+	// 2χ + D − 1 + BHW.
+	if got := p.HopSlots(2, 3); got != 7 {
+		t.Errorf("HopSlots(2,3) = %d, want 7", got)
+	}
+	if got := p.HopSlots(1, 1); got != 3 {
+		t.Errorf("HopSlots(1,1) = %d, want 3", got)
+	}
+}
+
+func TestSlotDurationFormula(t *testing.T) {
+	p := Params{A: 300, BHW: 1, C: 400, D: 32, BeaconWidth: 16}
+	// χ=2, D=3, w=16: 300 + (4+3-1+1)(400+512) = 300 + 7*912 = 6684.
+	if got := p.SlotDuration(2, 16, 3); got != 6684 {
+		t.Errorf("SlotDuration = %d, want 6684", got)
+	}
+	// Beacon duration uses BeaconWidth.
+	if got := p.BeaconDuration(2, 3); got != 6684 {
+		t.Errorf("BeaconDuration = %d, want 6684", got)
+	}
+}
+
+func TestSlotDurationMonotone(t *testing.T) {
+	p := DefaultParams()
+	// Increasing χ, width, or diameter must increase the reservation.
+	base := p.SlotDuration(2, 16, 3)
+	if p.SlotDuration(3, 16, 3) <= base {
+		t.Error("duration not increasing in N_TX")
+	}
+	if p.SlotDuration(2, 17, 3) <= base {
+		t.Error("duration not increasing in width")
+	}
+	if p.SlotDuration(2, 16, 4) <= base {
+		t.Error("duration not increasing in diameter")
+	}
+}
+
+func TestSlotDurationPanics(t *testing.T) {
+	p := DefaultParams()
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("ntx=0", func() { p.SlotDuration(0, 8, 2) })
+	mustPanic("diam=0", func() { p.SlotDuration(1, 8, 0) })
+	mustPanic("width<0", func() { p.SlotDuration(1, -1, 2) })
+}

@@ -1,0 +1,311 @@
+package glossy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// SoftStatistic is the soft network statistic λ_s of §III-B: a
+// monotonically increasing map from the retransmission parameter N_TX to
+// the success probability of a Glossy flood. The paper assumes the
+// designer knows it a priori (from profiling); this package provides
+// analytic families and a profiling-by-simulation constructor.
+type SoftStatistic interface {
+	// SuccessProb returns the flood success probability under N_TX = n.
+	// n must be >= 1.
+	SuccessProb(n int) float64
+}
+
+// WHStatistic is the weakly-hard network statistic λ_WH of §III-C: a map
+// from N_TX to a miss-form weakly-hard constraint bounding flood
+// failures, monotonically increasing w.r.t. the domination order ⪯
+// (larger N_TX gives a harder guarantee).
+type WHStatistic interface {
+	// MissConstraint returns the bounded failure behaviour under
+	// N_TX = n. n must be >= 1.
+	MissConstraint(n int) wh.MissConstraint
+}
+
+// BernoulliSoft is the independent-transmissions model justified by
+// Zimmerling et al. (MASCOTS 2013): with per-transmission success
+// probability p, a flood with N_TX = n fails only if all n chances fail,
+// so λ(n) = 1 − (1−p)^n.
+type BernoulliSoft struct {
+	PerTX float64 // per-transmission success probability in (0, 1)
+}
+
+// SuccessProb implements SoftStatistic.
+func (b BernoulliSoft) SuccessProb(n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("glossy: N_TX must be >= 1, got %d", n))
+	}
+	return 1 - math.Pow(1-b.PerTX, float64(n))
+}
+
+// SigmoidSoft is the paper's eq. (15) soft statistic parameterized by the
+// profiled worst-case mean filtered signal strength:
+//
+//	λ_i(n) = 2 / (1 + e^(−fSS̄_i · n)) − 1
+//
+// with co-domain [0, 1), monotonically increasing in n for positive fSS̄.
+type SigmoidSoft struct {
+	FSS float64 // worst-case mean filtered signal strength fSS̄_i
+}
+
+// SuccessProb implements SoftStatistic.
+func (s SigmoidSoft) SuccessProb(n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("glossy: N_TX must be >= 1, got %d", n))
+	}
+	return 2/(1+math.Exp(-s.FSS*float64(n))) - 1
+}
+
+// TableSoft is a profiled statistic: success probabilities per N_TX
+// value, clamped monotone (profiling noise must not produce a
+// non-monotone statistic, which would break the scheduler's pruning).
+// Queries beyond the table reuse the last entry.
+type TableSoft struct {
+	probs []float64 // probs[i] is λ(i+1)
+}
+
+// NewTableSoft builds a table statistic, enforcing monotonicity by
+// running maximum. The table must be non-empty with entries in [0, 1].
+func NewTableSoft(probs []float64) (TableSoft, error) {
+	if len(probs) == 0 {
+		return TableSoft{}, errors.New("glossy: empty soft statistic table")
+	}
+	out := make([]float64, len(probs))
+	run := 0.0
+	for i, p := range probs {
+		if p < 0 || p > 1 {
+			return TableSoft{}, fmt.Errorf("glossy: probability %v outside [0,1]", p)
+		}
+		if p > run {
+			run = p
+		}
+		out[i] = run
+	}
+	return TableSoft{probs: out}, nil
+}
+
+// SuccessProb implements SoftStatistic.
+func (t TableSoft) SuccessProb(n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("glossy: N_TX must be >= 1, got %d", n))
+	}
+	if n > len(t.probs) {
+		n = len(t.probs)
+	}
+	return t.probs[n-1]
+}
+
+// ProfileSoft estimates a TableSoft statistic by simulating floods from
+// the given initiator for every N_TX in 1..maxNTX — the in-simulation
+// stand-in for the testbed profiling the paper assumes.
+func ProfileSoft(topo *network.Topology, initiator, maxNTX, trials int, p Params, rng *rand.Rand) (TableSoft, error) {
+	if maxNTX < 1 {
+		return TableSoft{}, fmt.Errorf("%w: maxNTX %d", ErrBadNTX, maxNTX)
+	}
+	probs := make([]float64, maxNTX)
+	for n := 1; n <= maxNTX; n++ {
+		rate, err := FloodSuccessRate(topo, initiator, n, trials, p, rng)
+		if err != nil {
+			return TableSoft{}, err
+		}
+		probs[n-1] = rate
+	}
+	return NewTableSoft(probs)
+}
+
+// SyntheticWH is the paper's eq. (13) synthetic weakly-hard statistic:
+//
+//	λ(n) = ( ⌈10·e^(−n/2)⌉ + 1 , 20·n )~
+//
+// read in miss-form: at most ⌈10e^(−n/2)⌉+1 flood failures in any window
+// of 20n consecutive rounds. It satisfies the required monotonicity
+// (n < k ⇒ λ(k) ⪯ λ(n)): misses shrink and the window grows with n.
+type SyntheticWH struct{}
+
+// MissConstraint implements WHStatistic.
+func (SyntheticWH) MissConstraint(n int) wh.MissConstraint {
+	if n < 1 {
+		panic(fmt.Sprintf("glossy: N_TX must be >= 1, got %d", n))
+	}
+	m := int(math.Ceil(10*math.Exp(-0.5*float64(n)))) + 1
+	return wh.MissConstraint{Misses: m, Window: 20 * n}
+}
+
+// TableWH is a profiled weakly-hard statistic with one miss-form
+// constraint per N_TX value; queries beyond the table reuse the last
+// entry. Construction enforces ⪯-monotonicity.
+type TableWH struct {
+	cons []wh.MissConstraint // cons[i] is λ(i+1)
+}
+
+// NewTableWH builds a table statistic. Each constraint must be valid and
+// each successive entry must dominate (be at least as hard as) its
+// predecessor under the sufficient order: misses non-increasing and
+// window non-decreasing, the shape profiling naturally produces. Entries
+// violating monotonicity are tightened to the previous entry.
+func NewTableWH(cons []wh.MissConstraint) (TableWH, error) {
+	if len(cons) == 0 {
+		return TableWH{}, errors.New("glossy: empty weakly-hard statistic table")
+	}
+	out := make([]wh.MissConstraint, len(cons))
+	for i, c := range cons {
+		if err := c.Validate(); err != nil {
+			return TableWH{}, err
+		}
+		out[i] = c
+		if i > 0 {
+			if out[i].Misses > out[i-1].Misses {
+				out[i].Misses = out[i-1].Misses
+			}
+			if out[i].Window < out[i-1].Window {
+				out[i].Window = out[i-1].Window
+			}
+			if out[i].Misses > out[i].Window {
+				out[i].Misses = out[i].Window
+			}
+		}
+	}
+	return TableWH{cons: out}, nil
+}
+
+// MissConstraint implements WHStatistic.
+func (t TableWH) MissConstraint(n int) wh.MissConstraint {
+	if n < 1 {
+		panic(fmt.Sprintf("glossy: N_TX must be >= 1, got %d", n))
+	}
+	if n > len(t.cons) {
+		n = len(t.cons)
+	}
+	return t.cons[n-1]
+}
+
+// GilbertElliott is a two-state burst-loss channel applied at flood
+// granularity: in the good state a transmission succeeds with PerTXGood,
+// in the bad state with PerTXBad; the state evolves per round. It
+// produces the correlated loss patterns that motivate weakly-hard (rather
+// than i.i.d. probabilistic) modeling.
+type GilbertElliott struct {
+	PGB       float64 // P(good -> bad) per round
+	PBG       float64 // P(bad -> good) per round
+	PerTXGood float64
+	PerTXBad  float64
+}
+
+// Validate checks parameter ranges.
+func (g GilbertElliott) Validate() error {
+	for _, p := range []float64{g.PGB, g.PBG, g.PerTXGood, g.PerTXBad} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("glossy: Gilbert-Elliott parameter %v outside [0,1]", p)
+		}
+	}
+	return nil
+}
+
+// Trace simulates `length` consecutive rounds of floods with N_TX = ntx
+// and returns the hit/miss sequence of flood outcomes (hit = flood
+// delivered everywhere, modeled as all-transmissions-fail otherwise,
+// following the Bernoulli flood abstraction per state).
+func (g GilbertElliott) Trace(ntx, length int, rng *rand.Rand) (wh.Seq, error) {
+	if rng == nil {
+		return nil, errors.New("glossy: Trace requires a non-nil rng")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if ntx < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadNTX, ntx)
+	}
+	out := make(wh.Seq, length)
+	bad := false
+	for i := range out {
+		perTX := g.PerTXGood
+		if bad {
+			perTX = g.PerTXBad
+		}
+		succ := 1 - math.Pow(1-perTX, float64(ntx))
+		out[i] = rng.Float64() < succ
+		if bad {
+			if rng.Float64() < g.PBG {
+				bad = false
+			}
+		} else if rng.Float64() < g.PGB {
+			bad = true
+		}
+	}
+	return out, nil
+}
+
+// ProfileWH estimates a TableWH statistic from Gilbert-Elliott traces:
+// for each N_TX it simulates a long outcome trace and records the
+// worst-case miss count over sliding windows of the given length, plus a
+// one-miss safety margin (profiling observes a sample, not the true
+// worst case).
+func ProfileWH(ch GilbertElliott, maxNTX, traceLen, window int, rng *rand.Rand) (TableWH, error) {
+	if maxNTX < 1 {
+		return TableWH{}, fmt.Errorf("%w: maxNTX %d", ErrBadNTX, maxNTX)
+	}
+	if window < 1 || traceLen < window {
+		return TableWH{}, fmt.Errorf("glossy: need traceLen >= window >= 1, got %d, %d", traceLen, window)
+	}
+	cons := make([]wh.MissConstraint, maxNTX)
+	for n := 1; n <= maxNTX; n++ {
+		trace, err := ch.Trace(n, traceLen, rng)
+		if err != nil {
+			return TableWH{}, err
+		}
+		worst, _ := trace.MaxWindowMisses(window)
+		m := worst + 1 // safety margin
+		if m > window {
+			m = window
+		}
+		cons[n-1] = wh.MissConstraint{Misses: m, Window: window}
+	}
+	return NewTableWH(cons)
+}
+
+// CheckSoftMonotone verifies λ(n) is non-decreasing on 1..maxN — the
+// property §III-B requires of any soft statistic.
+func CheckSoftMonotone(s SoftStatistic, maxN int) error {
+	prev := -1.0
+	for n := 1; n <= maxN; n++ {
+		p := s.SuccessProb(n)
+		if p < 0 || p > 1 {
+			return fmt.Errorf("glossy: λ(%d) = %v outside [0,1]", n, p)
+		}
+		if p < prev {
+			return fmt.Errorf("glossy: soft statistic not monotone at n=%d (%v < %v)", n, p, prev)
+		}
+		prev = p
+	}
+	return nil
+}
+
+// CheckWHMonotone verifies n < k ⇒ λ(k) ⪯ λ(n) on 1..maxN using the
+// exact Bernat-Burns order — the property §III-C requires of any
+// weakly-hard statistic (and which eq. 13 is stated to satisfy).
+func CheckWHMonotone(s WHStatistic, maxN int) error {
+	for n := 1; n < maxN; n++ {
+		a := s.MissConstraint(n)
+		b := s.MissConstraint(n + 1)
+		if err := a.Validate(); err != nil {
+			return err
+		}
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		if !wh.PrecedesBBMiss(b, a) {
+			return fmt.Errorf("glossy: weakly-hard statistic not monotone: λ(%d)=%v does not dominate λ(%d)=%v",
+				n+1, b, n, a)
+		}
+	}
+	return nil
+}

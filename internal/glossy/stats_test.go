@@ -1,0 +1,193 @@
+package glossy
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func TestBernoulliSoft(t *testing.T) {
+	b := BernoulliSoft{PerTX: 0.9}
+	if got := b.SuccessProb(1); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("λ(1) = %v, want 0.9", got)
+	}
+	if got := b.SuccessProb(2); math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("λ(2) = %v, want 0.99", got)
+	}
+	if err := CheckSoftMonotone(b, 10); err != nil {
+		t.Errorf("BernoulliSoft not monotone: %v", err)
+	}
+}
+
+func TestSigmoidSoftEq15(t *testing.T) {
+	s := SigmoidSoft{FSS: 1.2}
+	// λ(n) = 2/(1+e^(−fSS·n)) − 1.
+	for n := 1; n <= 5; n++ {
+		want := 2/(1+math.Exp(-1.2*float64(n))) - 1
+		if got := s.SuccessProb(n); math.Abs(got-want) > 1e-12 {
+			t.Errorf("λ(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if err := CheckSoftMonotone(s, 12); err != nil {
+		t.Errorf("SigmoidSoft not monotone: %v", err)
+	}
+	// Higher signal strength gives a uniformly better statistic — the
+	// premise of the fig. 4 power exploration.
+	weak, strong := SigmoidSoft{FSS: 0.5}, SigmoidSoft{FSS: 1.5}
+	for n := 1; n <= 8; n++ {
+		if strong.SuccessProb(n) <= weak.SuccessProb(n) {
+			t.Errorf("stronger signal not better at n=%d", n)
+		}
+	}
+}
+
+func TestTableSoft(t *testing.T) {
+	// Profiling noise (dip at n=3) must be monotonized.
+	tab, err := NewTableSoft([]float64{0.5, 0.8, 0.75, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.SuccessProb(3); got != 0.8 {
+		t.Errorf("monotonized λ(3) = %v, want 0.8", got)
+	}
+	if got := tab.SuccessProb(99); got != 0.9 {
+		t.Errorf("beyond-table query = %v, want last entry 0.9", got)
+	}
+	if err := CheckSoftMonotone(tab, 20); err != nil {
+		t.Errorf("TableSoft not monotone: %v", err)
+	}
+	if _, err := NewTableSoft(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewTableSoft([]float64{1.5}); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestProfileSoft(t *testing.T) {
+	topo := network.Line(4, 0.7)
+	tab, err := ProfileSoft(topo, 0, 5, 400, DefaultParams(), testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSoftMonotone(tab, 5); err != nil {
+		t.Errorf("profiled statistic not monotone: %v", err)
+	}
+	if tab.SuccessProb(5) <= tab.SuccessProb(1) {
+		t.Errorf("profiled statistic flat: λ(1)=%v λ(5)=%v",
+			tab.SuccessProb(1), tab.SuccessProb(5))
+	}
+}
+
+func TestSyntheticWHEq13Values(t *testing.T) {
+	s := SyntheticWH{}
+	want := []wh.MissConstraint{
+		{Misses: 8, Window: 20},  // ⌈10e^-0.5⌉+1 = 7+1
+		{Misses: 5, Window: 40},  // ⌈10e^-1⌉+1 = 4+1
+		{Misses: 4, Window: 60},  // ⌈10e^-1.5⌉+1 = 3+1
+		{Misses: 3, Window: 80},  // ⌈10e^-2⌉+1 = 2+1
+		{Misses: 2, Window: 100}, // ⌈10e^-2.5⌉+1 = 1+1
+	}
+	for i, w := range want {
+		if got := s.MissConstraint(i + 1); got != w {
+			t.Errorf("λ(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestSyntheticWHMonotone(t *testing.T) {
+	// Eq. (13) is stated to satisfy n < k ⇒ λ(k) ⪯ λ(n); verify with the
+	// exact Bernat-Burns order.
+	if err := CheckWHMonotone(SyntheticWH{}, 12); err != nil {
+		t.Errorf("eq. 13 statistic not monotone: %v", err)
+	}
+}
+
+func TestTableWH(t *testing.T) {
+	tab, err := NewTableWH([]wh.MissConstraint{
+		{Misses: 5, Window: 20},
+		{Misses: 6, Window: 18}, // violates monotonicity; must be tightened
+		{Misses: 2, Window: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.MissConstraint(2)
+	if got.Misses > 5 || got.Window < 20 {
+		t.Errorf("entry 2 not tightened: %v", got)
+	}
+	if err := CheckWHMonotone(tab, 3); err != nil {
+		t.Errorf("tightened table not monotone: %v", err)
+	}
+	if got := tab.MissConstraint(99); got != tab.MissConstraint(3) {
+		t.Errorf("beyond-table query = %v", got)
+	}
+	if _, err := NewTableWH(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestGilbertElliottTrace(t *testing.T) {
+	ch := GilbertElliott{PGB: 0.05, PBG: 0.3, PerTXGood: 0.95, PerTXBad: 0.1}
+	if err := ch.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := testRNG()
+	tr, err := ch.Trace(2, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 5000 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	// The channel spends most time good, so the hit rate is high but
+	// bursts of misses exist.
+	if tr.HitRate() < 0.7 {
+		t.Errorf("hit rate %v implausibly low", tr.HitRate())
+	}
+	if tr.LongestMissBurst() < 2 {
+		t.Errorf("expected bursty losses, longest burst %d", tr.LongestMissBurst())
+	}
+	// More retransmissions help.
+	tr4, _ := ch.Trace(6, 5000, rng)
+	if tr4.HitRate() <= tr.HitRate() {
+		t.Errorf("hit rate did not improve with N_TX: %v vs %v", tr.HitRate(), tr4.HitRate())
+	}
+	if _, err := ch.Trace(0, 10, rng); err == nil {
+		t.Error("N_TX = 0 accepted")
+	}
+	if _, err := ch.Trace(1, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	bad := GilbertElliott{PGB: 1.5}
+	if _, err := bad.Trace(1, 10, rng); err == nil {
+		t.Error("invalid channel accepted")
+	}
+}
+
+func TestProfileWH(t *testing.T) {
+	ch := GilbertElliott{PGB: 0.05, PBG: 0.3, PerTXGood: 0.95, PerTXBad: 0.1}
+	tab, err := ProfileWH(ch, 6, 20000, 50, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWHMonotone(tab, 6); err != nil {
+		t.Errorf("profiled WH statistic not monotone: %v", err)
+	}
+	// Profiled guarantee must actually bound a fresh trace most of the
+	// time (it includes a safety margin).
+	c := tab.MissConstraint(4)
+	fresh, _ := ch.Trace(4, 5000, testRNG())
+	worst, _ := fresh.MaxWindowMisses(c.Window)
+	if worst > c.Misses+2 {
+		t.Errorf("profiled constraint %v far from fresh-trace worst case %d", c, worst)
+	}
+	if _, err := ProfileWH(ch, 0, 100, 10, testRNG()); err == nil {
+		t.Error("maxNTX = 0 accepted")
+	}
+	if _, err := ProfileWH(ch, 2, 5, 10, testRNG()); err == nil {
+		t.Error("traceLen < window accepted")
+	}
+}

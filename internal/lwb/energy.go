@@ -1,0 +1,137 @@
+package lwb
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/glossy"
+)
+
+// EnergyModel converts a NETDAG schedule into per-node radio charge — the
+// currency of the power/latency tradeoff the paper's §IV-D explores.
+// During an LWB round every participating node keeps its radio on for the
+// whole round (that is what makes Glossy's constructive interference
+// work); a node spends its flood time split between transmitting (its
+// N_TX transmissions, each one hop slot of airtime) and listening.
+// Outside rounds the radio is off and only leakage flows.
+type EnergyModel struct {
+	RXCurrentMA    float64 // radio listening current
+	TXCurrentMA    float64 // radio transmitting current
+	SleepCurrentMA float64 // radio off / MCU sleep current
+	VoltageV       float64
+}
+
+// DefaultEnergyModel is a CC2420-class profile (the radio family Glossy
+// was characterized on): RX 18.8 mA, TX 17.4 mA at 0 dBm, ~20 µA asleep,
+// 3 V supply.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		RXCurrentMA:    18.8,
+		TXCurrentMA:    17.4,
+		SleepCurrentMA: 0.02,
+		VoltageV:       3.0,
+	}
+}
+
+// Validate checks the model's parameters.
+func (m EnergyModel) Validate() error {
+	if m.RXCurrentMA <= 0 || m.TXCurrentMA <= 0 || m.SleepCurrentMA < 0 || m.VoltageV <= 0 {
+		return fmt.Errorf("lwb: invalid energy model %+v", m)
+	}
+	return nil
+}
+
+// EnergyReport is the per-node radio cost of executing one schedule
+// instance. LWB radio time is identical across nodes (all nodes
+// participate in every flood), so the report is per node.
+type EnergyReport struct {
+	// TXTimeUS is the worst-case time spent transmitting per schedule
+	// execution (every flood's full N_TX budget).
+	TXTimeUS int64
+	// RXTimeUS is the remaining radio-on time across all rounds.
+	RXTimeUS int64
+	// SleepTimeUS is the radio-off time inside the makespan.
+	SleepTimeUS int64
+	// ChargeUC is the total charge in microcoulombs per execution.
+	ChargeUC float64
+	// AvgPowerMW is the average power over the makespan.
+	AvgPowerMW float64
+	// RadioDutyCycle is radio-on time divided by makespan — the metric
+	// low-power MAC papers report.
+	RadioDutyCycle float64
+}
+
+// Evaluate computes the worst-case per-node energy of one execution of
+// the schedule under the given Glossy constants and diameter bound.
+func (m EnergyModel) Evaluate(s *core.Schedule, p glossy.Params, diameter int) (EnergyReport, error) {
+	if err := m.Validate(); err != nil {
+		return EnergyReport{}, err
+	}
+	if s == nil {
+		return EnergyReport{}, errors.New("lwb: nil schedule")
+	}
+	if diameter < 1 {
+		return EnergyReport{}, fmt.Errorf("lwb: diameter %d must be >= 1", diameter)
+	}
+	var txUS, onUS int64
+	hopAirtime := func(width int) int64 { return p.C + p.D*int64(width) }
+	for _, r := range s.Rounds {
+		onUS += r.Duration
+		txUS += int64(r.BeaconNTX) * hopAirtime(p.BeaconWidth)
+		for _, sl := range r.Slots {
+			txUS += int64(sl.NTX) * hopAirtime(sl.Width)
+		}
+	}
+	if txUS > onUS {
+		// The reservation always covers the TX budget (eq. 3 reserves
+		// 2χ+D-1+BHW hop slots per flood); guard against degenerate
+		// hand-built schedules.
+		txUS = onUS
+	}
+	rxUS := onUS - txUS
+	sleepUS := s.Makespan - onUS
+	if sleepUS < 0 {
+		sleepUS = 0
+	}
+	// charge[µC] = t[µs] × I[mA] / 1000.
+	charge := (float64(txUS)*m.TXCurrentMA + float64(rxUS)*m.RXCurrentMA +
+		float64(sleepUS)*m.SleepCurrentMA) / 1000.0
+	rep := EnergyReport{
+		TXTimeUS:    txUS,
+		RXTimeUS:    rxUS,
+		SleepTimeUS: sleepUS,
+		ChargeUC:    charge,
+	}
+	if s.Makespan > 0 {
+		// P[mW] = Q[µC] × V[V] / t[µs] × 1000.
+		rep.AvgPowerMW = charge * m.VoltageV / float64(s.Makespan) * 1000.0
+		rep.RadioDutyCycle = float64(onUS) / float64(s.Makespan)
+	}
+	return rep, nil
+}
+
+// LifetimeHours estimates node lifetime when the schedule repeats with
+// the given period (µs, at least the makespan) on a battery of the given
+// capacity (mAh). Between executions the node sleeps.
+func (m EnergyModel) LifetimeHours(rep EnergyReport, periodUS int64, batteryMAH float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if batteryMAH <= 0 {
+		return 0, fmt.Errorf("lwb: battery capacity %v must be positive", batteryMAH)
+	}
+	active := rep.TXTimeUS + rep.RXTimeUS + rep.SleepTimeUS
+	if periodUS < active {
+		return 0, fmt.Errorf("lwb: period %d µs shorter than the schedule's %d µs", periodUS, active)
+	}
+	extraSleep := float64(periodUS-active) * m.SleepCurrentMA / 1000.0
+	chargePerPeriodUC := rep.ChargeUC + extraSleep
+	if chargePerPeriodUC <= 0 {
+		return 0, errors.New("lwb: degenerate zero-charge period")
+	}
+	// battery[µC] = mAh × 3600 × 1000.
+	batteryUC := batteryMAH * 3.6e6
+	periods := batteryUC / chargePerPeriodUC
+	return periods * float64(periodUS) / 3.6e9, nil
+}

@@ -1,0 +1,128 @@
+package lwb
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+)
+
+func solvedSoftPipeline(t testing.TB, target float64) (*core.Problem, *core.Schedule) {
+	t.Helper()
+	g, err := apps.Pipeline(3, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:     core.Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: map[dag.TaskID]float64{last.ID: target},
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestEnergyEvaluateBasics(t *testing.T) {
+	p, s := solvedSoftPipeline(t, 0.9)
+	m := DefaultEnergyModel()
+	rep, err := m.Evaluate(s, p.Params, p.Diameter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TXTimeUS <= 0 || rep.RXTimeUS <= 0 {
+		t.Errorf("degenerate radio times: %+v", rep)
+	}
+	if rep.TXTimeUS+rep.RXTimeUS != s.BusTime {
+		t.Errorf("radio-on time %d != bus time %d", rep.TXTimeUS+rep.RXTimeUS, s.BusTime)
+	}
+	if rep.SleepTimeUS != s.Makespan-s.BusTime {
+		t.Errorf("sleep time %d != makespan-bus %d", rep.SleepTimeUS, s.Makespan-s.BusTime)
+	}
+	if rep.ChargeUC <= 0 || rep.AvgPowerMW <= 0 {
+		t.Errorf("degenerate energy: %+v", rep)
+	}
+	if rep.RadioDutyCycle <= 0 || rep.RadioDutyCycle > 1 {
+		t.Errorf("duty cycle %v outside (0,1]", rep.RadioDutyCycle)
+	}
+}
+
+func TestEnergyGrowsWithReliability(t *testing.T) {
+	// The paper's central tradeoff: a stricter real-time target costs
+	// radio energy.
+	m := DefaultEnergyModel()
+	pLoose, sLoose := solvedSoftPipeline(t, 0.5)
+	pTight, sTight := solvedSoftPipeline(t, 0.999)
+	rLoose, err := m.Evaluate(sLoose, pLoose.Params, pLoose.Diameter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rTight, err := m.Evaluate(sTight, pTight.Params, pTight.Diameter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rTight.ChargeUC <= rLoose.ChargeUC {
+		t.Errorf("0.999 target charge %v not above 0.5 target charge %v",
+			rTight.ChargeUC, rLoose.ChargeUC)
+	}
+	if rTight.TXTimeUS <= rLoose.TXTimeUS {
+		t.Errorf("TX time did not grow with reliability")
+	}
+}
+
+func TestEnergyModelValidation(t *testing.T) {
+	_, s := solvedSoftPipeline(t, 0.9)
+	bad := EnergyModel{RXCurrentMA: -1, TXCurrentMA: 17, SleepCurrentMA: 0, VoltageV: 3}
+	if _, err := bad.Evaluate(s, glossy.DefaultParams(), 3); err == nil {
+		t.Error("invalid model accepted")
+	}
+	good := DefaultEnergyModel()
+	if _, err := good.Evaluate(nil, glossy.DefaultParams(), 3); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	if _, err := good.Evaluate(s, glossy.DefaultParams(), 0); err == nil {
+		t.Error("zero diameter accepted")
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	p, s := solvedSoftPipeline(t, 0.9)
+	m := DefaultEnergyModel()
+	rep, err := m.Evaluate(s, p.Params, p.Diameter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-second period, 2000 mAh battery.
+	h1, err := m.LifetimeHours(rep, 1_000_000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 <= 0 {
+		t.Fatalf("non-positive lifetime %v", h1)
+	}
+	// A slower period (10 s) must extend lifetime.
+	h10, err := m.LifetimeHours(rep, 10_000_000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h10 <= h1 {
+		t.Errorf("10s period lifetime %v not above 1s period %v", h10, h1)
+	}
+	// Sanity: a duty-cycled CC2420 node on 2000 mAh at a 10 s period
+	// should live weeks, not hours or centuries.
+	if h10 < 24 || h10 > 24*365*20 {
+		t.Errorf("implausible lifetime %v hours", h10)
+	}
+	if _, err := m.LifetimeHours(rep, 10, 2000); err == nil {
+		t.Error("period shorter than schedule accepted")
+	}
+	if _, err := m.LifetimeHours(rep, 1_000_000, 0); err == nil {
+		t.Error("zero battery accepted")
+	}
+}

@@ -1,0 +1,183 @@
+// Package lwb executes NETDAG schedules over the Low-Power Wireless Bus:
+// a time-triggered sequence of communication rounds, each a beacon flood
+// followed by contention-free slots carrying one unique-source message
+// each (Ferrari et al., SenSys 2012). The executor drives the Glossy
+// flood simulator over a lossy topology and records, per application
+// task, a hit/miss sequence across independent runs — the end-to-end
+// counterpart of the paper's §IV-A statistical validation.
+package lwb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Deployment binds an application and its schedule to a concrete
+// topology.
+type Deployment struct {
+	App    *dag.Graph
+	Sched  *core.Schedule
+	Topo   *network.Topology
+	Params glossy.Params
+	// NodeIndex maps the application's node names to topology indices.
+	NodeIndex map[string]int
+	// Host is the topology index of the LWB host initiating beacons.
+	Host int
+}
+
+// NewDeployment builds a deployment with the canonical node mapping: the
+// application's sorted node names are assigned topology indices 0, 1,
+// ... in order, and the host is index 0. The topology must have at least
+// as many nodes as the application uses.
+func NewDeployment(app *dag.Graph, sched *core.Schedule, topo *network.Topology, params glossy.Params) (*Deployment, error) {
+	if app == nil || sched == nil || topo == nil {
+		return nil, errors.New("lwb: nil deployment component")
+	}
+	names := app.Nodes()
+	if topo.NumNodes() < len(names) {
+		return nil, fmt.Errorf("lwb: topology has %d nodes, application needs %d", topo.NumNodes(), len(names))
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return &Deployment{
+		App: app, Sched: sched, Topo: topo, Params: params,
+		NodeIndex: idx, Host: 0,
+	}, nil
+}
+
+// RunResult is the outcome of one bus execution.
+type RunResult struct {
+	// TaskOK[id] reports whether the task executed with all its inbound
+	// data fresh this run.
+	TaskOK map[dag.TaskID]bool
+	// MsgOK[id] reports whether the message flood delivered to every
+	// consumer (and its producer heard the round beacon).
+	MsgOK map[dag.MsgID]bool
+	// BeaconOK[r] reports whether round r's beacon reached every node.
+	BeaconOK []bool
+}
+
+// RunOnce executes the schedule once. A message delivery succeeds when
+// the round's beacon reached the producer node (it must know the slot
+// layout to transmit), the slot flood reached each consumer's node, and
+// the producer task itself succeeded. A task succeeds when every direct
+// predecessor task succeeded and its message was delivered to this
+// task's node — the conjunction semantics ω_τ = ∧_x ω_x of §IV-A, grounded
+// in simulated floods instead of sampled sequences.
+func (d *Deployment) RunOnce(rng *rand.Rand) (RunResult, error) {
+	if rng == nil {
+		return RunResult{}, errors.New("lwb: RunOnce requires a non-nil rng")
+	}
+	diam, err := d.Topo.Diameter()
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{
+		TaskOK:   make(map[dag.TaskID]bool, d.App.NumTasks()),
+		MsgOK:    make(map[dag.MsgID]bool, d.App.NumMessages()),
+		BeaconOK: make([]bool, len(d.Sched.Rounds)),
+	}
+	// Beacon receptions per node, per round.
+	beaconHeard := make([][]bool, len(d.Sched.Rounds))
+	for _, r := range d.Sched.Rounds {
+		maxSlots := int(d.Params.HopSlots(r.BeaconNTX, diam))
+		fr, err := glossy.SimulateFlood(d.Topo, d.Host, r.BeaconNTX, maxSlots, rng)
+		if err != nil {
+			return RunResult{}, err
+		}
+		beaconHeard[r.Index] = fr.Received
+		res.BeaconOK[r.Index] = fr.All
+	}
+	// Message floods, in round order.
+	msgDelivered := make(map[dag.MsgID][]bool) // per topology node
+	for _, r := range d.Sched.Rounds {
+		for _, slot := range r.Slots {
+			m := d.App.Message(slot.Msg)
+			src := d.NodeIndex[d.App.Task(m.Source).Node]
+			if !beaconHeard[r.Index][src] {
+				// The producer never heard the round layout: slot unused.
+				msgDelivered[m.ID] = make([]bool, d.Topo.NumNodes())
+				continue
+			}
+			maxSlots := int(d.Params.HopSlots(slot.NTX, diam))
+			fr, err := glossy.SimulateFlood(d.Topo, src, slot.NTX, maxSlots, rng)
+			if err != nil {
+				return RunResult{}, err
+			}
+			msgDelivered[m.ID] = fr.Received
+		}
+	}
+	// Task success in dependency order.
+	order, err := d.App.TopoOrder()
+	if err != nil {
+		return RunResult{}, err
+	}
+	for _, id := range order {
+		ok := true
+		node := d.NodeIndex[d.App.Task(id).Node]
+		for _, p := range d.App.Preds(id) {
+			if d.App.OrderOnly(p, id) {
+				continue // pure serialization: no data at stake
+			}
+			if !res.TaskOK[p] {
+				ok = false
+				break
+			}
+			if !d.App.ConsumesMessage(p, id) {
+				continue
+			}
+			m, _ := d.App.MessageOf(p)
+			if got := msgDelivered[m.ID]; got == nil || !got[node] {
+				ok = false
+				break
+			}
+		}
+		res.TaskOK[id] = ok
+	}
+	// Message-level bookkeeping for reporting.
+	for _, m := range d.App.Messages() {
+		got := msgDelivered[m.ID]
+		ok := got != nil
+		if ok {
+			for _, c := range m.Dests {
+				if !got[d.NodeIndex[d.App.Task(c).Node]] {
+					ok = false
+					break
+				}
+			}
+		}
+		res.MsgOK[m.ID] = ok && res.TaskOK[m.Source]
+	}
+	return res, nil
+}
+
+// Run executes the schedule `runs` times and returns the per-task hit
+// sequences (independent runs of the application, §IV-A).
+func (d *Deployment) Run(runs int, rng *rand.Rand) (map[dag.TaskID]wh.Seq, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("lwb: runs must be positive, got %d", runs)
+	}
+	out := make(map[dag.TaskID]wh.Seq, d.App.NumTasks())
+	for _, t := range d.App.Tasks() {
+		out[t.ID] = make(wh.Seq, runs)
+	}
+	for i := 0; i < runs; i++ {
+		r, err := d.RunOnce(rng)
+		if err != nil {
+			return nil, err
+		}
+		for id, ok := range r.TaskOK {
+			out[id][i] = ok
+		}
+	}
+	return out, nil
+}

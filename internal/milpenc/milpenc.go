@@ -1,0 +1,240 @@
+// Package milpenc emits NETDAG soft-mode scheduling problems in CPLEX LP
+// format — the MILP encoding the paper implements with Gurobi, provided
+// (like internal/smtenc's SMT-LIB encoding) so the formal model is
+// inspectable and externally checkable. The paper notes the weakly-hard
+// eq. (9) is NOT expressible under disciplined (quasi-)convexity, which
+// is why only the soft paradigm gets a MILP; this encoder enforces the
+// same boundary and rejects weakly-hard problems.
+//
+// Encoding of one round assignment l:
+//
+//   - continuous start variables per task/round and a makespan objective;
+//   - per flood f, binaries sel_f_n ("χ(f) = n") with Σ_n sel_f_n = 1;
+//     round durations and per-task log-reliability sums are linear in
+//     the binaries (the λ and duration tables are data);
+//   - eq. (4) precedences as linear rows; eq. (5) non-overlap via
+//     big-M indicator binaries ord_t_r (task before/after round);
+//   - eq. (6) per constrained task: Σ_f Σ_n log λ(n)·sel_f_n >= log F.
+package milpenc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+)
+
+// bigM bounds every time value in the encoding; schedules here are
+// microseconds within a second-scale hyperperiod.
+const bigM = 100_000_000
+
+// logScale converts log-probabilities to integers (micro-nat units).
+const logScale = 1_000_000
+
+// Encode writes the LP-format MILP for the soft problem under the fixed
+// round assignment (assignment[m] = round of message m).
+func Encode(w io.Writer, p *core.Problem, assignment []int) error {
+	if p == nil {
+		return errors.New("milpenc: nil problem")
+	}
+	if p.Mode != core.Soft {
+		return errors.New("milpenc: only the soft paradigm admits a MILP encoding (paper §III-C)")
+	}
+	if p.SoftStat == nil {
+		return core.ErrNoStatistic
+	}
+	if err := p.App.Validate(); err != nil {
+		return err
+	}
+	msgs := p.App.Messages()
+	if len(assignment) != len(msgs) {
+		return fmt.Errorf("milpenc: assignment covers %d messages, app has %d", len(assignment), len(msgs))
+	}
+	rounds := 0
+	for _, r := range assignment {
+		if r < 0 {
+			return errors.New("milpenc: negative round index")
+		}
+		if r+1 > rounds {
+			rounds = r + 1
+		}
+	}
+	maxNTX := p.MaxNTX
+	if maxNTX == 0 {
+		maxNTX = core.DefaultMaxNTX
+	}
+
+	// Flood naming: msg_<id> and beacon_<r>.
+	floodNames := make([]string, 0, len(msgs)+rounds)
+	floodWidth := map[string]int{}
+	for _, m := range msgs {
+		n := fmt.Sprintf("msg_%d", m.ID)
+		floodNames = append(floodNames, n)
+		floodWidth[n] = m.Width
+	}
+	for r := 0; r < rounds; r++ {
+		n := fmt.Sprintf("beacon_%d", r)
+		floodNames = append(floodNames, n)
+		floodWidth[n] = p.Params.BeaconWidth
+	}
+	slotDur := func(f string, n int) int64 {
+		return p.Params.SlotDuration(n, floodWidth[f], p.Diameter)
+	}
+	logLam := func(n int) int64 {
+		lam := p.SoftStat.SuccessProb(n)
+		if lam <= 0 {
+			return -(1 << 40)
+		}
+		return int64(math.Floor(math.Log(lam) * logScale))
+	}
+
+	var b strings.Builder
+	b.WriteString("\\ NETDAG soft-mode MILP encoding (Wardega & Li, DATE 2020, eq. 4-6)\n")
+	b.WriteString("Minimize\n obj: makespan\n")
+	b.WriteString("Subject To\n")
+
+	name := func(t dag.Task) string { return sanitize(t.Name) }
+
+	// Round duration definition rows: dur_r − Σ sel·cost = 0.
+	for r := 0; r < rounds; r++ {
+		var terms []string
+		add := func(f string) {
+			for n := 1; n <= maxNTX; n++ {
+				terms = append(terms, fmt.Sprintf("- %d sel_%s_%d", slotDur(f, n), f, n))
+			}
+		}
+		add(fmt.Sprintf("beacon_%d", r))
+		for _, m := range msgs {
+			if assignment[m.ID] == r {
+				add(fmt.Sprintf("msg_%d", m.ID))
+			}
+		}
+		fmt.Fprintf(&b, " durdef_%d: dur_%d %s = 0\n", r, r, strings.Join(terms, " "))
+	}
+	// Exactly one level per flood.
+	for _, f := range floodNames {
+		var terms []string
+		for n := 1; n <= maxNTX; n++ {
+			terms = append(terms, fmt.Sprintf("+ sel_%s_%d", f, n))
+		}
+		fmt.Fprintf(&b, " one_%s: %s = 1\n", f, strings.Join(terms, " "))
+	}
+	// (4a) precedence: start_succ − start_pred >= wcet + 1.
+	for _, t := range p.App.Tasks() {
+		for _, s := range p.App.Succs(t.ID) {
+			fmt.Fprintf(&b, " prec_%s_%s: start_%s - start_%s >= %d\n",
+				name(t), name(p.App.Task(s)), name(p.App.Task(s)), name(t), t.WCET+1)
+		}
+	}
+	// (4b) rounds ordered: rstart_r − rstart_{r-1} − dur_{r-1} >= 1.
+	for r := 1; r < rounds; r++ {
+		fmt.Fprintf(&b, " rord_%d: rstart_%d - rstart_%d - dur_%d >= 1\n", r, r, r-1, r-1)
+	}
+	// (4c) producer before round; consumers after.
+	for _, m := range msgs {
+		r := assignment[m.ID]
+		src := p.App.Task(m.Source)
+		fmt.Fprintf(&b, " prod_%d: rstart_%d - start_%s >= %d\n", m.ID, r, name(src), src.WCET+1)
+		for _, cID := range m.Dests {
+			c := p.App.Task(cID)
+			fmt.Fprintf(&b, " cons_%d_%s: start_%s - rstart_%d - dur_%d >= 1\n",
+				m.ID, name(c), name(c), r, r)
+		}
+	}
+	// (5) non-overlap via indicator ord_t_r (1 = task entirely before
+	// round): start_t + wcet + 1 <= rstart_r + M(1−ord), and
+	// rstart_r + dur_r + 1 <= start_t + M·ord.
+	for _, t := range p.App.Tasks() {
+		for r := 0; r < rounds; r++ {
+			fmt.Fprintf(&b, " no1_%s_%d: rstart_%d - start_%s + %d ord_%s_%d <= %d\n",
+				name(t), r, r, name(t), bigM, name(t), r, bigM-t.WCET-1)
+			fmt.Fprintf(&b, " no2_%s_%d: start_%s - rstart_%d - dur_%d - %d ord_%s_%d >= %d\n",
+				name(t), r, name(t), r, r, bigM, name(t), r, 1-bigM)
+		}
+	}
+	// Makespan covers everything.
+	for _, t := range p.App.Tasks() {
+		fmt.Fprintf(&b, " mk_%s: makespan - start_%s >= %d\n", name(t), name(t), t.WCET)
+	}
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(&b, " mkr_%d: makespan - rstart_%d - dur_%d >= 0\n", r, r, r)
+	}
+	// (6) soft reliability rows.
+	for _, task := range p.App.Tasks() {
+		target, ok := p.SoftCons[task.ID]
+		if !ok || target <= 0 {
+			continue
+		}
+		if target >= 1 {
+			return fmt.Errorf("milpenc: task %q demands probability 1", task.Name)
+		}
+		preds := predFloodNames(p.App, assignment, task.ID)
+		if len(preds) == 0 {
+			continue
+		}
+		var terms []string
+		for _, f := range preds {
+			for n := 1; n <= maxNTX; n++ {
+				terms = append(terms, fmt.Sprintf("%+d sel_%s_%d", logLam(n), f, n))
+			}
+		}
+		bound := int64(math.Ceil(math.Log(target) * logScale))
+		fmt.Fprintf(&b, " rel_%s: %s >= %d\n", name(task), strings.Join(terms, " "), bound)
+	}
+	// Deadlines / releases.
+	for id, d := range p.Deadlines {
+		t := p.App.Task(id)
+		fmt.Fprintf(&b, " dl_%s: start_%s <= %d\n", name(t), name(t), d-t.WCET)
+	}
+	for id, rel := range p.ReleaseTimes {
+		t := p.App.Task(id)
+		fmt.Fprintf(&b, " rel0_%s: start_%s >= %d\n", name(t), name(t), rel)
+	}
+
+	b.WriteString("Bounds\n")
+	for _, t := range p.App.Tasks() {
+		fmt.Fprintf(&b, " 0 <= start_%s <= %d\n", name(t), bigM)
+	}
+	for r := 0; r < rounds; r++ {
+		fmt.Fprintf(&b, " 0 <= rstart_%d <= %d\n", r, bigM)
+		fmt.Fprintf(&b, " 0 <= dur_%d <= %d\n", r, bigM)
+	}
+	fmt.Fprintf(&b, " 0 <= makespan <= %d\n", bigM)
+	b.WriteString("Binary\n")
+	for _, f := range floodNames {
+		for n := 1; n <= maxNTX; n++ {
+			fmt.Fprintf(&b, " sel_%s_%d\n", f, n)
+		}
+	}
+	for _, t := range p.App.Tasks() {
+		for r := 0; r < rounds; r++ {
+			fmt.Fprintf(&b, " ord_%s_%d\n", name(t), r)
+		}
+	}
+	b.WriteString("End\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func predFloodNames(app *dag.Graph, assignment []int, id dag.TaskID) []string {
+	var out []string
+	seen := map[int]bool{}
+	for _, m := range app.MsgAncestors(id) {
+		out = append(out, fmt.Sprintf("msg_%d", m))
+		r := assignment[m]
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, fmt.Sprintf("beacon_%d", r))
+		}
+	}
+	return out
+}
+
+func sanitize(name string) string {
+	r := strings.NewReplacer("/", "_", "#", "_", "-", "_", " ", "_")
+	return r.Replace(name)
+}

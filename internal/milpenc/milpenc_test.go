@@ -1,0 +1,94 @@
+package milpenc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func softProblem(t testing.TB) (*core.Problem, []int) {
+	t.Helper()
+	g, err := apps.Pipeline(3, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 3, MaxNTX: 4,
+		Mode:     core.Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: map[dag.TaskID]float64{last.ID: 0.9},
+	}
+	lg, err := dag.NewLineGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, lg.EarliestAssignment()
+}
+
+func TestEncodeSoftLP(t *testing.T) {
+	p, assign := softProblem(t)
+	var b strings.Builder
+	if err := Encode(&b, p, assign); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Minimize",
+		"obj: makespan",
+		"Subject To",
+		"one_msg_0:",
+		"one_beacon_0:",
+		"durdef_0:",
+		"rel_stage2:",
+		"Binary",
+		"sel_msg_0_1",
+		"ord_stage0_0",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP missing %q", want)
+		}
+	}
+	// Structural counts: one sel binary per flood per level (4 floods ×
+	// 4 levels = 16) and one ord binary per task-round pair (3×2 = 6).
+	if got := strings.Count(out, "\n sel_"); got != 16 {
+		t.Errorf("sel binaries = %d, want 16", got)
+	}
+	if got := strings.Count(out, "\n ord_"); got != 6 {
+		t.Errorf("ord binaries = %d, want 6", got)
+	}
+}
+
+func TestEncodeRejectsWeaklyHard(t *testing.T) {
+	g, err := apps.Pipeline(2, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage1")
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 2,
+		Mode:   core.WeaklyHard,
+		WHStat: glossy.SyntheticWH{},
+		WHCons: map[dag.TaskID]wh.MissConstraint{last.ID: {Misses: 4, Window: 10}},
+	}
+	lg, _ := dag.NewLineGraph(g)
+	if err := Encode(&strings.Builder{}, p, lg.EarliestAssignment()); err == nil {
+		t.Error("weakly-hard problem accepted by the MILP encoder (paper says eq. 9 is not DQCP)")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if err := Encode(&strings.Builder{}, nil, nil); err == nil {
+		t.Error("nil problem accepted")
+	}
+	p, _ := softProblem(t)
+	if err := Encode(&strings.Builder{}, p, []int{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Package multirate unrolls multi-rate networked applications into the
+// single-shot task graphs NETDAG schedules. The paper's §IV-B notes that
+// designers "can leverage our scheduler to freely configure how often
+// each control output is required (and by which actuation task)"; this
+// package provides that configuration surface, in the style of
+// time-triggered wireless designs (TTW, Jacob et al., DATE 2018): each
+// task runs an integer number of times per hyperperiod, instances of a
+// producer feed the rate-appropriate instances of its consumers, and
+// same-node instances are serialized with order-only edges so the
+// unrolled graph still satisfies the paper's eq. (1).
+package multirate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/netdag/netdag/internal/dag"
+)
+
+// Spec is a multi-rate application: a base graph plus per-task rates
+// (executions per hyperperiod). Tasks absent from Rates run once.
+type Spec struct {
+	App   *dag.Graph
+	Rates map[dag.TaskID]int
+}
+
+// Result is the unrolled application.
+type Result struct {
+	// Graph is the unrolled single-hyperperiod task graph.
+	Graph *dag.Graph
+	// Instances maps each original task to its instance IDs in
+	// execution order.
+	Instances map[dag.TaskID][]dag.TaskID
+}
+
+// ErrBadRate is returned for non-positive rates.
+var ErrBadRate = errors.New("multirate: rates must be positive")
+
+// InstanceName is the naming convention for unrolled instances:
+// "<task>#<i>".
+func InstanceName(base string, i int) string { return fmt.Sprintf("%s#%d", base, i) }
+
+// Unroll expands the spec into a single-hyperperiod graph:
+//
+//   - task τ with rate r becomes instances τ#0..τ#(r−1) on τ's node;
+//   - for each message edge τ -> μ, instance μ#j consumes the freshest
+//     producer instance available at its phase: τ#⌊j·r(τ)/r(μ)⌋ — the
+//     standard rate-transition rule (an undersampling consumer skips
+//     instances; an oversampling consumer reuses the latest sample);
+//   - instances sharing a physical node are serialized by phase
+//     (instance index divided by rate, ties broken by dependency order)
+//     with order-only edges, which keeps eq. (1) satisfied without
+//     fabricating bus traffic.
+func Unroll(s Spec) (*Result, error) {
+	if s.App == nil {
+		return nil, errors.New("multirate: nil application")
+	}
+	if err := s.App.Validate(); err != nil {
+		return nil, err
+	}
+	rate := func(id dag.TaskID) int {
+		if r, ok := s.Rates[id]; ok {
+			return r
+		}
+		return 1
+	}
+	for id, r := range s.Rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("%w: task %q has rate %d", ErrBadRate, s.App.Task(id).Name, r)
+		}
+	}
+	out := dag.New()
+	res := &Result{Graph: out, Instances: make(map[dag.TaskID][]dag.TaskID)}
+	// Create instances.
+	for _, t := range s.App.Tasks() {
+		r := rate(t.ID)
+		ids := make([]dag.TaskID, r)
+		for i := 0; i < r; i++ {
+			id, err := out.AddTask(InstanceName(t.Name, i), t.Node, t.WCET)
+			if err != nil {
+				return nil, err
+			}
+			ids[i] = id
+		}
+		res.Instances[t.ID] = ids
+	}
+	// Message edges with rate transitions.
+	for _, m := range s.App.Messages() {
+		srcRate := rate(m.Source)
+		for _, dstTask := range m.Dests {
+			dstRate := rate(dstTask)
+			for j := 0; j < dstRate; j++ {
+				i := j * srcRate / dstRate
+				src := res.Instances[m.Source][i]
+				dst := res.Instances[dstTask][j]
+				if err := out.Connect(src, dst, m.Width); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Order-only edges replicate original order-only semantics per
+	// phase-matched instances.
+	for _, t := range s.App.Tasks() {
+		for _, succ := range s.App.Succs(t.ID) {
+			if !s.App.OrderOnly(t.ID, succ) {
+				continue
+			}
+			srcRate, dstRate := rate(t.ID), rate(succ)
+			for j := 0; j < dstRate; j++ {
+				i := j * srcRate / dstRate
+				if err := out.ConnectOrder(res.Instances[t.ID][i], res.Instances[succ][j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Serialize same-node instances by phase so eq. (1) holds.
+	if err := serializeNodes(s, res, rate); err != nil {
+		return nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("multirate: unrolled graph invalid: %w", err)
+	}
+	return res, nil
+}
+
+// serializeNodes chains, per physical node, all instances in phase order
+// with order-only edges. Phase of instance i of a rate-r task is i/r;
+// ties are broken by the original dependency order (producers first),
+// then task ID, which matches any legal single-rate schedule.
+func serializeNodes(s Spec, res *Result, rate func(dag.TaskID) int) error {
+	order, err := s.App.TopoOrder()
+	if err != nil {
+		return err
+	}
+	topoPos := make(map[dag.TaskID]int, len(order))
+	for i, id := range order {
+		topoPos[id] = i
+	}
+	type inst struct {
+		id    dag.TaskID // instance ID in the unrolled graph
+		orig  dag.TaskID
+		phase float64
+		idx   int
+	}
+	byNode := make(map[string][]inst)
+	for _, t := range s.App.Tasks() {
+		r := rate(t.ID)
+		for i, id := range res.Instances[t.ID] {
+			byNode[t.Node] = append(byNode[t.Node], inst{
+				id: id, orig: t.ID, phase: float64(i) / float64(r), idx: i,
+			})
+		}
+	}
+	for _, insts := range byNode {
+		// Sorting by (phase, topological position, instance index) is a
+		// total order consistent with every data edge: a producer
+		// instance's phase never exceeds its consumer's (see Unroll),
+		// and within equal phases topological position puts producers
+		// first.
+		sort.Slice(insts, func(a, b int) bool {
+			ia, ib := insts[a], insts[b]
+			if ia.phase != ib.phase {
+				return ia.phase < ib.phase
+			}
+			if topoPos[ia.orig] != topoPos[ib.orig] {
+				return topoPos[ia.orig] < topoPos[ib.orig]
+			}
+			return ia.idx < ib.idx
+		})
+		for k := 1; k < len(insts); k++ {
+			if err := res.Graph.ConnectOrder(insts[k-1].id, insts[k].id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SpreadConstraints maps a per-task constraint table onto every instance
+// of each task — the common case where a requirement like "the actuator
+// output holds (m, K)" applies to each actuation instance.
+func SpreadConstraints[T any](res *Result, cons map[dag.TaskID]T) map[dag.TaskID]T {
+	out := make(map[dag.TaskID]T)
+	for orig, c := range cons {
+		for _, inst := range res.Instances[orig] {
+			out[inst] = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package multirate
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// senseCtrlAct builds sense -> ctrl -> act on three nodes.
+func senseCtrlAct(t testing.TB) (*dag.Graph, dag.TaskID, dag.TaskID, dag.TaskID) {
+	t.Helper()
+	g := dag.New()
+	sense := g.MustAddTask("sense", "n0", 300)
+	ctrl := g.MustAddTask("ctrl", "n1", 1000)
+	act := g.MustAddTask("act", "n2", 200)
+	g.MustConnect(sense, ctrl, 8)
+	g.MustConnect(ctrl, act, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, sense, ctrl, act
+}
+
+func TestUnrollSingleRateIsIdentityShaped(t *testing.T) {
+	g, sense, ctrl, act := senseCtrlAct(t)
+	res, err := Unroll(Spec{App: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumTasks() != 3 || res.Graph.NumMessages() != 2 {
+		t.Errorf("unrolled shape %d/%d, want 3/2", res.Graph.NumTasks(), res.Graph.NumMessages())
+	}
+	for _, id := range []dag.TaskID{sense, ctrl, act} {
+		if len(res.Instances[id]) != 1 {
+			t.Errorf("task %d has %d instances, want 1", id, len(res.Instances[id]))
+		}
+	}
+}
+
+func TestUnrollOversamplingActuator(t *testing.T) {
+	// The actuator runs twice per hyperperiod; both instances consume
+	// the single control output.
+	g, _, ctrl, act := senseCtrlAct(t)
+	res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{act: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Instances[act]); got != 2 {
+		t.Fatalf("actuator instances = %d, want 2", got)
+	}
+	ctrlInst := res.Instances[ctrl][0]
+	m, ok := res.Graph.MessageOf(ctrlInst)
+	if !ok {
+		t.Fatal("control instance emits no message")
+	}
+	if len(m.Dests) != 2 {
+		t.Errorf("control message feeds %d instances, want both actuator instances", len(m.Dests))
+	}
+	// Messages: sense#0 and ctrl#0 only — oversampling must not clone
+	// producer floods.
+	if res.Graph.NumMessages() != 2 {
+		t.Errorf("unrolled messages = %d, want 2", res.Graph.NumMessages())
+	}
+}
+
+func TestUnrollUndersamplingConsumer(t *testing.T) {
+	// The sensor runs 4x, the controller 2x: controller instance j
+	// consumes sensor instance 2j.
+	g, sense, ctrl, _ := senseCtrlAct(t)
+	res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{sense: 4, ctrl: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 2; j++ {
+		cInst := res.Instances[ctrl][j]
+		anc := res.Graph.MsgAncestors(cInst)
+		// Exactly one sensor message feeds each control instance.
+		found := 0
+		for _, m := range anc {
+			msg := res.Graph.Message(m)
+			if msg.Source == res.Instances[sense][2*j] {
+				found++
+			}
+		}
+		if found != 1 {
+			t.Errorf("ctrl#%d does not consume sense#%d: ancestors %v", j, 2*j, anc)
+		}
+	}
+	// Sensor instances 1 and 3 feed nobody, and the 1x actuator consumes
+	// only ctrl#0 — so exactly sense#0, sense#2 and ctrl#0 emit.
+	if res.Graph.NumMessages() != 3 {
+		t.Errorf("messages = %d, want 3", res.Graph.NumMessages())
+	}
+}
+
+func TestUnrollSerializesSameNodeInstances(t *testing.T) {
+	g, sense, _, _ := senseCtrlAct(t)
+	res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{sense: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := res.Instances[sense]
+	for k := 1; k < len(insts); k++ {
+		if !res.Graph.Reaches(insts[k-1], insts[k]) {
+			t.Errorf("instance %d not ordered before %d", k-1, k)
+		}
+		if !res.Graph.OrderOnly(insts[k-1], insts[k]) {
+			t.Errorf("serialization edge %d->%d should be order-only", k-1, k)
+		}
+	}
+	// Order edges must not pollute reliability: instance 1's message
+	// ancestors are empty (it is a source).
+	if anc := res.Graph.MsgAncestors(insts[1]); len(anc) != 0 {
+		t.Errorf("serialization edge leaked reliability ancestors: %v", anc)
+	}
+}
+
+func TestUnrollValidatesRates(t *testing.T) {
+	g, sense, _, _ := senseCtrlAct(t)
+	if _, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{sense: 0}}); !errors.Is(err, ErrBadRate) {
+		t.Errorf("zero rate: %v, want ErrBadRate", err)
+	}
+	if _, err := Unroll(Spec{}); err == nil {
+		t.Error("nil app accepted")
+	}
+}
+
+func TestUnrolledGraphSchedules(t *testing.T) {
+	// End-to-end: unroll a 2x-actuation app, spread weakly-hard
+	// constraints over the instances, schedule, and audit.
+	g, _, _, act := senseCtrlAct(t)
+	res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{act: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := SpreadConstraints(res, map[dag.TaskID]wh.MissConstraint{
+		act: {Misses: 12, Window: 40},
+	})
+	if len(cons) != 2 {
+		t.Fatalf("spread constraints = %d, want 2", len(cons))
+	}
+	p := &core.Problem{
+		App:      res.Graph,
+		Params:   glossy.DefaultParams(),
+		Diameter: 3,
+		Mode:     core.WeaklyHard,
+		WHStat:   glossy.SyntheticWH{},
+		WHCons:   cons,
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(res.Graph); err != nil {
+		t.Fatalf("unrolled schedule invalid: %v", err)
+	}
+	for inst := range cons {
+		guar, ok := core.SatisfiedWH(p, s, inst)
+		if !ok {
+			t.Fatalf("instance %d has no networked predecessors", inst)
+		}
+		if !wh.SufficientlyImpliesMiss(guar, cons[inst]) {
+			t.Errorf("instance %d guarantee %v misses requirement", inst, guar)
+		}
+	}
+}
+
+func TestUnrollMIMOWithMixedRates(t *testing.T) {
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make(map[dag.TaskID]int)
+	for i, a := range apps.Actuators(g) {
+		rates[a] = 1 + i%2 // alternate 1x and 2x actuation
+	}
+	res, err := Unroll(Spec{App: g, Rates: rates})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Graph.Validate(); err != nil {
+		t.Fatalf("unrolled MIMO invalid: %v", err)
+	}
+	want := 13 + 2 // two actuators doubled
+	if res.Graph.NumTasks() != want {
+		t.Errorf("unrolled tasks = %d, want %d", res.Graph.NumTasks(), want)
+	}
+}
+
+func TestInstanceName(t *testing.T) {
+	if InstanceName("ctrl", 3) != "ctrl#3" {
+		t.Errorf("InstanceName = %q", InstanceName("ctrl", 3))
+	}
+}

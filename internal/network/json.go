@@ -1,0 +1,57 @@
+package network
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TopologyFile is the JSON serialization of a topology, for CLI tools
+// that deploy schedules on user-described networks.
+type TopologyFile struct {
+	Nodes int        `json:"nodes"`
+	Links []LinkSpec `json:"links"`
+}
+
+// LinkSpec is one symmetric link.
+type LinkSpec struct {
+	A   int     `json:"a"`
+	B   int     `json:"b"`
+	PRR float64 `json:"prr"`
+}
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	f := TopologyFile{Nodes: t.n}
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			if t.prr[i][j] > 0 {
+				f.Links = append(f.Links, LinkSpec{A: i, B: j, PRR: t.prr[i][j]})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses a topology from JSON, validating node indices and PRR
+// ranges.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var f TopologyFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("network: parsing topology: %w", err)
+	}
+	if f.Nodes <= 0 {
+		return nil, fmt.Errorf("network: topology needs at least one node, got %d", f.Nodes)
+	}
+	t := NewTopology(f.Nodes)
+	for _, l := range f.Links {
+		if err := t.AddLink(l.A, l.B, l.PRR); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

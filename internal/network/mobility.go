@@ -1,0 +1,121 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Mobility support for the design-space exploration of §IV-D: nodes are
+// "mobile within the unit square"; the system designer profiles the
+// worst-case average pairwise signal strength and network diameter along
+// a mobility trace for each transmission-power setting.
+
+// Walker generates a mobility trace: a sequence of placements of the same
+// node set inside the unit square.
+type Walker interface {
+	// Walk returns a trace of the given number of snapshots.
+	Walk(steps int) []Placement
+}
+
+// RandomWaypoint is the classic random-waypoint mobility model: each node
+// picks a uniform destination and moves toward it at its speed; on
+// arrival it picks a new destination.
+type RandomWaypoint struct {
+	rng   *rand.Rand
+	pos   Placement
+	dst   Placement
+	Speed float64 // distance per step
+}
+
+// NewRandomWaypoint starts n nodes at uniform positions with the given
+// per-step speed. rng must be non-nil.
+func NewRandomWaypoint(n int, speed float64, rng *rand.Rand) (*RandomWaypoint, error) {
+	if rng == nil {
+		return nil, errors.New("network: NewRandomWaypoint requires a non-nil rng")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("network: need at least one node, got %d", n)
+	}
+	if speed <= 0 || speed > 1 {
+		return nil, fmt.Errorf("network: speed %v outside (0,1]", speed)
+	}
+	return &RandomWaypoint{
+		rng:   rng,
+		pos:   RandomPlacement(n, rng),
+		dst:   RandomPlacement(n, rng),
+		Speed: speed,
+	}, nil
+}
+
+// Walk advances the model and returns the trace including the initial
+// positions (steps snapshots in total).
+func (w *RandomWaypoint) Walk(steps int) []Placement {
+	trace := make([]Placement, 0, steps)
+	for s := 0; s < steps; s++ {
+		snap := make(Placement, len(w.pos))
+		copy(snap, w.pos)
+		trace = append(trace, snap)
+		w.step()
+	}
+	return trace
+}
+
+func (w *RandomWaypoint) step() {
+	for i := range w.pos {
+		d := Distance(w.pos[i], w.dst[i])
+		if d <= w.Speed {
+			w.pos[i] = w.dst[i]
+			w.dst[i] = Point{X: w.rng.Float64(), Y: w.rng.Float64()}
+			continue
+		}
+		frac := w.Speed / d
+		w.pos[i].X += (w.dst[i].X - w.pos[i].X) * frac
+		w.pos[i].Y += (w.dst[i].Y - w.pos[i].Y) * frac
+	}
+}
+
+// PowerProfile is one row of the fig. 4 profiling panels: the worst-case
+// statistics observed along a mobility trace under transmission power Q.
+type PowerProfile struct {
+	Q        float64 // transmission power setting Q_i in (0, 1]
+	WorstFSS float64 // worst-case (minimum over snapshots) mean pairwise fSS
+	Diameter int     // worst-case (maximum over snapshots) hop diameter
+	AlwaysOK bool    // true when every snapshot was connected
+}
+
+// Profile computes the worst-case mean fSS and diameter over a trace for
+// one power setting. Disconnected snapshots clear AlwaysOK and are skipped
+// for the diameter maximum (the paper's designer would reject such a
+// power setting; callers inspect AlwaysOK).
+func Profile(trace []Placement, q float64) PowerProfile {
+	p := PowerProfile{Q: q, AlwaysOK: true}
+	first := true
+	for _, pts := range trace {
+		fss := MeanFSS(pts, q)
+		if first || fss < p.WorstFSS {
+			p.WorstFSS = fss
+		}
+		first = false
+		topo := FromPlacement(pts, q)
+		d, err := topo.Diameter()
+		if err != nil {
+			p.AlwaysOK = false
+			continue
+		}
+		if d > p.Diameter {
+			p.Diameter = d
+		}
+	}
+	return p
+}
+
+// ProfileSweep profiles a trace across several power settings, the left
+// two panels of fig. 4.
+func ProfileSweep(trace []Placement, qs []float64) []PowerProfile {
+	out := make([]PowerProfile, len(qs))
+	for i, q := range qs {
+		out[i] = Profile(trace, q)
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomWaypointValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewRandomWaypoint(5, 0.1, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewRandomWaypoint(0, 0.1, rng); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewRandomWaypoint(5, 0, rng); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := NewRandomWaypoint(5, 2, rng); err == nil {
+		t.Error("speed > 1 accepted")
+	}
+}
+
+func TestRandomWaypointStaysInSquareAndMoves(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := NewRandomWaypoint(6, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := w.Walk(200)
+	if len(trace) != 200 {
+		t.Fatalf("trace length = %d", len(trace))
+	}
+	moved := false
+	for s, pts := range trace {
+		if len(pts) != 6 {
+			t.Fatalf("snapshot %d has %d nodes", s, len(pts))
+		}
+		for _, p := range pts {
+			if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+				t.Fatalf("node left the unit square at snapshot %d: %+v", s, p)
+			}
+		}
+		if s > 0 && Distance(trace[s][0], trace[s-1][0]) > 1e-9 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("nodes never moved")
+	}
+	// Per-step displacement is bounded by speed.
+	for s := 1; s < len(trace); s++ {
+		for i := range trace[s] {
+			if d := Distance(trace[s][i], trace[s-1][i]); d > 0.05+1e-9 {
+				t.Fatalf("node %d moved %v in one step, speed is 0.05", i, d)
+			}
+		}
+	}
+}
+
+func TestProfileWorstCaseSemantics(t *testing.T) {
+	// A hand-built 2-snapshot trace: nodes close together, then spread.
+	near := Placement{{0.1, 0.1}, {0.2, 0.1}, {0.15, 0.2}}
+	far := Placement{{0, 0}, {0.5, 0.5}, {1, 1}}
+	trace := []Placement{near, far}
+	p := Profile(trace, 0.3)
+	// Worst fSS must equal the spread snapshot's mean.
+	if want := MeanFSS(far, 0.3); p.WorstFSS != want {
+		t.Errorf("WorstFSS = %v, want %v (the worse snapshot)", p.WorstFSS, want)
+	}
+	// Worst diameter is the max over connected snapshots.
+	dNear, err := FromPlacement(near, 0.3).Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFar, errFar := FromPlacement(far, 0.3).Diameter()
+	wantD := dNear
+	if errFar == nil && dFar > wantD {
+		wantD = dFar
+	}
+	if p.Diameter != wantD {
+		t.Errorf("Diameter = %d, want %d", p.Diameter, wantD)
+	}
+	if errFar != nil && p.AlwaysOK {
+		t.Error("AlwaysOK should be false when a snapshot is disconnected")
+	}
+}
+
+func TestProfileSweepShapes(t *testing.T) {
+	// The fig. 4 shapes: raising transmission power cannot decrease the
+	// worst-case mean fSS, and for settings where every snapshot is
+	// connected, higher power cannot increase the worst-case diameter.
+	rng := rand.New(rand.NewSource(3))
+	w, err := NewRandomWaypoint(8, 0.05, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := w.Walk(50)
+	qs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	profiles := ProfileSweep(trace, qs)
+	for i := 1; i < len(profiles); i++ {
+		if profiles[i].WorstFSS < profiles[i-1].WorstFSS-1e-12 {
+			t.Errorf("WorstFSS decreased from Q=%v to Q=%v", qs[i-1], qs[i])
+		}
+		if profiles[i-1].AlwaysOK && profiles[i].AlwaysOK &&
+			profiles[i].Diameter > profiles[i-1].Diameter {
+			t.Errorf("diameter increased with power from Q=%v to Q=%v", qs[i-1], qs[i])
+		}
+	}
+}

@@ -1,0 +1,354 @@
+// Package network models the physical wireless network N = (P, C) under
+// a NETDAG deployment: node placements, pairwise signal strength under a
+// transmission-power setting, the induced connectivity graph with
+// per-link packet reception ratios, hop-count diameter D(N), and the
+// mobility traces and power profiling used by the paper's design-space
+// exploration (§IV-D, fig. 4).
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Topology is an undirected connectivity graph over n nodes with a
+// packet reception ratio (PRR) per link. It is the input to the Glossy
+// flood simulator: a transmission is heard by each neighbor
+// independently with the link's PRR.
+type Topology struct {
+	n   int
+	prr [][]float64 // 0 = no link; symmetric
+}
+
+// ErrDisconnected is returned by operations requiring a connected
+// topology.
+var ErrDisconnected = errors.New("network: topology is disconnected")
+
+// NewTopology returns an edgeless topology over n nodes. n must be
+// positive.
+func NewTopology(n int) *Topology {
+	if n <= 0 {
+		panic(fmt.Sprintf("network: topology needs at least one node, got %d", n))
+	}
+	prr := make([][]float64, n)
+	for i := range prr {
+		prr[i] = make([]float64, n)
+	}
+	return &Topology{n: n, prr: prr}
+}
+
+// NumNodes returns the node count.
+func (t *Topology) NumNodes() int { return t.n }
+
+// AddLink installs a symmetric link between a and b with the given packet
+// reception ratio in (0, 1]. Adding a link twice overwrites the PRR.
+func (t *Topology) AddLink(a, b int, prr float64) error {
+	if a < 0 || a >= t.n || b < 0 || b >= t.n || a == b {
+		return fmt.Errorf("network: invalid link %d-%d in %d-node topology", a, b, t.n)
+	}
+	if prr <= 0 || prr > 1 {
+		return fmt.Errorf("network: link PRR %v outside (0,1]", prr)
+	}
+	t.prr[a][b] = prr
+	t.prr[b][a] = prr
+	return nil
+}
+
+// PRR returns the packet reception ratio of the a-b link, or 0 when no
+// link exists.
+func (t *Topology) PRR(a, b int) float64 {
+	if a < 0 || a >= t.n || b < 0 || b >= t.n {
+		return 0
+	}
+	return t.prr[a][b]
+}
+
+// Neighbors returns the nodes adjacent to i, in increasing order.
+func (t *Topology) Neighbors(i int) []int {
+	var out []int
+	for j := 0; j < t.n; j++ {
+		if t.prr[i][j] > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// hopDistances runs BFS from src and returns hop counts (-1 for
+// unreachable nodes).
+func (t *Topology) hopDistances(src int) []int {
+	dist := make([]int, t.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for j := 0; j < t.n; j++ {
+			if t.prr[v][j] > 0 && dist[j] < 0 {
+				dist[j] = dist[v] + 1
+				queue = append(queue, j)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether every node can reach every other node.
+func (t *Topology) Connected() bool {
+	for _, d := range t.hopDistances(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns D(N), the maximum over node pairs of the shortest hop
+// count, or ErrDisconnected.
+func (t *Topology) Diameter() (int, error) {
+	best := 0
+	for src := 0; src < t.n; src++ {
+		for _, d := range t.hopDistances(src) {
+			if d < 0 {
+				return 0, ErrDisconnected
+			}
+			if d > best {
+				best = d
+			}
+		}
+	}
+	return best, nil
+}
+
+// MeanPRR returns the average PRR over existing links, or 0 for an
+// edgeless topology.
+func (t *Topology) MeanPRR() float64 {
+	sum, cnt := 0.0, 0
+	for i := 0; i < t.n; i++ {
+		for j := i + 1; j < t.n; j++ {
+			if t.prr[i][j] > 0 {
+				sum += t.prr[i][j]
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Line returns a path topology 0-1-2-...-n-1 with uniform link PRR.
+func Line(n int, prr float64) *Topology {
+	t := NewTopology(n)
+	for i := 0; i+1 < n; i++ {
+		if err := t.AddLink(i, i+1, prr); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// Star returns a hub-and-spoke topology with node 0 as hub.
+func Star(n int, prr float64) *Topology {
+	t := NewTopology(n)
+	for i := 1; i < n; i++ {
+		if err := t.AddLink(0, i, prr); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// Grid returns a w×h 4-neighbor mesh with uniform link PRR.
+func Grid(w, h int, prr float64) *Topology {
+	t := NewTopology(w * h)
+	idx := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if err := t.AddLink(idx(x, y), idx(x+1, y), prr); err != nil {
+					panic(err)
+				}
+			}
+			if y+1 < h {
+				if err := t.AddLink(idx(x, y), idx(x, y+1), prr); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Clique returns a fully connected topology with uniform link PRR.
+func Clique(n int, prr float64) *Topology {
+	t := NewTopology(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := t.AddLink(i, j, prr); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return t
+}
+
+// RandomGeometric places n nodes uniformly in the unit square and links
+// pairs whose filtered signal strength under power q is in range,
+// retrying until the topology is connected (up to 1000 attempts).
+func RandomGeometric(n int, q float64, rng *rand.Rand) (*Topology, Placement, error) {
+	if rng == nil {
+		return nil, nil, errors.New("network: RandomGeometric requires a non-nil rng")
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		pts := RandomPlacement(n, rng)
+		t := FromPlacement(pts, q)
+		if t.Connected() {
+			return t, pts, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("network: could not draw a connected geometric topology (n=%d, q=%v)", n, q)
+}
+
+// Point is a position in the unit square.
+type Point struct{ X, Y float64 }
+
+// Placement assigns a position to every node.
+type Placement []Point
+
+// RandomPlacement draws n positions uniformly in the unit square.
+func RandomPlacement(n int, rng *rand.Rand) Placement {
+	pts := make(Placement, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return pts
+}
+
+// Distance returns the Euclidean distance between two points.
+func Distance(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Signal-strength model of §IV-D: SS_i(x,y) = Q_i / r(x,y)^2, saturating
+// at SSMax; nodes with SS at or below SSMin are out of range. The
+// filtered signal strength fSS therefore has co-domain (SSMin, SSMax].
+const (
+	SSMin = 0.5
+	SSMax = 2.0
+)
+
+// SignalStrength returns the raw (unfiltered) signal strength between two
+// points under transmission power q. Coincident points get +Inf (then
+// saturated by FilteredSS).
+func SignalStrength(q float64, a, b Point) float64 {
+	r := Distance(a, b)
+	if r == 0 {
+		return math.Inf(1)
+	}
+	return q / (r * r)
+}
+
+// FilteredSS returns the saturation- and out-of-range-filtered signal
+// strength fSS and whether the pair is in range.
+func FilteredSS(q float64, a, b Point) (float64, bool) {
+	ss := SignalStrength(q, a, b)
+	if ss <= SSMin {
+		return 0, false
+	}
+	if ss > SSMax {
+		ss = SSMax
+	}
+	return ss, true
+}
+
+// PRRFromFSS maps a filtered signal strength in (SSMin, SSMax] to a
+// per-link packet reception ratio in (0.25, 1]. The paper profiles
+// testbed hardware here; we substitute the linear map fSS/SSMax, which
+// preserves the property the experiments need — reception improves
+// monotonically with signal strength and saturates at 1.
+func PRRFromFSS(fss float64) float64 {
+	prr := fss / SSMax
+	if prr > 1 {
+		prr = 1
+	}
+	return prr
+}
+
+// FromPlacement builds the connectivity topology induced by positions and
+// power q: in-range pairs get links with PRRFromFSS quality.
+func FromPlacement(pts Placement, q float64) *Topology {
+	t := NewTopology(len(pts))
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if fss, ok := FilteredSS(q, pts[i], pts[j]); ok {
+				if err := t.AddLink(i, j, PRRFromFSS(fss)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// FromPlacementShadowed builds the connectivity topology with log-normal
+// shadowing: each pair's signal strength is Q/r² scaled by 10^(X/10)
+// with X ~ N(0, sigmaDB) drawn once per link — the standard radio
+// irregularity model. sigmaDB = 0 reduces exactly to FromPlacement.
+// Shadowing can both create marginal long links and kill nominal short
+// ones, which is what makes real deployments need the worst-case
+// profiling of §IV-D.
+func FromPlacementShadowed(pts Placement, q, sigmaDB float64, rng *rand.Rand) (*Topology, error) {
+	if rng == nil {
+		return nil, errors.New("network: FromPlacementShadowed requires a non-nil rng")
+	}
+	if sigmaDB < 0 {
+		return nil, fmt.Errorf("network: negative shadowing sigma %v", sigmaDB)
+	}
+	t := NewTopology(len(pts))
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			ss := SignalStrength(q, pts[i], pts[j])
+			if sigmaDB > 0 {
+				ss *= math.Pow(10, rng.NormFloat64()*sigmaDB/10)
+			}
+			if ss <= SSMin {
+				continue
+			}
+			if ss > SSMax {
+				ss = SSMax
+			}
+			if err := t.AddLink(i, j, PRRFromFSS(ss)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// MeanFSS returns the average filtered signal strength over all node
+// pairs, counting out-of-range pairs as 0 — the paper's per-snapshot
+// average pairwise fSS statistic.
+func MeanFSS(pts Placement, q float64) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	sum, cnt := 0.0, 0
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			fss, ok := FilteredSS(q, pts[i], pts[j])
+			if ok {
+				sum += fss
+			}
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}

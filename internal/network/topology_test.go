@@ -1,0 +1,283 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAddLinkValidation(t *testing.T) {
+	topo := NewTopology(3)
+	if err := topo.AddLink(0, 0, 0.5); err == nil {
+		t.Error("self-link accepted")
+	}
+	if err := topo.AddLink(0, 3, 0.5); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := topo.AddLink(0, 1, 0); err == nil {
+		t.Error("zero PRR accepted")
+	}
+	if err := topo.AddLink(0, 1, 1.5); err == nil {
+		t.Error("PRR > 1 accepted")
+	}
+	if err := topo.AddLink(0, 1, 0.9); err != nil {
+		t.Errorf("valid link rejected: %v", err)
+	}
+	if topo.PRR(0, 1) != 0.9 || topo.PRR(1, 0) != 0.9 {
+		t.Error("link not symmetric")
+	}
+}
+
+func TestLineDiameter(t *testing.T) {
+	topo := Line(5, 0.9)
+	d, err := topo.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 {
+		t.Errorf("line-5 diameter = %d, want 4", d)
+	}
+	if !topo.Connected() {
+		t.Error("line should be connected")
+	}
+}
+
+func TestStarDiameter(t *testing.T) {
+	topo := Star(6, 0.9)
+	d, err := topo.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("star diameter = %d, want 2", d)
+	}
+}
+
+func TestGridDiameter(t *testing.T) {
+	topo := Grid(3, 3, 0.9)
+	d, err := topo.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 { // Manhattan distance corner to corner
+		t.Errorf("3x3 grid diameter = %d, want 4", d)
+	}
+}
+
+func TestCliqueDiameter(t *testing.T) {
+	topo := Clique(7, 1)
+	d, err := topo.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("clique diameter = %d, want 1", d)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	topo := NewTopology(4)
+	if err := topo.AddLink(0, 1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddLink(2, 3, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Error("two components reported connected")
+	}
+	if _, err := topo.Diameter(); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("Diameter on disconnected topology: %v, want ErrDisconnected", err)
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	topo := Star(4, 0.8)
+	hub := topo.Neighbors(0)
+	if len(hub) != 3 {
+		t.Errorf("hub neighbors = %v", hub)
+	}
+	leaf := topo.Neighbors(2)
+	if len(leaf) != 1 || leaf[0] != 0 {
+		t.Errorf("leaf neighbors = %v, want [0]", leaf)
+	}
+}
+
+func TestMeanPRR(t *testing.T) {
+	topo := NewTopology(3)
+	_ = topo.AddLink(0, 1, 0.8)
+	_ = topo.AddLink(1, 2, 0.6)
+	if got := topo.MeanPRR(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("MeanPRR = %v, want 0.7", got)
+	}
+	if got := NewTopology(2).MeanPRR(); got != 0 {
+		t.Errorf("edgeless MeanPRR = %v, want 0", got)
+	}
+}
+
+func TestSignalStrengthModel(t *testing.T) {
+	a := Point{0, 0}
+	// Distance 0.5 -> r^2 = 0.25 -> SS = Q*4.
+	b := Point{0.5, 0}
+	if got := SignalStrength(0.25, a, b); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("SignalStrength = %v, want 1.0", got)
+	}
+	// Saturation at 2.
+	if fss, ok := FilteredSS(1.0, a, Point{0.1, 0}); !ok || fss != SSMax {
+		t.Errorf("FilteredSS near = (%v,%v), want saturation at %v", fss, ok, SSMax)
+	}
+	// Out of range at SS <= 0.5.
+	if _, ok := FilteredSS(0.125, a, b); ok {
+		t.Error("FilteredSS should cut at SS <= 0.5")
+	}
+	// Exactly at the boundary: excluded (paper: "at or below 0.5").
+	if _, ok := FilteredSS(0.125, a, Point{0.5, 0}); ok {
+		t.Error("boundary SS = 0.5 must be out of range")
+	}
+	// Coincident points saturate rather than overflow.
+	if fss, ok := FilteredSS(0.5, a, a); !ok || fss != SSMax {
+		t.Errorf("coincident FilteredSS = (%v,%v)", fss, ok)
+	}
+}
+
+func TestPRRFromFSSMonotone(t *testing.T) {
+	prev := 0.0
+	for fss := 0.6; fss <= 2.0; fss += 0.1 {
+		prr := PRRFromFSS(fss)
+		if prr <= prev {
+			t.Fatalf("PRRFromFSS not strictly increasing at %v", fss)
+		}
+		if prr <= 0 || prr > 1 {
+			t.Fatalf("PRRFromFSS(%v) = %v outside (0,1]", fss, prr)
+		}
+		prev = prr
+	}
+	if PRRFromFSS(SSMax) != 1 {
+		t.Error("saturated signal should give PRR 1")
+	}
+}
+
+func TestFromPlacement(t *testing.T) {
+	pts := Placement{{0, 0}, {0.3, 0}, {1, 1}}
+	topo := FromPlacement(pts, 0.2)
+	// 0-1: r^2 = 0.09, SS = 2.22 -> in range (saturated).
+	if topo.PRR(0, 1) != 1 {
+		t.Errorf("close pair PRR = %v, want 1", topo.PRR(0, 1))
+	}
+	// 0-2: r^2 = 2, SS = 0.1 -> out of range.
+	if topo.PRR(0, 2) != 0 {
+		t.Errorf("far pair PRR = %v, want 0", topo.PRR(0, 2))
+	}
+}
+
+func TestMeanFSSIncreasesWithPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := RandomPlacement(10, rng)
+	prev := -1.0
+	for _, q := range []float64{0.1, 0.2, 0.4, 0.8, 1.0} {
+		fss := MeanFSS(pts, q)
+		if fss < prev {
+			t.Fatalf("MeanFSS decreased when power rose to %v", q)
+		}
+		prev = fss
+	}
+}
+
+func TestFromPlacementShadowed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := RandomPlacement(12, rng)
+	// sigma = 0 reproduces the deterministic model exactly.
+	plain := FromPlacement(pts, 0.4)
+	shadowZero, err := FromPlacementShadowed(pts, 0.4, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if plain.PRR(i, j) != shadowZero.PRR(i, j) {
+				t.Fatalf("sigma=0 shadowing differs from FromPlacement at %d-%d", i, j)
+			}
+		}
+	}
+	// Strong shadowing changes the link set (with overwhelming
+	// probability over 66 pairs).
+	shadowed, err := FromPlacementShadowed(pts, 0.4, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			a := plain.PRR(i, j) > 0
+			b := shadowed.PRR(i, j) > 0
+			if a != b {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("6 dB shadowing changed no link")
+	}
+	if _, err := FromPlacementShadowed(pts, 0.4, -1, rng); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := FromPlacementShadowed(pts, 0.4, 3, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	orig := Grid(3, 2, 0.85)
+	var buf strings.Builder
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != orig.NumNodes() {
+		t.Fatalf("nodes %d, want %d", back.NumNodes(), orig.NumNodes())
+	}
+	for i := 0; i < orig.NumNodes(); i++ {
+		for j := 0; j < orig.NumNodes(); j++ {
+			if back.PRR(i, j) != orig.PRR(i, j) {
+				t.Fatalf("PRR(%d,%d) = %v, want %v", i, j, back.PRR(i, j), orig.PRR(i, j))
+			}
+		}
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad json":    `{`,
+		"zero nodes":  `{"nodes":0,"links":[]}`,
+		"bad index":   `{"nodes":2,"links":[{"a":0,"b":5,"prr":0.5}]}`,
+		"bad prr":     `{"nodes":2,"links":[{"a":0,"b":1,"prr":2}]}`,
+		"unknown key": `{"nodes":2,"links":[],"bogus":1}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRandomGeometricConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	topo, pts, err := RandomGeometric(8, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Error("RandomGeometric returned a disconnected topology")
+	}
+	if len(pts) != 8 {
+		t.Errorf("placement size = %d", len(pts))
+	}
+	if _, _, err := RandomGeometric(3, 0.5, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

@@ -1,0 +1,176 @@
+// Package nn implements the small multilayer perceptron and the
+// cross-entropy-method trainer that stand in for the paper's
+// "state-of-the-art neural network controller" in the §IV-C cartpole
+// experiment. The paper does not specify its controller; fig. 3 only
+// requires a competent learned policy whose performance degrades as
+// weakly-hard faults are injected, which a tanh MLP trained by CEM
+// provides deterministically and without external dependencies.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MLP is a fully connected network with tanh hidden activations and a
+// tanh output (control in [-1, 1]).
+type MLP struct {
+	sizes   []int // layer widths, e.g. [4, 8, 1]
+	weights []float64
+}
+
+// NewMLP builds a zero-initialized network with the given layer sizes.
+func NewMLP(sizes ...int) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("nn: need at least input and output layers")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("nn: invalid layer size %d", s)
+		}
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	m.weights = make([]float64, m.NumWeights())
+	return m, nil
+}
+
+// NumWeights returns the parameter count (weights plus biases).
+func (m *MLP) NumWeights() int {
+	n := 0
+	for i := 0; i+1 < len(m.sizes); i++ {
+		n += m.sizes[i]*m.sizes[i+1] + m.sizes[i+1]
+	}
+	return n
+}
+
+// SetWeights replaces the parameter vector.
+func (m *MLP) SetWeights(w []float64) error {
+	if len(w) != m.NumWeights() {
+		return fmt.Errorf("nn: weight vector length %d, want %d", len(w), m.NumWeights())
+	}
+	copy(m.weights, w)
+	return nil
+}
+
+// Weights returns a copy of the parameter vector.
+func (m *MLP) Weights() []float64 { return append([]float64(nil), m.weights...) }
+
+// Forward evaluates the network.
+func (m *MLP) Forward(in []float64) ([]float64, error) {
+	if len(in) != m.sizes[0] {
+		return nil, fmt.Errorf("nn: input size %d, want %d", len(in), m.sizes[0])
+	}
+	cur := append([]float64(nil), in...)
+	off := 0
+	for l := 0; l+1 < len(m.sizes); l++ {
+		ni, no := m.sizes[l], m.sizes[l+1]
+		next := make([]float64, no)
+		for j := 0; j < no; j++ {
+			sum := 0.0
+			for i := 0; i < ni; i++ {
+				sum += cur[i] * m.weights[off+j*ni+i]
+			}
+			sum += m.weights[off+ni*no+j] // bias
+			next[j] = math.Tanh(sum)
+		}
+		off += ni*no + no
+		cur = next
+	}
+	return cur, nil
+}
+
+// CEMConfig parameterizes the cross-entropy-method trainer.
+type CEMConfig struct {
+	Population int     // candidates per generation
+	EliteFrac  float64 // fraction kept to refit the sampling distribution
+	Iterations int
+	InitStd    float64
+	NoiseDecay float64 // multiplicative std decay per generation
+	Seed       int64
+}
+
+// DefaultCEM is a configuration that reliably solves cartpole within a
+// second on a laptop-class machine.
+func DefaultCEM() CEMConfig {
+	return CEMConfig{
+		Population: 48,
+		EliteFrac:  0.2,
+		Iterations: 20,
+		InitStd:    1.0,
+		NoiseDecay: 0.95,
+		Seed:       7,
+	}
+}
+
+// CEM maximizes the objective over the MLP's weight space: each
+// generation samples a Gaussian population around the current mean,
+// evaluates it, and refits mean/std to the elites. The objective receives
+// a candidate network and an RNG (derived deterministically from the
+// seed) and returns a score to maximize. It returns the best weights and
+// score found.
+func CEM(m *MLP, cfg CEMConfig, objective func(*MLP, *rand.Rand) float64) ([]float64, float64, error) {
+	if objective == nil {
+		return nil, 0, errors.New("nn: nil objective")
+	}
+	if cfg.Population < 2 || cfg.EliteFrac <= 0 || cfg.EliteFrac > 1 || cfg.Iterations < 1 {
+		return nil, 0, fmt.Errorf("nn: invalid CEM config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := m.NumWeights()
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	for i := range std {
+		std[i] = cfg.InitStd
+	}
+	nElite := int(float64(cfg.Population) * cfg.EliteFrac)
+	if nElite < 1 {
+		nElite = 1
+	}
+	type cand struct {
+		w     []float64
+		score float64
+	}
+	bestW := make([]float64, dim)
+	bestScore := math.Inf(-1)
+	for it := 0; it < cfg.Iterations; it++ {
+		pop := make([]cand, cfg.Population)
+		for c := range pop {
+			w := make([]float64, dim)
+			for i := range w {
+				w[i] = mean[i] + std[i]*rng.NormFloat64()
+			}
+			if err := m.SetWeights(w); err != nil {
+				return nil, 0, err
+			}
+			score := objective(m, rand.New(rand.NewSource(cfg.Seed+int64(it*cfg.Population+c))))
+			pop[c] = cand{w: w, score: score}
+		}
+		sort.Slice(pop, func(i, j int) bool { return pop[i].score > pop[j].score })
+		if pop[0].score > bestScore {
+			bestScore = pop[0].score
+			copy(bestW, pop[0].w)
+		}
+		for i := 0; i < dim; i++ {
+			sum := 0.0
+			for e := 0; e < nElite; e++ {
+				sum += pop[e].w[i]
+			}
+			mu := sum / float64(nElite)
+			varsum := 0.0
+			for e := 0; e < nElite; e++ {
+				dev := pop[e].w[i] - mu
+				varsum += dev * dev
+			}
+			mean[i] = mu
+			std[i] = math.Sqrt(varsum/float64(nElite)) + 0.01
+			std[i] *= cfg.NoiseDecay
+		}
+	}
+	if err := m.SetWeights(bestW); err != nil {
+		return nil, 0, err
+	}
+	return bestW, bestScore, nil
+}

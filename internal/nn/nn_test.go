@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMLPValidation(t *testing.T) {
+	if _, err := NewMLP(4); err == nil {
+		t.Error("single-layer network accepted")
+	}
+	if _, err := NewMLP(4, 0, 1); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+	m, err := NewMLP(4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4*8 + 8 + 8*1 + 1 = 49.
+	if got := m.NumWeights(); got != 49 {
+		t.Errorf("NumWeights = %d, want 49", got)
+	}
+}
+
+func TestSetWeightsValidation(t *testing.T) {
+	m, _ := NewMLP(2, 2, 1)
+	if err := m.SetWeights(make([]float64, 3)); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	if err := m.SetWeights(make([]float64, m.NumWeights())); err != nil {
+		t.Errorf("valid weights rejected: %v", err)
+	}
+}
+
+func TestForwardShapeAndRange(t *testing.T) {
+	m, _ := NewMLP(3, 5, 2)
+	w := make([]float64, m.NumWeights())
+	rng := rand.New(rand.NewSource(1))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	if err := m.SetWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Forward([]float64{0.5, -0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("output size %d, want 2", len(out))
+	}
+	for _, v := range out {
+		if v < -1 || v > 1 {
+			t.Errorf("tanh output %v outside [-1,1]", v)
+		}
+	}
+	if _, err := m.Forward([]float64{1, 2}); err == nil {
+		t.Error("wrong input size accepted")
+	}
+}
+
+func TestForwardZeroWeightsIsZero(t *testing.T) {
+	m, _ := NewMLP(4, 8, 1)
+	out, err := m.Forward([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Errorf("zero network output = %v, want 0", out[0])
+	}
+}
+
+func TestForwardKnownValue(t *testing.T) {
+	// 1-1 network: out = tanh(w*x + b).
+	m, _ := NewMLP(1, 1)
+	if err := m.SetWeights([]float64{2, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Forward([]float64{0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Tanh(2*0.25 + 0.5)
+	if math.Abs(out[0]-want) > 1e-12 {
+		t.Errorf("Forward = %v, want %v", out[0], want)
+	}
+}
+
+func TestWeightsIsCopy(t *testing.T) {
+	m, _ := NewMLP(1, 1)
+	w := m.Weights()
+	w[0] = 42
+	if m.Weights()[0] == 42 {
+		t.Error("Weights leaked internal state")
+	}
+}
+
+func TestCEMOptimizesQuadratic(t *testing.T) {
+	// Maximize -(w - target)^2 over a 1-1 network's two parameters.
+	m, _ := NewMLP(1, 1)
+	target := []float64{1.5, -0.75}
+	obj := func(net *MLP, _ *rand.Rand) float64 {
+		w := net.Weights()
+		s := 0.0
+		for i := range w {
+			d := w[i] - target[i]
+			s -= d * d
+		}
+		return s
+	}
+	cfg := DefaultCEM()
+	cfg.Iterations = 40
+	best, score, err := CEM(m, cfg, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < -0.01 {
+		t.Errorf("CEM converged to score %v, want ~0", score)
+	}
+	for i := range best {
+		if math.Abs(best[i]-target[i]) > 0.2 {
+			t.Errorf("weight %d = %v, want ~%v", i, best[i], target[i])
+		}
+	}
+}
+
+func TestCEMDeterministicUnderSeed(t *testing.T) {
+	obj := func(net *MLP, _ *rand.Rand) float64 {
+		w := net.Weights()
+		return -w[0] * w[0]
+	}
+	m1, _ := NewMLP(1, 1)
+	m2, _ := NewMLP(1, 1)
+	cfg := DefaultCEM()
+	cfg.Iterations = 5
+	b1, s1, err := CEM(m1, cfg, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, s2, _ := CEM(m2, cfg, obj)
+	if s1 != s2 {
+		t.Errorf("CEM scores differ under identical seeds: %v vs %v", s1, s2)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("CEM weights differ under identical seeds")
+		}
+	}
+}
+
+func TestCEMValidation(t *testing.T) {
+	m, _ := NewMLP(1, 1)
+	if _, _, err := CEM(m, DefaultCEM(), nil); err == nil {
+		t.Error("nil objective accepted")
+	}
+	bad := DefaultCEM()
+	bad.Population = 1
+	if _, _, err := CEM(m, bad, func(*MLP, *rand.Rand) float64 { return 0 }); err == nil {
+		t.Error("population of 1 accepted")
+	}
+}

@@ -1,0 +1,108 @@
+// Package sim adds the timing dimension the abstract bus executor
+// (internal/lwb) elides: per-node clock drift, Glossy-based
+// resynchronization, and guard times. Glossy's sub-microsecond time
+// synchronization is what makes the time-triggered LWB possible at all
+// (Ferrari et al., IPSN 2011); this package simulates the failure mode
+// the paper's schedules implicitly rely on avoiding — a node whose clock
+// has drifted past the guard window can neither transmit in its slot nor
+// capture the next beacon, and must rejoin once a beacon gets through.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ClockConfig models one node population's oscillator quality and the
+// host's guard-time provisioning.
+type ClockConfig struct {
+	// DriftPPM is the worst-case systematic rate error in parts per
+	// million (crystal oscillators on sensor nodes are typically
+	// 20-100 ppm).
+	DriftPPM float64
+	// SyncJitterUS is the standard deviation of the residual offset
+	// right after a successful beacon resynchronization (Glossy achieves
+	// sub-microsecond sync; the default is conservative).
+	SyncJitterUS float64
+	// GuardUS is the tolerance the round layout budgets around slot
+	// boundaries: a node participates in a round only if its clock
+	// error is within the guard.
+	GuardUS float64
+}
+
+// DefaultClockConfig is a CC2420-class deployment: 40 ppm crystals,
+// 2 µs post-sync jitter, 500 µs guards.
+func DefaultClockConfig() ClockConfig {
+	return ClockConfig{DriftPPM: 40, SyncJitterUS: 2, GuardUS: 500}
+}
+
+// Validate checks the parameters.
+func (c ClockConfig) Validate() error {
+	if c.DriftPPM < 0 || c.SyncJitterUS < 0 || c.GuardUS < 0 {
+		return fmt.Errorf("sim: invalid clock config %+v", c)
+	}
+	return nil
+}
+
+// RequiredGuardUS returns the guard window that keeps a node within
+// alignment even after it misses `missTolerance` consecutive beacons at
+// the given schedule period: the drift accumulated over
+// (missTolerance+1) periods plus a 4-sigma jitter allowance. The LWB
+// host would provision slots with this guard to make the weakly-hard
+// beacon bound survivable.
+func RequiredGuardUS(cfg ClockConfig, periodUS int64, missTolerance int) float64 {
+	if missTolerance < 0 {
+		missTolerance = 0
+	}
+	horizon := float64(periodUS) * float64(missTolerance+1)
+	return horizon*cfg.DriftPPM/1e6 + 4*cfg.SyncJitterUS
+}
+
+// clock is one node's clock state against global time.
+type clock struct {
+	cfg      ClockConfig
+	drift    float64 // this node's actual rate error (ppm, signed)
+	offsetUS float64 // current error vs global time
+	lastUS   int64   // global time of the last update
+	synced   bool    // has ever synchronized
+}
+
+// newClock draws a node clock with a uniformly random signed drift up to
+// the configured worst case.
+func newClock(cfg ClockConfig, rng *rand.Rand) *clock {
+	return &clock{
+		cfg:   cfg,
+		drift: (rng.Float64()*2 - 1) * cfg.DriftPPM,
+	}
+}
+
+// advance moves the clock to global time t, accumulating drift.
+func (c *clock) advance(t int64) {
+	if t < c.lastUS {
+		panic("sim: clock moved backwards")
+	}
+	elapsed := float64(t - c.lastUS)
+	c.offsetUS += elapsed * c.drift / 1e6
+	c.lastUS = t
+}
+
+// errorUS returns the absolute clock error.
+func (c *clock) errorUS() float64 {
+	if c.offsetUS < 0 {
+		return -c.offsetUS
+	}
+	return c.offsetUS
+}
+
+// inGuard reports whether the node's clock error fits the guard window
+// (an unsynchronized node never does).
+func (c *clock) inGuard() bool {
+	return c.synced && c.errorUS() <= c.cfg.GuardUS
+}
+
+// resync models a successful beacon capture at global time t.
+func (c *clock) resync(t int64, rng *rand.Rand) {
+	c.advance(t)
+	c.offsetUS = rng.NormFloat64() * c.cfg.SyncJitterUS
+	c.synced = true
+}

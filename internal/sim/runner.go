@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Runner executes a deployed schedule repeatedly on a global timeline
+// with per-node clocks. The model, following LWB practice:
+//
+//   - Beacon floods are receivable by every node — a node that has lost
+//     synchronization keeps its radio listening to rejoin, so capturing
+//     a beacon is how it resynchronizes.
+//   - Contention-free slots demand tight alignment: a node participates
+//     in a slot flood (as initiator or relay/receiver) only while its
+//     clock error fits the guard window.
+//   - Clock error accumulates at the node's drift rate between
+//     successful beacon captures.
+type Runner struct {
+	D      *lwb.Deployment
+	Clocks ClockConfig
+	// PeriodUS is the schedule repetition period; it must cover the
+	// makespan.
+	PeriodUS int64
+}
+
+// NewRunner validates and builds a timing-aware runner.
+func NewRunner(d *lwb.Deployment, cfg ClockConfig, periodUS int64) (*Runner, error) {
+	if d == nil {
+		return nil, errors.New("sim: nil deployment")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if periodUS < d.Sched.Makespan {
+		return nil, fmt.Errorf("sim: period %d µs below makespan %d µs", periodUS, d.Sched.Makespan)
+	}
+	return &Runner{D: d, Clocks: cfg, PeriodUS: periodUS}, nil
+}
+
+// Result aggregates a timed simulation.
+type Result struct {
+	// TaskSeqs is the per-task hit/miss trace across executions.
+	TaskSeqs map[dag.TaskID]wh.Seq
+	// BeaconCaptureRate is the fraction of (node, round) pairs that
+	// captured the beacon.
+	BeaconCaptureRate float64
+	// DesyncRate is the fraction of (node, round) pairs that entered a
+	// round outside the guard window.
+	DesyncRate float64
+}
+
+// Run executes the schedule `runs` times back to back.
+func (r *Runner) Run(runs int, rng *rand.Rand) (*Result, error) {
+	if rng == nil {
+		return nil, errors.New("sim: Run requires a non-nil rng")
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("sim: runs must be positive, got %d", runs)
+	}
+	d := r.D
+	n := d.Topo.NumNodes()
+	diam, err := d.Topo.Diameter()
+	if err != nil {
+		return nil, err
+	}
+	clocks := make([]*clock, n)
+	for i := range clocks {
+		clocks[i] = newClock(r.Clocks, rng)
+	}
+	// Nodes boot synchronized at t=0 (deployment-time sync), matching
+	// how an LWB host starts a network.
+	for _, c := range clocks {
+		c.synced = true
+	}
+	res := &Result{TaskSeqs: make(map[dag.TaskID]wh.Seq, d.App.NumTasks())}
+	for _, t := range d.App.Tasks() {
+		res.TaskSeqs[t.ID] = make(wh.Seq, runs)
+	}
+	var beaconPairs, capturedPairs, desyncPairs int
+
+	for k := 0; k < runs; k++ {
+		base := int64(k) * r.PeriodUS
+		beaconHeard := make([][]bool, len(d.Sched.Rounds))
+		msgDelivered := make(map[dag.MsgID][]bool)
+		for ri, round := range d.Sched.Rounds {
+			t := base + round.Start
+			inGuard := make([]bool, n)
+			for v, c := range clocks {
+				c.advance(t)
+				inGuard[v] = c.inGuard()
+				if !inGuard[v] {
+					desyncPairs++
+				}
+			}
+			// Beacon flood: receivable by everyone (rejoin path).
+			maxSlots := int(d.Params.HopSlots(round.BeaconNTX, diam))
+			fr, err := glossy.SimulateFlood(d.Topo, d.Host, round.BeaconNTX, maxSlots, rng)
+			if err != nil {
+				return nil, err
+			}
+			beaconHeard[ri] = fr.Received
+			beaconPairs += n
+			for v, got := range fr.Received {
+				if got {
+					capturedPairs++
+					clocks[v].resync(t, rng)
+					inGuard[v] = clocks[v].inGuard()
+				}
+			}
+			// Slot floods over the guard-masked topology.
+			masked := maskTopology(d.Topo, inGuard)
+			for _, slot := range round.Slots {
+				m := d.App.Message(slot.Msg)
+				src := d.NodeIndex[d.App.Task(m.Source).Node]
+				if !beaconHeard[ri][src] || !inGuard[src] {
+					msgDelivered[m.ID] = make([]bool, n)
+					continue
+				}
+				sm := int(d.Params.HopSlots(slot.NTX, diam))
+				sf, err := glossy.SimulateFlood(masked, src, slot.NTX, sm, rng)
+				if err != nil {
+					return nil, err
+				}
+				// A receiver out of guard cannot capture its slot even
+				// if radio waves reached it.
+				recv := make([]bool, n)
+				for v := range recv {
+					recv[v] = sf.Received[v] && inGuard[v]
+				}
+				msgDelivered[m.ID] = recv
+			}
+		}
+		// Task success, as in the abstract executor.
+		order, err := d.App.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		taskOK := make(map[dag.TaskID]bool, d.App.NumTasks())
+		for _, id := range order {
+			ok := true
+			node := d.NodeIndex[d.App.Task(id).Node]
+			for _, p := range d.App.Preds(id) {
+				if d.App.OrderOnly(p, id) {
+					continue
+				}
+				if !taskOK[p] {
+					ok = false
+					break
+				}
+				if !d.App.ConsumesMessage(p, id) {
+					continue
+				}
+				m, _ := d.App.MessageOf(p)
+				if got := msgDelivered[m.ID]; got == nil || !got[node] {
+					ok = false
+					break
+				}
+			}
+			taskOK[id] = ok
+			res.TaskSeqs[id][k] = ok
+		}
+	}
+	if beaconPairs > 0 {
+		res.BeaconCaptureRate = float64(capturedPairs) / float64(beaconPairs)
+		res.DesyncRate = float64(desyncPairs) / float64(beaconPairs)
+	}
+	return res, nil
+}
+
+// maskTopology returns a copy of topo keeping only links between nodes
+// in guard.
+func maskTopology(topo *network.Topology, inGuard []bool) *network.Topology {
+	n := topo.NumNodes()
+	out := network.NewTopology(n)
+	for i := 0; i < n; i++ {
+		if !inGuard[i] {
+			continue
+		}
+		for _, j := range topo.Neighbors(i) {
+			if j > i && inGuard[j] {
+				// PRR returns the original quality.
+				if err := out.AddLink(i, j, topo.PRR(i, j)); err != nil {
+					panic(err) // both endpoints validated above
+				}
+			}
+		}
+	}
+	return out
+}

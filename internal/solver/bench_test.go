@@ -1,0 +1,51 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lwbLikeInstance models the structure the NETDAG core generates: a
+// layered task DAG plus a chain of rounds, with task-round disjunctions.
+func lwbLikeInstance(tasks, rounds int) *Problem {
+	p := NewProblem(1)
+	rng := rand.New(rand.NewSource(3))
+	taskIDs := make([]ActID, tasks)
+	for i := range taskIDs {
+		taskIDs[i] = p.AddActivity("t", int64(rng.Intn(1000)+100))
+		if i > 0 && rng.Float64() < 0.5 {
+			p.Precede(taskIDs[rng.Intn(i)], taskIDs[i])
+		}
+	}
+	roundIDs := make([]ActID, rounds)
+	for r := range roundIDs {
+		roundIDs[r] = p.AddActivity("round", int64(5000+1000*r))
+		if r > 0 {
+			p.Precede(roundIDs[r-1], roundIDs[r])
+		}
+	}
+	for _, t := range taskIDs {
+		for _, r := range roundIDs {
+			p.Disjoint(t, r)
+		}
+	}
+	return p
+}
+
+func BenchmarkMinimizeLWBLike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := lwbLikeInstance(10, 3)
+		if _, err := p.Minimize(100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyLWBLike(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := lwbLikeInstance(10, 3)
+		if _, err := p.Greedy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/lwb"
+)
+
+// ScheduleOut is the machine-readable rendering of a NETDAG schedule —
+// what a deployment tool would flash onto the LWB host.
+type ScheduleOut struct {
+	Mode       string     `json:"mode"`
+	MakespanUS int64      `json:"makespanUS"`
+	BusTimeUS  int64      `json:"busTimeUS"`
+	Rounds     []RoundOut `json:"rounds"`
+	Tasks      []TaskOut  `json:"tasks"`
+	Energy     *EnergyOut `json:"energy,omitempty"`
+}
+
+// RoundOut is one communication round.
+type RoundOut struct {
+	Index      int       `json:"index"`
+	StartUS    int64     `json:"startUS"`
+	DurationUS int64     `json:"durationUS"`
+	BeaconNTX  int       `json:"beaconNTX"`
+	Slots      []SlotOut `json:"slots"`
+}
+
+// SlotOut is one contention-free slot.
+type SlotOut struct {
+	Message    int    `json:"message"`
+	Source     string `json:"source"`
+	NTX        int    `json:"ntx"`
+	WidthBytes int    `json:"widthBytes"`
+	DurationUS int64  `json:"durationUS"`
+}
+
+// TaskOut is one task placement.
+type TaskOut struct {
+	Name     string `json:"name"`
+	Node     string `json:"node"`
+	StartUS  int64  `json:"startUS"`
+	FinishUS int64  `json:"finishUS"`
+}
+
+// EnergyOut summarizes the per-node radio cost.
+type EnergyOut struct {
+	ChargeUC   float64 `json:"chargeUC"`
+	AvgPowerMW float64 `json:"avgPowerMW"`
+	DutyCycle  float64 `json:"dutyCycle"`
+}
+
+// Export renders a solved schedule for the given problem.
+func Export(p *core.Problem, s *core.Schedule) (*ScheduleOut, error) {
+	if p == nil || s == nil {
+		return nil, errors.New("spec: nil problem or schedule")
+	}
+	out := &ScheduleOut{
+		Mode:       s.Mode.String(),
+		MakespanUS: s.Makespan,
+		BusTimeUS:  s.BusTime,
+	}
+	for _, r := range s.Rounds {
+		ro := RoundOut{
+			Index: r.Index, StartUS: r.Start, DurationUS: r.Duration,
+			BeaconNTX: r.BeaconNTX,
+		}
+		for _, sl := range r.Slots {
+			m := p.App.Message(sl.Msg)
+			ro.Slots = append(ro.Slots, SlotOut{
+				Message:    int(sl.Msg),
+				Source:     p.App.Task(m.Source).Name,
+				NTX:        sl.NTX,
+				WidthBytes: sl.Width,
+				DurationUS: sl.Duration,
+			})
+		}
+		out.Rounds = append(out.Rounds, ro)
+	}
+	for _, t := range p.App.Tasks() {
+		tt := s.Tasks[t.ID]
+		out.Tasks = append(out.Tasks, TaskOut{
+			Name: t.Name, Node: t.Node, StartUS: tt.Start, FinishUS: tt.Finish,
+		})
+	}
+	sort.Slice(out.Tasks, func(i, j int) bool { return out.Tasks[i].StartUS < out.Tasks[j].StartUS })
+	if rep, err := lwb.DefaultEnergyModel().Evaluate(s, p.Params, p.Diameter); err == nil {
+		out.Energy = &EnergyOut{
+			ChargeUC:   rep.ChargeUC,
+			AvgPowerMW: rep.AvgPowerMW,
+			DutyCycle:  rep.RadioDutyCycle,
+		}
+	}
+	return out, nil
+}
+
+// WriteJSON exports the schedule as indented JSON.
+func WriteJSON(w io.Writer, p *core.Problem, s *core.Schedule) error {
+	out, err := Export(p, s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Import reconstructs a core.Schedule from its JSON export, resolving
+// task and message identities against the problem's application. The
+// result passes Schedule.Validate iff the original did, so exported
+// schedules can be re-audited, re-simulated and re-validated without
+// re-running the solver.
+func Import(p *core.Problem, r io.Reader) (*core.Schedule, error) {
+	if p == nil {
+		return nil, errors.New("spec: nil problem")
+	}
+	var in ScheduleOut
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, err
+	}
+	mode := core.Soft
+	switch in.Mode {
+	case "soft":
+	case "weakly-hard":
+		mode = core.WeaklyHard
+	default:
+		return nil, errors.New("spec: unknown mode " + in.Mode)
+	}
+	s := &core.Schedule{
+		Mode:     mode,
+		Makespan: in.MakespanUS,
+		BusTime:  in.BusTimeUS,
+		Tasks:    make(map[dag.TaskID]core.TaskTime, len(in.Tasks)),
+		Assign:   make([]int, p.App.NumMessages()),
+	}
+	for _, to := range in.Tasks {
+		task, ok := p.App.TaskByName(to.Name)
+		if !ok {
+			return nil, errors.New("spec: schedule names unknown task " + to.Name)
+		}
+		s.Tasks[task.ID] = core.TaskTime{Task: task.ID, Start: to.StartUS, Finish: to.FinishUS}
+	}
+	seen := make([]bool, p.App.NumMessages())
+	for _, ro := range in.Rounds {
+		round := core.Round{
+			Index:     ro.Index,
+			Start:     ro.StartUS,
+			Duration:  ro.DurationUS,
+			BeaconNTX: ro.BeaconNTX,
+		}
+		for _, so := range ro.Slots {
+			src, ok := p.App.TaskByName(so.Source)
+			if !ok {
+				return nil, errors.New("spec: slot names unknown task " + so.Source)
+			}
+			m, ok := p.App.MessageOf(src.ID)
+			if !ok {
+				return nil, errors.New("spec: slot source emits no message: " + so.Source)
+			}
+			if int(m.ID) >= len(seen) || seen[m.ID] {
+				return nil, errors.New("spec: duplicate or invalid slot for " + so.Source)
+			}
+			seen[m.ID] = true
+			s.Assign[m.ID] = ro.Index
+			round.Slots = append(round.Slots, core.Slot{
+				Msg: m.ID, NTX: so.NTX, Width: so.WidthBytes, Duration: so.DurationUS,
+			})
+		}
+		s.Rounds = append(s.Rounds, round)
+	}
+	for mid, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("spec: message %d missing from the schedule", mid)
+		}
+	}
+	return s, nil
+}

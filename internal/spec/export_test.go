@@ -1,0 +1,140 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+)
+
+func TestExportRoundTrip(t *testing.T) {
+	p, err := Load(strings.NewReader(validWH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Export(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Mode != "weakly-hard" {
+		t.Errorf("mode = %q", out.Mode)
+	}
+	if out.MakespanUS != s.Makespan || out.BusTimeUS != s.BusTime {
+		t.Errorf("exported timing mismatch: %+v", out)
+	}
+	if len(out.Rounds) != len(s.Rounds) {
+		t.Errorf("rounds = %d, want %d", len(out.Rounds), len(s.Rounds))
+	}
+	if len(out.Tasks) != p.App.NumTasks() {
+		t.Errorf("tasks = %d, want %d", len(out.Tasks), p.App.NumTasks())
+	}
+	// Tasks sorted by start time.
+	for i := 1; i < len(out.Tasks); i++ {
+		if out.Tasks[i].StartUS < out.Tasks[i-1].StartUS {
+			t.Error("exported tasks not sorted by start")
+		}
+	}
+	if out.Energy == nil || out.Energy.ChargeUC <= 0 {
+		t.Error("energy summary missing")
+	}
+	// Slots carry resolvable source names.
+	for _, r := range out.Rounds {
+		for _, sl := range r.Slots {
+			if _, ok := p.App.TaskByName(sl.Source); !ok {
+				t.Errorf("slot source %q not a task", sl.Source)
+			}
+		}
+	}
+}
+
+func TestWriteJSONIsValidJSON(t *testing.T) {
+	p, err := Load(strings.NewReader(validSoft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p, s); err != nil {
+		t.Fatal(err)
+	}
+	var parsed ScheduleOut
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if parsed.MakespanUS != s.Makespan {
+		t.Errorf("parsed makespan %d, want %d", parsed.MakespanUS, s.Makespan)
+	}
+}
+
+func TestImportRoundTrip(t *testing.T) {
+	p, err := Load(strings.NewReader(validWH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Import(p, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Makespan != s.Makespan || back.BusTime != s.BusTime {
+		t.Errorf("imported timing differs: %d/%d vs %d/%d", back.Makespan, back.BusTime, s.Makespan, s.BusTime)
+	}
+	// The imported schedule passes the independent feasibility audit.
+	if err := back.Validate(p.App); err != nil {
+		t.Fatalf("imported schedule fails audit: %v", err)
+	}
+	// χ values survive the trip.
+	for _, m := range p.App.Messages() {
+		a, _ := s.SlotNTX(m.ID)
+		b, _ := back.SlotNTX(m.ID)
+		if a != b {
+			t.Errorf("message %d χ changed: %d vs %d", m.ID, a, b)
+		}
+	}
+	// Round assignment survives.
+	for i := range s.Assign {
+		if s.Assign[i] != back.Assign[i] {
+			t.Errorf("assignment for message %d changed", i)
+		}
+	}
+}
+
+func TestImportRejectsCorrupt(t *testing.T) {
+	p, err := Load(strings.NewReader(validWH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"bad json":     `{`,
+		"bad mode":     `{"mode":"firm","makespanUS":1,"busTimeUS":1,"rounds":[],"tasks":[]}`,
+		"unknown task": `{"mode":"soft","makespanUS":1,"busTimeUS":1,"rounds":[],"tasks":[{"name":"ghost","node":"n","startUS":0,"finishUS":1}]}`,
+		"missing msgs": `{"mode":"weakly-hard","makespanUS":1,"busTimeUS":1,"rounds":[],"tasks":[]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Import(p, strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestExportNilArgs(t *testing.T) {
+	if _, err := Export(nil, nil); err == nil {
+		t.Error("nil args accepted")
+	}
+}

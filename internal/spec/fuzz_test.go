@@ -1,0 +1,26 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoad ensures the spec loader never panics on arbitrary documents —
+// it must either build a problem or return ErrSpec-class errors.
+func FuzzLoad(f *testing.F) {
+	f.Add(validWH)
+	f.Add(validSoft)
+	f.Add(`{`)
+	f.Add(`{"mode":"soft"}`)
+	f.Add(`{"mode":"weakly-hard","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[],"whStatistic":{"type":"synthetic"},"rates":{"a":3}}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		p, err := Load(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		// A successfully loaded problem must carry a validated graph.
+		if p.App == nil || p.App.NumTasks() == 0 {
+			t.Fatal("loaded problem with empty application")
+		}
+	})
+}

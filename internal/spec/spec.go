@@ -1,0 +1,236 @@
+// Package spec loads NETDAG scheduling problems from JSON, the interface
+// of the cmd/netdag binary. A spec describes the application graph, the
+// Glossy profile, the network statistic and the task-level constraints:
+//
+//	{
+//	  "mode": "weakly-hard",
+//	  "diameter": 3,
+//	  "tasks": [{"name": "sense", "node": "n0", "wcet": 500}, ...],
+//	  "edges": [{"from": "sense", "to": "ctrl", "width": 8}, ...],
+//	  "whStatistic": {"type": "synthetic"},
+//	  "whConstraints": {"act": {"misses": 4, "window": 40}}
+//	}
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/multirate"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// File is the JSON document shape.
+type File struct {
+	Mode      string `json:"mode"` // "soft" or "weakly-hard"
+	Diameter  int    `json:"diameter"`
+	MaxNTX    int    `json:"maxNTX,omitempty"`
+	MaxRounds int    `json:"maxRounds,omitempty"`
+
+	Params *ParamsSpec `json:"glossy,omitempty"`
+
+	Tasks []TaskSpec `json:"tasks"`
+	Edges []EdgeSpec `json:"edges"`
+
+	// Rates optionally makes the application multi-rate: the named tasks
+	// run that many times per hyperperiod and the graph is unrolled
+	// (internal/multirate) before scheduling. Constraints on a task
+	// spread to all of its instances.
+	Rates map[string]int `json:"rates,omitempty"`
+
+	SoftStatistic   *StatSpec          `json:"softStatistic,omitempty"`
+	WHStatistic     *StatSpec          `json:"whStatistic,omitempty"`
+	SoftConstraints map[string]float64 `json:"softConstraints,omitempty"`
+	WHConstraints   map[string]WHSpec  `json:"whConstraints,omitempty"`
+}
+
+// TaskSpec declares one task.
+type TaskSpec struct {
+	Name string `json:"name"`
+	Node string `json:"node"`
+	WCET int64  `json:"wcet"`
+}
+
+// EdgeSpec declares one dependency edge.
+type EdgeSpec struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Width int    `json:"width"`
+}
+
+// ParamsSpec overrides the default Glossy constants.
+type ParamsSpec struct {
+	A           int64 `json:"a"`
+	BHW         int64 `json:"bhw"`
+	C           int64 `json:"c"`
+	D           int64 `json:"d"`
+	BeaconWidth int   `json:"beaconWidth"`
+}
+
+// StatSpec selects a network statistic.
+type StatSpec struct {
+	Type  string  `json:"type"`            // bernoulli | sigmoid | synthetic
+	PerTX float64 `json:"perTX,omitempty"` // bernoulli
+	FSS   float64 `json:"fss,omitempty"`   // sigmoid
+}
+
+// WHSpec is a miss-form weakly-hard constraint.
+type WHSpec struct {
+	Misses int `json:"misses"`
+	Window int `json:"window"`
+}
+
+// ErrSpec wraps all spec-level validation failures.
+var ErrSpec = errors.New("spec: invalid problem specification")
+
+// Load parses a JSON problem spec and builds the core.Problem.
+func Load(r io.Reader) (*core.Problem, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return Build(&f)
+}
+
+// Build converts a parsed File into a core.Problem.
+func Build(f *File) (*core.Problem, error) {
+	if len(f.Tasks) == 0 {
+		return nil, fmt.Errorf("%w: no tasks", ErrSpec)
+	}
+	g := dag.New()
+	ids := make(map[string]dag.TaskID, len(f.Tasks))
+	for _, t := range f.Tasks {
+		id, err := g.AddTask(t.Name, t.Node, t.WCET)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		ids[t.Name] = id
+	}
+	for _, e := range f.Edges {
+		src, ok := ids[e.From]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge from unknown task %q", ErrSpec, e.From)
+		}
+		dst, ok := ids[e.To]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge to unknown task %q", ErrSpec, e.To)
+		}
+		if err := g.Connect(src, dst, e.Width); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+	}
+	// Multi-rate specs are unrolled before scheduling; instJTable maps an
+	// original task to the instances its constraints spread over (the
+	// identity for single-rate specs).
+	instances := func(id dag.TaskID) []dag.TaskID { return []dag.TaskID{id} }
+	if len(f.Rates) > 0 {
+		rates := make(map[dag.TaskID]int, len(f.Rates))
+		for name, r := range f.Rates {
+			id, ok := ids[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: rate on unknown task %q", ErrSpec, name)
+			}
+			if r <= 0 {
+				return nil, fmt.Errorf("%w: task %q rate %d must be positive", ErrSpec, name, r)
+			}
+			rates[id] = r
+		}
+		res, err := multirate.Unroll(multirate.Spec{App: g, Rates: rates})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+		}
+		g = res.Graph
+		instances = func(id dag.TaskID) []dag.TaskID { return res.Instances[id] }
+	}
+	p := &core.Problem{
+		App:       g,
+		Params:    glossy.DefaultParams(),
+		Diameter:  f.Diameter,
+		MaxNTX:    f.MaxNTX,
+		MaxRounds: f.MaxRounds,
+	}
+	if f.Params != nil {
+		p.Params = glossy.Params{
+			A: f.Params.A, BHW: f.Params.BHW, C: f.Params.C, D: f.Params.D,
+			BeaconWidth: f.Params.BeaconWidth,
+		}
+	}
+	switch f.Mode {
+	case "soft":
+		p.Mode = core.Soft
+		stat, err := buildSoftStat(f.SoftStatistic)
+		if err != nil {
+			return nil, err
+		}
+		p.SoftStat = stat
+		p.SoftCons = make(map[dag.TaskID]float64, len(f.SoftConstraints))
+		for name, v := range f.SoftConstraints {
+			id, ok := ids[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: constraint on unknown task %q", ErrSpec, name)
+			}
+			for _, inst := range instances(id) {
+				p.SoftCons[inst] = v
+			}
+		}
+	case "weakly-hard":
+		p.Mode = core.WeaklyHard
+		stat, err := buildWHStat(f.WHStatistic)
+		if err != nil {
+			return nil, err
+		}
+		p.WHStat = stat
+		p.WHCons = make(map[dag.TaskID]wh.MissConstraint, len(f.WHConstraints))
+		for name, c := range f.WHConstraints {
+			id, ok := ids[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: constraint on unknown task %q", ErrSpec, name)
+			}
+			for _, inst := range instances(id) {
+				p.WHCons[inst] = wh.MissConstraint{Misses: c.Misses, Window: c.Window}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("%w: mode must be \"soft\" or \"weakly-hard\", got %q", ErrSpec, f.Mode)
+	}
+	return p, nil
+}
+
+func buildSoftStat(s *StatSpec) (glossy.SoftStatistic, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: soft mode needs softStatistic", ErrSpec)
+	}
+	switch s.Type {
+	case "bernoulli":
+		if s.PerTX <= 0 || s.PerTX >= 1 {
+			return nil, fmt.Errorf("%w: bernoulli perTX %v outside (0,1)", ErrSpec, s.PerTX)
+		}
+		return glossy.BernoulliSoft{PerTX: s.PerTX}, nil
+	case "sigmoid":
+		if s.FSS <= 0 {
+			return nil, fmt.Errorf("%w: sigmoid fss %v must be positive", ErrSpec, s.FSS)
+		}
+		return glossy.SigmoidSoft{FSS: s.FSS}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown soft statistic %q", ErrSpec, s.Type)
+	}
+}
+
+func buildWHStat(s *StatSpec) (glossy.WHStatistic, error) {
+	if s == nil {
+		return nil, fmt.Errorf("%w: weakly-hard mode needs whStatistic", ErrSpec)
+	}
+	switch s.Type {
+	case "synthetic":
+		return glossy.SyntheticWH{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown weakly-hard statistic %q", ErrSpec, s.Type)
+	}
+}

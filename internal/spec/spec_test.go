@@ -1,0 +1,153 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+)
+
+const validWH = `{
+  "mode": "weakly-hard",
+  "diameter": 3,
+  "tasks": [
+    {"name": "sense", "node": "n0", "wcet": 500},
+    {"name": "ctrl",  "node": "n1", "wcet": 2000},
+    {"name": "act",   "node": "n2", "wcet": 300}
+  ],
+  "edges": [
+    {"from": "sense", "to": "ctrl", "width": 8},
+    {"from": "ctrl",  "to": "act",  "width": 4}
+  ],
+  "whStatistic": {"type": "synthetic"},
+  "whConstraints": {"act": {"misses": 10, "window": 40}}
+}`
+
+func TestLoadValidWeaklyHard(t *testing.T) {
+	p, err := Load(strings.NewReader(validWH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != core.WeaklyHard {
+		t.Errorf("mode = %v", p.Mode)
+	}
+	if p.App.NumTasks() != 3 || p.App.NumMessages() != 2 {
+		t.Errorf("graph shape %d/%d", p.App.NumTasks(), p.App.NumMessages())
+	}
+	// The loaded problem must actually schedule.
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatalf("loaded problem unschedulable: %v", err)
+	}
+	if s.Makespan <= 0 {
+		t.Error("degenerate schedule")
+	}
+}
+
+const validSoft = `{
+  "mode": "soft",
+  "diameter": 2,
+  "maxNTX": 6,
+  "tasks": [
+    {"name": "a", "node": "n0", "wcet": 100},
+    {"name": "b", "node": "n1", "wcet": 100}
+  ],
+  "edges": [{"from": "a", "to": "b", "width": 4}],
+  "softStatistic": {"type": "bernoulli", "perTX": 0.9},
+  "softConstraints": {"b": 0.95}
+}`
+
+func TestLoadValidSoft(t *testing.T) {
+	p, err := Load(strings.NewReader(validSoft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != core.Soft || p.MaxNTX != 6 {
+		t.Errorf("mode/maxNTX = %v/%d", p.Mode, p.MaxNTX)
+	}
+	if _, err := core.Solve(p); err != nil {
+		t.Fatalf("loaded problem unschedulable: %v", err)
+	}
+}
+
+func TestLoadRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"bad json":        `{`,
+		"no tasks":        `{"mode":"soft","diameter":1,"tasks":[],"edges":[]}`,
+		"bad mode":        `{"mode":"firm","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[]}`,
+		"unknown field":   `{"mode":"soft","diameter":1,"bogus":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[]}`,
+		"unknown edge":    `{"mode":"soft","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[{"from":"x","to":"a","width":1}],"softStatistic":{"type":"bernoulli","perTX":0.9}}`,
+		"missing stat":    `{"mode":"soft","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[]}`,
+		"bad stat type":   `{"mode":"soft","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[],"softStatistic":{"type":"magic"}}`,
+		"bad perTX":       `{"mode":"soft","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[],"softStatistic":{"type":"bernoulli","perTX":1.0}}`,
+		"bad sigmoid fss": `{"mode":"soft","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[],"softStatistic":{"type":"sigmoid","fss":0}}`,
+		"cons on unknown": `{"mode":"soft","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[],"softStatistic":{"type":"bernoulli","perTX":0.9},"softConstraints":{"zzz":0.5}}`,
+		"bad wh stat":     `{"mode":"weakly-hard","diameter":1,"tasks":[{"name":"a","node":"n","wcet":1}],"edges":[],"whStatistic":{"type":"nope"}}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); !errors.Is(err, ErrSpec) {
+			t.Errorf("%s: error %v, want ErrSpec", name, err)
+		}
+	}
+}
+
+func TestLoadSigmoidStatistic(t *testing.T) {
+	doc := strings.Replace(validSoft,
+		`"softStatistic": {"type": "bernoulli", "perTX": 0.9}`,
+		`"softStatistic": {"type": "sigmoid", "fss": 1.4}`, 1)
+	p, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Solve(p); err != nil {
+		t.Fatalf("sigmoid spec unschedulable: %v", err)
+	}
+}
+
+func TestLoadMultirateSpec(t *testing.T) {
+	doc := strings.Replace(validWH, `"whStatistic"`,
+		`"rates": {"act": 2, "ctrl": 2}, "whStatistic"`, 1)
+	p, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sense + 2×ctrl + 2×act = 5 instances.
+	if p.App.NumTasks() != 5 {
+		t.Errorf("unrolled tasks = %d, want 5", p.App.NumTasks())
+	}
+	// The actuator constraint spreads to both instances.
+	if len(p.WHCons) != 2 {
+		t.Errorf("spread constraints = %d, want 2", len(p.WHCons))
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatalf("multirate spec unschedulable: %v", err)
+	}
+	if err := s.Validate(p.App); err != nil {
+		t.Fatalf("multirate schedule audit: %v", err)
+	}
+	// Bad rates rejected.
+	bad := strings.Replace(validWH, `"whStatistic"`,
+		`"rates": {"act": 0}, "whStatistic"`, 1)
+	if _, err := Load(strings.NewReader(bad)); !errors.Is(err, ErrSpec) {
+		t.Errorf("zero rate: %v, want ErrSpec", err)
+	}
+	unknown := strings.Replace(validWH, `"whStatistic"`,
+		`"rates": {"ghost": 2}, "whStatistic"`, 1)
+	if _, err := Load(strings.NewReader(unknown)); !errors.Is(err, ErrSpec) {
+		t.Errorf("unknown rated task: %v, want ErrSpec", err)
+	}
+}
+
+func TestLoadCustomGlossyParams(t *testing.T) {
+	doc := strings.Replace(validSoft, `"maxNTX": 6,`,
+		`"maxNTX": 6, "glossy": {"a": 100, "bhw": 1, "c": 200, "d": 16, "beaconWidth": 8},`, 1)
+	p, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Params.C != 200 || p.Params.BeaconWidth != 8 {
+		t.Errorf("glossy params not applied: %+v", p.Params)
+	}
+}

@@ -1,0 +1,173 @@
+// Package stats provides the small statistical toolkit behind the
+// paper's §IV-A validation: one-sided binomial hypothesis tests for the
+// soft test statistic v >= F_s(τ), Wilson confidence intervals for
+// success rates, and summary helpers. Implemented from scratch on the
+// standard library (erf-based normal CDF).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NormalCDF returns Φ(x), the standard normal cumulative distribution.
+func NormalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// NormalQuantile returns Φ⁻¹(p) for p in (0, 1), via the Acklam
+// rational approximation refined with one Newton step (absolute error
+// well under 1e-9 across the domain).
+func NormalQuantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: quantile of p=%v outside (0,1)", p)
+	}
+	// Coefficients of the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow = 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-plow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Newton refinement: f(x) = Φ(x) − p.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x, nil
+}
+
+// BinomialTest is a one-sided test of H0: p >= p0 against H1: p < p0
+// given k successes in n trials — the §IV-A check that a task's
+// empirical success rate has not fallen below its soft target. A small
+// p-value is evidence the deployed system misses its target.
+type BinomialTest struct {
+	Successes int
+	Trials    int
+	Target    float64 // p0
+	PValue    float64 // P(K <= k | p = p0)
+	Reject    bool    // PValue < alpha
+	Alpha     float64
+}
+
+// TestBelowTarget runs the one-sided binomial test at significance
+// alpha. For n·p0·(1−p0) >= 9 it uses the normal approximation with
+// continuity correction, otherwise the exact binomial sum.
+func TestBelowTarget(successes, trials int, target, alpha float64) (BinomialTest, error) {
+	if trials <= 0 || successes < 0 || successes > trials {
+		return BinomialTest{}, fmt.Errorf("stats: invalid counts %d/%d", successes, trials)
+	}
+	if target <= 0 || target >= 1 {
+		return BinomialTest{}, fmt.Errorf("stats: target %v outside (0,1)", target)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return BinomialTest{}, fmt.Errorf("stats: alpha %v outside (0,1)", alpha)
+	}
+	t := BinomialTest{Successes: successes, Trials: trials, Target: target, Alpha: alpha}
+	nf := float64(trials)
+	if nf*target*(1-target) >= 9 {
+		mu := nf * target
+		sigma := math.Sqrt(nf * target * (1 - target))
+		z := (float64(successes) + 0.5 - mu) / sigma
+		t.PValue = NormalCDF(z)
+	} else {
+		t.PValue = binomialCDF(successes, trials, target)
+	}
+	t.Reject = t.PValue < alpha
+	return t, nil
+}
+
+// binomialCDF returns P(K <= k) for K ~ Binomial(n, p), computed in log
+// space for stability.
+func binomialCDF(k, n int, p float64) float64 {
+	sum := 0.0
+	for i := 0; i <= k; i++ {
+		sum += math.Exp(logChoose(n, i) + float64(i)*math.Log(p) + float64(n-i)*math.Log(1-p))
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+func logChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// success probability given k successes in n trials at the given
+// confidence level (e.g. 0.95).
+func WilsonInterval(successes, trials int, confidence float64) (lo, hi float64, err error) {
+	if trials <= 0 || successes < 0 || successes > trials {
+		return 0, 0, fmt.Errorf("stats: invalid counts %d/%d", successes, trials)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence %v outside (0,1)", confidence)
+	}
+	z, err := NormalQuantile(1 - (1-confidence)/2)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := float64(trials)
+	phat := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}
+
+// Mean returns the arithmetic mean; it errors on empty input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: mean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator).
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, errors.New("stats: stddev needs at least two samples")
+	}
+	mu, _ := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1)), nil
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+		{-2.5, 0.0062096653},
+	}
+	for _, tc := range cases {
+		if got := NormalCDF(tc.x); math.Abs(got-tc.want) > 1e-8 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999} {
+		x, err := NormalQuantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if _, err := NormalQuantile(0); err == nil {
+		t.Error("quantile of 0 accepted")
+	}
+	if _, err := NormalQuantile(1); err == nil {
+		t.Error("quantile of 1 accepted")
+	}
+}
+
+func TestBinomialTestDetectsShortfall(t *testing.T) {
+	// 800 successes of 1000 at target 0.9: clearly below.
+	res, err := TestBelowTarget(800, 1000, 0.9, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reject {
+		t.Errorf("80%% observed vs 90%% target not rejected: p = %v", res.PValue)
+	}
+	// 900/1000 at target 0.9: consistent with H0.
+	res2, err := TestBelowTarget(900, 1000, 0.9, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reject {
+		t.Errorf("on-target rate rejected: p = %v", res2.PValue)
+	}
+}
+
+func TestBinomialTestExactSmallN(t *testing.T) {
+	// n = 10, p0 = 0.5, k = 1: exact P(K <= 1) = 11/1024.
+	res, err := TestBelowTarget(1, 10, 0.5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 11.0 / 1024.0
+	if math.Abs(res.PValue-want) > 1e-12 {
+		t.Errorf("exact p-value = %v, want %v", res.PValue, want)
+	}
+	if !res.Reject {
+		t.Error("p ~ 0.0107 at alpha 0.05 must reject")
+	}
+}
+
+func TestBinomialTestFalsePositiveRate(t *testing.T) {
+	// Under H0 the rejection rate at alpha = 0.05 must be ~5%.
+	rng := rand.New(rand.NewSource(12))
+	const trials = 2000
+	rejects := 0
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < 500; j++ {
+			if rng.Float64() < 0.9 {
+				k++
+			}
+		}
+		res, err := TestBelowTarget(k, 500, 0.9, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject {
+			rejects++
+		}
+	}
+	rate := float64(rejects) / trials
+	if rate > 0.08 {
+		t.Errorf("false positive rate %v far above alpha 0.05", rate)
+	}
+}
+
+func TestBinomialTestValidation(t *testing.T) {
+	if _, err := TestBelowTarget(-1, 10, 0.5, 0.05); err == nil {
+		t.Error("negative successes accepted")
+	}
+	if _, err := TestBelowTarget(11, 10, 0.5, 0.05); err == nil {
+		t.Error("successes > trials accepted")
+	}
+	if _, err := TestBelowTarget(5, 10, 1.0, 0.05); err == nil {
+		t.Error("target 1 accepted")
+	}
+	if _, err := TestBelowTarget(5, 10, 0.5, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi, err := WilsonInterval(90, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 0.9 && 0.9 < hi) {
+		t.Errorf("interval [%v, %v] should contain the point estimate", lo, hi)
+	}
+	if hi-lo > 0.15 {
+		t.Errorf("interval [%v, %v] implausibly wide for n=100", lo, hi)
+	}
+	// Wider confidence -> wider interval.
+	lo99, hi99, _ := WilsonInterval(90, 100, 0.99)
+	if hi99-lo99 <= hi-lo {
+		t.Error("99% interval not wider than 95%")
+	}
+	// Edge counts stay in [0,1].
+	lo0, _, _ := WilsonInterval(0, 50, 0.95)
+	if lo0 < 0 {
+		t.Errorf("lower bound %v below 0", lo0)
+	}
+	_, hiAll, _ := WilsonInterval(50, 50, 0.95)
+	if hiAll > 1 {
+		t.Errorf("upper bound %v above 1", hiAll)
+	}
+	if _, _, err := WilsonInterval(5, 0, 0.95); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestWilsonCoverage(t *testing.T) {
+	// Empirical coverage of the 95% interval should be near 95%.
+	rng := rand.New(rand.NewSource(5))
+	const trials = 2000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		k := 0
+		for j := 0; j < 200; j++ {
+			if rng.Float64() < 0.7 {
+				k++
+			}
+		}
+		lo, hi, err := WilsonInterval(k, 200, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo <= 0.7 && 0.7 <= hi {
+			covered++
+		}
+	}
+	cov := float64(covered) / trials
+	if cov < 0.92 || cov > 0.98 {
+		t.Errorf("coverage %v far from 0.95", cov)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	mu, err := Mean(xs)
+	if err != nil || mu != 5 {
+		t.Errorf("Mean = %v (%v), want 5", mu, err)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v, want ~2.138", sd)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Error("empty mean accepted")
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Error("single-sample stddev accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package stn
+
+import "testing"
+
+func BenchmarkEarliestChain(b *testing.B) {
+	s := New()
+	prev := s.NewVar("v0")
+	for i := 1; i < 50; i++ {
+		v := s.NewVar("v")
+		s.AddMin(v, prev, 10)
+		prev = v
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Earliest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEarliestDense(b *testing.B) {
+	s := New()
+	const n = 30
+	vars := make([]VarID, n)
+	for i := range vars {
+		vars[i] = s.NewVar("v")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s.AddMin(vars[j], vars[i], int64(j-i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Earliest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package stn implements simple temporal networks: systems of difference
+// constraints s(v) >= s(u) + w over integer time variables. They are the
+// decidable fragment underlying the paper's scheduling conditions (eq. 4
+// and the makespan objective are difference constraints; the non-overlap
+// condition eq. 5 is a disjunction of two difference constraints, handled
+// by the branch-and-bound layer in internal/solver).
+//
+// The solver computes the least solution (earliest times) by longest-path
+// relaxation from a distinguished zero variable and detects inconsistency
+// (positive cycles) — the role an SMT solver's difference-logic theory
+// plays in the paper's implementation.
+package stn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VarID identifies a time variable. Zero is the distinguished origin
+// variable, fixed at time 0.
+type VarID int
+
+// Zero is the origin variable present in every network.
+const Zero VarID = 0
+
+// ErrInconsistent is returned by Earliest when the constraints admit no
+// solution (a positive cycle exists in the precedence graph).
+var ErrInconsistent = errors.New("stn: inconsistent temporal constraints")
+
+type edge struct {
+	u, v VarID // s(v) >= s(u) + w
+	w    int64
+}
+
+// STN is a growable system of difference constraints. Constraints are
+// append-only; Mark and Reset give the cheap trail semantics a
+// branch-and-bound search needs.
+type STN struct {
+	names []string
+	edges []edge
+}
+
+// New returns a network containing only the Zero origin variable.
+func New() *STN {
+	return &STN{names: []string{"zero"}}
+}
+
+// NewVar adds a time variable constrained to s(v) >= 0 and returns its
+// ID.
+func (s *STN) NewVar(name string) VarID {
+	id := VarID(len(s.names))
+	s.names = append(s.names, name)
+	s.edges = append(s.edges, edge{u: Zero, v: id, w: 0})
+	return id
+}
+
+// NumVars returns the variable count including Zero.
+func (s *STN) NumVars() int { return len(s.names) }
+
+// Name returns the variable's name.
+func (s *STN) Name(v VarID) string {
+	if v < 0 || int(v) >= len(s.names) {
+		return fmt.Sprintf("var%d", v)
+	}
+	return s.names[v]
+}
+
+// AddMin imposes s(v) >= s(u) + w.
+func (s *STN) AddMin(v, u VarID, w int64) {
+	s.checkVar(u)
+	s.checkVar(v)
+	s.edges = append(s.edges, edge{u: u, v: v, w: w})
+}
+
+// AddMax imposes s(v) <= s(u) + w (equivalently s(u) >= s(v) − w).
+func (s *STN) AddMax(v, u VarID, w int64) { s.AddMin(u, v, -w) }
+
+func (s *STN) checkVar(v VarID) {
+	if v < 0 || int(v) >= len(s.names) {
+		panic(fmt.Sprintf("stn: unknown variable %d", v))
+	}
+}
+
+// Mark returns a trail position; Reset(mark) removes every constraint
+// added after the corresponding Mark. Variables are never removed.
+func (s *STN) Mark() int { return len(s.edges) }
+
+// Reset truncates the constraint trail to a previous Mark, undoing every
+// AddMin/AddMax since. Callers must not Reset across a NewVar call: the
+// variable's defining s(v) >= 0 edge would be dropped while the variable
+// remains, leaving it unbounded below in Earliest.
+func (s *STN) Reset(mark int) {
+	if mark < 0 || mark > len(s.edges) {
+		panic(fmt.Sprintf("stn: bad mark %d", mark))
+	}
+	s.edges = s.edges[:mark]
+}
+
+// Earliest returns the least non-negative solution of the constraint
+// system — the earliest feasible time of every variable — or
+// ErrInconsistent. Complexity O(V·E) (Bellman-Ford longest path from
+// Zero).
+func (s *STN) Earliest() ([]int64, error) {
+	n := len(s.names)
+	const neg = int64(-1) << 62
+	d := make([]int64, n)
+	for i := 1; i < n; i++ {
+		d[i] = neg
+	}
+	for round := 0; round < n; round++ {
+		changed := false
+		for _, e := range s.edges {
+			if d[e.u] == neg {
+				continue
+			}
+			if nd := d[e.u] + e.w; nd > d[e.v] {
+				d[e.v] = nd
+				changed = true
+			}
+		}
+		if !changed {
+			return d, nil
+		}
+	}
+	// Still relaxing after n rounds: positive cycle.
+	return nil, ErrInconsistent
+}
+
+// Consistent reports whether the system admits any solution.
+func (s *STN) Consistent() bool {
+	_, err := s.Earliest()
+	return err == nil
+}

@@ -1,0 +1,194 @@
+package stn
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEarliestSimpleChain(t *testing.T) {
+	s := New()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	c := s.NewVar("c")
+	s.AddMin(b, a, 10) // b >= a + 10
+	s.AddMin(c, b, 5)  // c >= b + 5
+	d, err := s.Earliest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[Zero] != 0 || d[a] != 0 || d[b] != 10 || d[c] != 15 {
+		t.Errorf("earliest = %v, want [0 0 10 15]", d)
+	}
+}
+
+func TestEarliestTakesMaxOverPredecessors(t *testing.T) {
+	s := New()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	join := s.NewVar("join")
+	s.AddMin(a, Zero, 3)
+	s.AddMin(b, Zero, 8)
+	s.AddMin(join, a, 2)
+	s.AddMin(join, b, 2)
+	d, err := s.Earliest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[join] != 10 {
+		t.Errorf("join = %d, want 10 (max over predecessors)", d[join])
+	}
+}
+
+func TestInconsistencyDetected(t *testing.T) {
+	s := New()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AddMin(b, a, 5) // b >= a + 5
+	s.AddMax(b, a, 3) // b <= a + 3
+	if _, err := s.Earliest(); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("Earliest = %v, want ErrInconsistent", err)
+	}
+	if s.Consistent() {
+		t.Error("Consistent returned true on a contradictory system")
+	}
+}
+
+func TestAddMaxAsDeadline(t *testing.T) {
+	s := New()
+	a := s.NewVar("a")
+	end := s.NewVar("end")
+	s.AddMin(a, Zero, 4)
+	s.AddMin(end, a, 10)
+	s.AddMax(end, Zero, 20) // deadline: end <= 20
+	d, err := s.Earliest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[end] != 14 {
+		t.Errorf("end = %d, want 14", d[end])
+	}
+	// Tighten the deadline past feasibility.
+	s.AddMax(end, Zero, 13)
+	if _, err := s.Earliest(); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("over-tight deadline not detected: %v", err)
+	}
+}
+
+func TestMarkReset(t *testing.T) {
+	s := New()
+	a := s.NewVar("a")
+	b := s.NewVar("b")
+	s.AddMin(b, a, 7)
+	mark := s.Mark()
+	s.AddMin(a, Zero, 100)
+	d, err := s.Earliest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[b] != 107 {
+		t.Errorf("with extra constraint b = %d, want 107", d[b])
+	}
+	s.Reset(mark)
+	d, err = s.Earliest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[b] != 7 {
+		t.Errorf("after Reset b = %d, want 7", d[b])
+	}
+}
+
+func TestResetBounds(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("Reset with bad mark did not panic")
+		}
+	}()
+	s.Reset(99)
+}
+
+func TestNames(t *testing.T) {
+	s := New()
+	a := s.NewVar("alpha")
+	if s.Name(a) != "alpha" || s.Name(Zero) != "zero" {
+		t.Errorf("names wrong: %q, %q", s.Name(a), s.Name(Zero))
+	}
+	if s.Name(VarID(99)) == "" {
+		t.Error("out-of-range name should still render")
+	}
+	if s.NumVars() != 2 {
+		t.Errorf("NumVars = %d, want 2", s.NumVars())
+	}
+}
+
+func TestAddMinUnknownVarPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddMin with unknown var did not panic")
+		}
+	}()
+	s.AddMin(VarID(5), Zero, 1)
+}
+
+// Property: Earliest is the least solution — every reported time
+// satisfies all constraints, and lowering any single variable violates
+// one (checked via satisfaction only, on random DAG-like systems).
+func TestQuickEarliestSatisfiesAllConstraints(t *testing.T) {
+	f := func(weights []int8) bool {
+		s := New()
+		const nv = 6
+		vars := make([]VarID, nv)
+		for i := range vars {
+			vars[i] = s.NewVar("v")
+		}
+		// Use weights to build forward edges (i < j keeps it acyclic, so
+		// always consistent).
+		wi := 0
+		for i := 0; i < nv; i++ {
+			for j := i + 1; j < nv; j++ {
+				if wi >= len(weights) {
+					break
+				}
+				w := int64(weights[wi])
+				wi++
+				if w < 0 {
+					continue
+				}
+				s.AddMin(vars[j], vars[i], w)
+			}
+		}
+		d, err := s.Earliest()
+		if err != nil {
+			return false
+		}
+		// Re-check every constraint by replaying the same construction.
+		wi = 0
+		for i := 0; i < nv; i++ {
+			for j := i + 1; j < nv; j++ {
+				if wi >= len(weights) {
+					break
+				}
+				w := int64(weights[wi])
+				wi++
+				if w < 0 {
+					continue
+				}
+				if d[vars[j]] < d[vars[i]]+w {
+					return false
+				}
+			}
+		}
+		for _, v := range vars {
+			if d[v] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

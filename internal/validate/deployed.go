@@ -1,0 +1,89 @@
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/stats"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// DeployedReport is the end-to-end counterpart of SoftReport/WHReport:
+// instead of sampling predecessor behaviour from the network statistic,
+// it executes the schedule over a simulated lossy topology and judges the
+// observed per-task traces.
+type DeployedReport struct {
+	Task    dag.TaskID
+	Name    string
+	HitRate float64
+	Runs    int
+
+	// Soft mode: the one-sided binomial test of H0: rate >= target.
+	SoftTarget float64
+	PValue     float64
+
+	// Weakly-hard mode: worst observed window misses vs the budget.
+	WHTarget    wh.MissConstraint
+	WorstMisses int
+
+	Pass bool
+}
+
+// Deployed runs the deployment `runs` times and validates every
+// constrained task of the problem against its target — soft targets via
+// the §IV-A hypothesis test at the 1% level, weakly-hard targets via the
+// online monitor over the observed trace.
+func Deployed(p *core.Problem, d *lwb.Deployment, runs int, rng *rand.Rand) ([]DeployedReport, error) {
+	if p == nil || d == nil {
+		return nil, errors.New("validate: nil problem or deployment")
+	}
+	if rng == nil {
+		return nil, errors.New("validate: nil rng")
+	}
+	if runs <= 0 {
+		return nil, fmt.Errorf("validate: runs must be positive, got %d", runs)
+	}
+	seqs, err := d.Run(runs, rng)
+	if err != nil {
+		return nil, err
+	}
+	var out []DeployedReport
+	for _, t := range p.App.Tasks() {
+		switch p.Mode {
+		case core.Soft:
+			target, ok := p.SoftCons[t.ID]
+			if !ok || target <= 0 || target >= 1 {
+				continue
+			}
+			q := seqs[t.ID]
+			test, err := stats.TestBelowTarget(q.Hits(), runs, target, 0.01)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, DeployedReport{
+				Task: t.ID, Name: t.Name,
+				HitRate: q.HitRate(), Runs: runs,
+				SoftTarget: target, PValue: test.PValue,
+				Pass: !test.Reject,
+			})
+		case core.WeaklyHard:
+			target, ok := p.WHCons[t.ID]
+			if !ok || target.Trivial() {
+				continue
+			}
+			q := seqs[t.ID]
+			worst, _ := q.MaxWindowMisses(target.Window)
+			out = append(out, DeployedReport{
+				Task: t.ID, Name: t.Name,
+				HitRate: q.HitRate(), Runs: runs,
+				WHTarget: target, WorstMisses: worst,
+				Pass: q.SatisfiesMiss(target),
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package validate
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/network"
+)
+
+func TestDeployedSoftValidation(t *testing.T) {
+	p, s := solvedSoft(t)
+	// A strong topology comfortably carries the schedule's targets.
+	topo := network.Line(3, 0.97)
+	d, err := lwb.NewDeployment(p.App, s, topo, p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Deployed(p, d, 4000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("task %s failed deployed validation: rate %v target %v (p=%v)",
+				r.Name, r.HitRate, r.SoftTarget, r.PValue)
+		}
+	}
+}
+
+func TestDeployedDetectsWeakTopology(t *testing.T) {
+	// Deploy the same schedule over much weaker links than it was
+	// designed for: the end task must fail its test.
+	p, s := solvedSoft(t)
+	topo := network.Line(3, 0.45)
+	d, err := lwb.NewDeployment(p.App, s, topo, p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Deployed(p, d, 4000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, r := range reports {
+		if !r.Pass {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Error("deployed validation passed on a topology far below design assumptions")
+	}
+}
+
+func TestDeployedWeaklyHard(t *testing.T) {
+	p, s := solvedWH(t)
+	topo := network.Grid(4, 4, 0.95)
+	d, err := lwb.NewDeployment(p.App, s, topo, p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := Deployed(p, d, 2000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("actuator %s violated %v on a strong grid: worst %d",
+				r.Name, r.WHTarget, r.WorstMisses)
+		}
+		if r.WorstMisses > r.WHTarget.Misses {
+			t.Errorf("bookkeeping: worst %d > budget %d but Pass=%v",
+				r.WorstMisses, r.WHTarget.Misses, r.Pass)
+		}
+	}
+}
+
+func TestDeployedValidation(t *testing.T) {
+	p, s := solvedSoft(t)
+	topo := network.Line(3, 0.9)
+	d, err := lwb.NewDeployment(p.App, s, topo, p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Deployed(nil, d, 10, testRNG()); err == nil {
+		t.Error("nil problem accepted")
+	}
+	if _, err := Deployed(p, d, 0, testRNG()); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if _, err := Deployed(p, d, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}

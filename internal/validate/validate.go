@@ -1,0 +1,183 @@
+// Package validate implements the paper's §IV-A simulation-based
+// validation of NETDAG schedules: given a schedule (ζ, χ, l), it samples
+// per-predecessor behaviour sequences from the network statistic — i.i.d.
+// Bernoulli draws for the soft paradigm (eq. 11), adversarially
+// synthesized boundary miss-patterns for the weakly-hard paradigm
+// (eq. 12) — composes them by conjunction (ω_τ = ∧_x ω_x), and checks
+// the task-level constraints against the composed behaviour.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/stats"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// SoftReport is the validation outcome for one soft-constrained task.
+type SoftReport struct {
+	Task      dag.TaskID
+	Name      string
+	Target    float64 // F_s(τ)
+	Scheduled float64 // the guarantee the schedule promises (eq. 6 LHS)
+	Statistic float64 // the empirical test statistic v = Σ ω_τ / κ
+	Runs      int
+	// PValue is the one-sided binomial p-value of H0: P(success) >=
+	// Target — the "test for v >= F_s(τ)" the paper's §IV-A constructs.
+	PValue float64
+	// Pass is true unless H0 is rejected at the 1% level (strong
+	// evidence the schedule misses its target).
+	Pass bool
+}
+
+// WHReport is the validation outcome for one weakly-hard-constrained
+// task.
+type WHReport struct {
+	Task        dag.TaskID
+	Name        string
+	Requirement wh.MissConstraint // F_WH(τ)
+	Guarantee   wh.MissConstraint // ⊕ over pred(τ) (eq. 9 LHS)
+	WorstMisses int               // observed worst window misses in ω_τ
+	Runs        int
+	Pass        bool // ω_τ ⊢ F_WH(τ)
+}
+
+// predNTX collects the χ values of pred(τ): ancestor message slots plus
+// the beacons of their rounds.
+func predNTX(p *core.Problem, s *core.Schedule, id dag.TaskID) []int {
+	var out []int
+	roundSeen := make(map[int]bool)
+	for _, m := range p.App.MsgAncestors(id) {
+		ntx, ok := s.SlotNTX(m)
+		if !ok {
+			continue
+		}
+		out = append(out, ntx)
+		r := s.Assign[m]
+		if !roundSeen[r] {
+			roundSeen[r] = true
+			out = append(out, s.Rounds[r].BeaconNTX)
+		}
+	}
+	return out
+}
+
+// SoftTask validates one task over `runs` independent runs per eq. (11).
+func SoftTask(p *core.Problem, s *core.Schedule, id dag.TaskID, runs int, rng *rand.Rand) (SoftReport, error) {
+	if rng == nil {
+		return SoftReport{}, errors.New("validate: nil rng")
+	}
+	if runs <= 0 {
+		return SoftReport{}, fmt.Errorf("validate: runs must be positive, got %d", runs)
+	}
+	target, ok := p.SoftCons[id]
+	if !ok {
+		return SoftReport{}, fmt.Errorf("validate: task %d has no soft constraint", id)
+	}
+	rep := SoftReport{
+		Task: id, Name: p.App.Task(id).Name,
+		Target:    target,
+		Scheduled: core.SatisfiedSoft(p, s, id),
+		Runs:      runs,
+	}
+	ntxs := predNTX(p, s, id)
+	conj := make(wh.Seq, runs)
+	for i := range conj {
+		conj[i] = true
+	}
+	for _, n := range ntxs {
+		seq, err := wh.Bernoulli(p.SoftStat.SuccessProb(n), runs, rng)
+		if err != nil {
+			return SoftReport{}, err
+		}
+		conj = conj.And(seq)
+	}
+	rep.Statistic = conj.HitRate()
+	test, err := stats.TestBelowTarget(conj.Hits(), runs, target, 0.01)
+	if err != nil {
+		return SoftReport{}, err
+	}
+	rep.PValue = test.PValue
+	rep.Pass = !test.Reject
+	return rep, nil
+}
+
+// SoftAll validates every soft-constrained task.
+func SoftAll(p *core.Problem, s *core.Schedule, runs int, rng *rand.Rand) ([]SoftReport, error) {
+	var out []SoftReport
+	for _, t := range p.App.Tasks() {
+		if _, ok := p.SoftCons[t.ID]; !ok {
+			continue
+		}
+		rep, err := SoftTask(p, s, t.ID, runs, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// WHTask validates one task against adversarial predecessor behaviour:
+// each predecessor flood's miss pattern is drawn from the eq. (12)
+// boundary set of its scheduled guarantee λ_WH(χ(x)), so the composed
+// behaviour is as hostile as the guarantees permit.
+func WHTask(p *core.Problem, s *core.Schedule, id dag.TaskID, runs int, rng *rand.Rand) (WHReport, error) {
+	if rng == nil {
+		return WHReport{}, errors.New("validate: nil rng")
+	}
+	if runs <= 0 {
+		return WHReport{}, fmt.Errorf("validate: runs must be positive, got %d", runs)
+	}
+	req, ok := p.WHCons[id]
+	if !ok {
+		return WHReport{}, fmt.Errorf("validate: task %d has no weakly-hard constraint", id)
+	}
+	rep := WHReport{
+		Task: id, Name: p.App.Task(id).Name,
+		Requirement: req,
+		Runs:        runs,
+	}
+	guar, has := core.SatisfiedWH(p, s, id)
+	if !has {
+		// No networked dependencies: the task trivially satisfies.
+		rep.Pass = true
+		return rep, nil
+	}
+	rep.Guarantee = guar
+	conj := make(wh.Seq, runs)
+	for i := range conj {
+		conj[i] = true
+	}
+	for _, n := range predNTX(p, s, id) {
+		c := p.WHStat.MissConstraint(n)
+		seq, err := wh.SynthesizeRandom(c, runs, rng)
+		if err != nil {
+			return WHReport{}, err
+		}
+		conj = conj.And(seq)
+	}
+	rep.WorstMisses, _ = conj.MaxWindowMisses(req.Window)
+	rep.Pass = conj.SatisfiesMiss(req)
+	return rep, nil
+}
+
+// WHAll validates every weakly-hard-constrained task.
+func WHAll(p *core.Problem, s *core.Schedule, runs int, rng *rand.Rand) ([]WHReport, error) {
+	var out []WHReport
+	for _, t := range p.App.Tasks() {
+		if _, ok := p.WHCons[t.ID]; !ok {
+			continue
+		}
+		rep, err := WHTask(p, s, t.ID, runs, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

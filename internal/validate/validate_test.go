@@ -1,0 +1,178 @@
+package validate
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewSource(0x7a11d)) }
+
+func solvedSoft(t testing.TB) (*core.Problem, *core.Schedule) {
+	t.Helper()
+	g, err := apps.Pipeline(3, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	mid, _ := g.TaskByName("stage1")
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:     core.Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: map[dag.TaskID]float64{mid.ID: 0.95, last.ID: 0.9},
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func solvedWH(t testing.TB) (*core.Problem, *core.Schedule) {
+	t.Helper()
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := make(map[dag.TaskID]wh.MissConstraint)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = wh.MissConstraint{Misses: 20, Window: 40}
+	}
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: core.WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestSoftValidationPasses(t *testing.T) {
+	p, s := solvedSoft(t)
+	reports, err := SoftAll(p, s, 20000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("task %s failed soft validation: statistic %v, target %v", r.Name, r.Statistic, r.Target)
+		}
+		if r.Scheduled < r.Target {
+			t.Errorf("task %s scheduled guarantee %v below target %v", r.Name, r.Scheduled, r.Target)
+		}
+		// The empirical statistic should be near the scheduled product,
+		// not just above the (weaker) target.
+		if r.Statistic < r.Scheduled-0.05 {
+			t.Errorf("task %s statistic %v far below scheduled %v", r.Name, r.Statistic, r.Scheduled)
+		}
+	}
+}
+
+func TestSoftValidationDetectsUnderprovisioning(t *testing.T) {
+	// Tamper with the schedule: force every flood to χ=1, which cannot
+	// carry a 0.9 end-to-end target through four floods at 0.9 each.
+	p, s := solvedSoft(t)
+	for i := range s.Rounds {
+		s.Rounds[i].BeaconNTX = 1
+		for j := range s.Rounds[i].Slots {
+			s.Rounds[i].Slots[j].NTX = 1
+		}
+	}
+	last, _ := p.App.TaskByName("stage2")
+	rep, err := SoftTask(p, s, last.ID, 20000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Errorf("validation passed a sabotaged schedule: statistic %v, target %v", rep.Statistic, rep.Target)
+	}
+}
+
+func TestWHValidationPasses(t *testing.T) {
+	p, s := solvedWH(t)
+	reports, err := WHAll(p, s, 4000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports, want 4 actuators", len(reports))
+	}
+	for _, r := range reports {
+		if !r.Pass {
+			t.Errorf("actuator %s failed weakly-hard validation under adversarial patterns: worst %d misses per %d, budget %d",
+				r.Name, r.WorstMisses, r.Requirement.Window, r.Requirement.Misses)
+		}
+		if r.WorstMisses > r.Requirement.Misses {
+			t.Errorf("actuator %s: worst misses %d exceed budget %d but Pass=%v",
+				r.Name, r.WorstMisses, r.Requirement.Misses, r.Pass)
+		}
+	}
+}
+
+func TestWHValidationIsAdversariallyTight(t *testing.T) {
+	// The synthesized patterns saturate the guarantees: the observed
+	// worst-case miss count should be a substantial fraction of the
+	// budget, not ~0 (otherwise the validation would prove nothing).
+	p, s := solvedWH(t)
+	reports, err := WHAll(p, s, 4000, testRNG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.WorstMisses == 0 {
+			t.Errorf("actuator %s: adversarial validation produced no misses", r.Name)
+		}
+	}
+}
+
+func TestWHValidationDetectsSabotage(t *testing.T) {
+	// Force χ=1 everywhere: with the eq. 13 statistic each flood may
+	// miss 8 per 20-window; conjunction over several floods blows the
+	// 20-per-40 budget.
+	p, s := solvedWH(t)
+	for i := range s.Rounds {
+		s.Rounds[i].BeaconNTX = 1
+		for j := range s.Rounds[i].Slots {
+			s.Rounds[i].Slots[j].NTX = 1
+		}
+	}
+	failures := 0
+	for _, a := range apps.Actuators(p.App) {
+		rep, err := WHTask(p, s, a, 4000, testRNG())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("adversarial validation passed a sabotaged weakly-hard schedule for every actuator")
+	}
+}
+
+func TestValidationInputChecks(t *testing.T) {
+	p, s := solvedSoft(t)
+	last, _ := p.App.TaskByName("stage2")
+	if _, err := SoftTask(p, s, last.ID, 0, testRNG()); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if _, err := SoftTask(p, s, last.ID, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	first, _ := p.App.TaskByName("stage0")
+	if _, err := SoftTask(p, s, first.ID, 10, testRNG()); err == nil {
+		t.Error("unconstrained task accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package wh
+
+// Analysis helpers over weakly-hard constraints: closed-form window
+// bounds (the quantities inside the paper's eq. 7), burst structure, and
+// sound downsampling for multi-rate consumers.
+
+// MinHitsInWindow returns the number of hits guaranteed in ANY window of
+// length w by a sequence satisfying the hit-form constraint c — the
+// closed form max{⌊w/K⌋·M, w + ⌈w/K⌉·(M−K)} from Bernat-Burns (the RHS
+// of the paper's eq. 7), clamped to [0, w]. PrecedesBB(c, (γ, w)) holds
+// exactly when γ <= MinHitsInWindow(c, w).
+func MinHitsInWindow(c Constraint, w int) int {
+	if w <= 0 {
+		return 0
+	}
+	if c.Trivial() {
+		return 0
+	}
+	if c.Hard() {
+		return w
+	}
+	floor := (w / c.K) * c.M
+	ceil := (w + c.K - 1) / c.K
+	alt := w + ceil*(c.M-c.K)
+	best := floor
+	if alt > best {
+		best = alt
+	}
+	if best < 0 {
+		best = 0
+	}
+	if best > w {
+		best = w
+	}
+	return best
+}
+
+// MaxMissesInWindow returns the largest number of misses any window of
+// length w can carry under the miss-form constraint c: the dual of
+// MinHitsInWindow.
+func MaxMissesInWindow(c MissConstraint, w int) int {
+	return w - MinHitsInWindow(c.Hit(), w)
+}
+
+// MaxMissBurst returns the longest run of consecutive misses the
+// constraint permits. For a miss-form (a, w)~ with a < w this is exactly
+// a: a longer burst would overload some window, and the canonical burst
+// pattern achieves it. Trivial constraints permit unbounded bursts,
+// reported as -1.
+func MaxMissBurst(c MissConstraint) int {
+	if c.Trivial() {
+		return -1
+	}
+	return c.Misses
+}
+
+// MinHitRate returns the guaranteed long-run fraction of hits under the
+// hit-form constraint: M/K (each disjoint window contributes at least M
+// hits).
+func MinHitRate(c Constraint) float64 {
+	if c.K == 0 {
+		return 0
+	}
+	return float64(c.M) / float64(c.K)
+}
+
+// Infer returns, for each requested window, the tightest miss-form
+// constraint the trace exhibits: the maximum miss count over all full
+// windows of that length. It is the trace-driven counterpart of the
+// profiled network statistics — given enough observed rounds, the
+// designer can read λ_WH off a deployment log. Windows longer than the
+// trace yield the trivial all-window bound (the trace shows nothing).
+func Infer(q Seq, windows []int) []MissConstraint {
+	out := make([]MissConstraint, 0, len(windows))
+	for _, w := range windows {
+		if w < 1 {
+			panic("wh: Infer window must be >= 1")
+		}
+		if len(q) < w {
+			out = append(out, MissConstraint{Misses: w, Window: w})
+			continue
+		}
+		worst, _ := q.MaxWindowMisses(w)
+		out = append(out, MissConstraint{Misses: worst, Window: w})
+	}
+	return out
+}
+
+// SatisfactionProbability returns the exact probability that a length-n
+// sequence of i.i.d. Bernoulli(p) hits satisfies the hit-form constraint
+// c — the quantitative bridge between the soft and weakly-hard paradigms
+// that Table I contrasts qualitatively (e.g. "how likely is an 84%-soft
+// task to also exhibit (6,10) behaviour over n runs?"). Computed by
+// dynamic programming over the sliding-window automaton; cost O(n·2^K),
+// so intended for windows up to ~20.
+func SatisfactionProbability(c Constraint, p float64, n int) float64 {
+	if p < 0 || p > 1 {
+		panic("wh: hit probability outside [0,1]")
+	}
+	if n < 0 {
+		panic("wh: negative sequence length")
+	}
+	if c.Trivial() || n < c.K {
+		return 1
+	}
+	if c.K-1 > 24 {
+		panic("wh: SatisfactionProbability window too large")
+	}
+	hist := c.K - 1
+	mask := uint32(1)<<uint(hist) - 1
+	dp := make([]float64, 1<<uint(hist))
+	// Distribute the first hist symbols (no full window yet): state s
+	// has probability p^hits(s) · (1−p)^(hist−hits(s)).
+	for s := range dp {
+		h := popcount32(uint32(s))
+		dp[s] = pow(p, h) * pow(1-p, hist-h)
+	}
+	for t := hist; t < n; t++ {
+		next := make([]float64, len(dp))
+		for s, mass := range dp {
+			if mass == 0 {
+				continue
+			}
+			for bit := uint32(0); bit <= 1; bit++ {
+				h := popcount32(uint32(s)) + int(bit)
+				if h < c.M {
+					continue // window violated: path dies
+				}
+				ns := (uint32(s)<<1 | bit) & mask
+				if bit == 1 {
+					next[ns] += mass * p
+				} else {
+					next[ns] += mass * (1 - p)
+				}
+			}
+		}
+		dp = next
+	}
+	total := 0.0
+	for _, mass := range dp {
+		total += mass
+	}
+	return total
+}
+
+func pow(x float64, k int) float64 {
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out *= x
+	}
+	return out
+}
+
+// Downsample returns a miss-form constraint guaranteed to hold for the
+// subsequence obtained by keeping every d-th element of a sequence
+// satisfying c — the guarantee a consumer sees when it samples a
+// weakly-hard stream at 1/d rate (multi-rate undersampling). Any n
+// consecutive samples span (n−1)·d+1 original elements, so with
+// n = ⌊(c.Window−1)/d⌋+1 the span fits inside one original window and
+// inherits its miss budget (clamped to the new window).
+func Downsample(c MissConstraint, d int) MissConstraint {
+	if d <= 0 {
+		panic("wh: downsample factor must be positive")
+	}
+	if d == 1 {
+		return c
+	}
+	n := (c.Window-1)/d + 1
+	m := c.Misses
+	if m > n {
+		m = n
+	}
+	return MissConstraint{Misses: m, Window: n}
+}

@@ -1,0 +1,215 @@
+package wh
+
+import "testing"
+
+// TestMinHitsInWindowMatchesExact validates the closed form against the
+// exact minimum computed from the automaton-based implication: the
+// guaranteed hits in a w-window is the largest γ with Implies(c, (γ,w)).
+func TestMinHitsInWindowMatchesExact(t *testing.T) {
+	for _, c := range allConstraints(6) {
+		for w := 1; w <= 8; w++ {
+			got := MinHitsInWindow(c, w)
+			exact := 0
+			for gamma := w; gamma >= 1; gamma-- {
+				if Implies(c, Constraint{M: gamma, K: w}) {
+					exact = gamma
+					break
+				}
+			}
+			if got != exact {
+				t.Errorf("MinHitsInWindow(%v, %d) = %d, exact %d", c, w, got, exact)
+			}
+		}
+	}
+}
+
+func TestMinHitsInWindowKnownValues(t *testing.T) {
+	cases := []struct {
+		c    Constraint
+		w    int
+		want int
+	}{
+		{Constraint{2, 3}, 6, 4},  // two disjoint windows
+		{Constraint{2, 3}, 4, 2},  // paper-style overlap case
+		{Constraint{3, 4}, 2, 1},  // isolated misses
+		{Constraint{0, 5}, 10, 0}, // trivial
+		{Constraint{4, 4}, 7, 7},  // hard
+		{Constraint{1, 2}, 1, 0},  // single element may miss
+	}
+	for _, tc := range cases {
+		if got := MinHitsInWindow(tc.c, tc.w); got != tc.want {
+			t.Errorf("MinHitsInWindow(%v, %d) = %d, want %d", tc.c, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestMaxMissesInWindowDual(t *testing.T) {
+	c := MissConstraint{Misses: 1, Window: 3}
+	// In any 6-window at most 2 misses can appear.
+	if got := MaxMissesInWindow(c, 6); got != 2 {
+		t.Errorf("MaxMissesInWindow = %d, want 2", got)
+	}
+	// Witness: the canonical pattern achieves it.
+	q, _ := Synthesize(c, 12)
+	worst, _ := q.MaxWindowMisses(6)
+	if worst != 2 {
+		t.Errorf("canonical pattern worst = %d, want 2", worst)
+	}
+}
+
+func TestMaxMissBurst(t *testing.T) {
+	if got := MaxMissBurst(MissConstraint{Misses: 3, Window: 8}); got != 3 {
+		t.Errorf("MaxMissBurst = %d, want 3", got)
+	}
+	if got := MaxMissBurst(MissConstraint{Misses: 5, Window: 5}); got != -1 {
+		t.Errorf("trivial MaxMissBurst = %d, want -1", got)
+	}
+	// The canonical adversarial pattern realizes the burst.
+	c := MissConstraint{Misses: 3, Window: 8}
+	q, _ := Synthesize(c, 24)
+	if q.LongestMissBurst() != 3 {
+		t.Errorf("canonical burst = %d, want 3", q.LongestMissBurst())
+	}
+}
+
+func TestMinHitRate(t *testing.T) {
+	if got := MinHitRate(Constraint{3, 4}); got != 0.75 {
+		t.Errorf("MinHitRate = %v", got)
+	}
+}
+
+// TestDownsampleSound checks by brute force that every satisfying
+// sequence's every-d-th subsequence satisfies the downsampled bound.
+func TestDownsampleSound(t *testing.T) {
+	cons := []MissConstraint{{1, 3}, {2, 4}, {1, 4}, {2, 5}}
+	for _, c := range cons {
+		for d := 1; d <= 3; d++ {
+			down := Downsample(c, d)
+			if err := down.Validate(); err != nil {
+				t.Fatalf("Downsample(%v, %d) invalid: %v", c, d, err)
+			}
+			for _, q := range EnumerateSatisfying(c.Hit(), 12) {
+				sub := make(Seq, 0, len(q)/d+1)
+				for i := 0; i < len(q); i += d {
+					sub = append(sub, q[i])
+				}
+				if !sub.SatisfiesMiss(down) {
+					t.Fatalf("Downsample(%v, %d) = %v unsound: %v -> %v", c, d, down, q, sub)
+				}
+			}
+		}
+	}
+}
+
+func TestInferRoundTrip(t *testing.T) {
+	// Inferring from a canonical adversarial trace recovers the
+	// generating constraint exactly.
+	c := MissConstraint{Misses: 2, Window: 7}
+	q, err := Synthesize(c, 10*7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Infer(q, []int{7})
+	if got[0] != c {
+		t.Errorf("Infer = %v, want %v", got[0], c)
+	}
+	// Inferred constraints are always satisfied by the trace.
+	for _, w := range []int{1, 3, 5, 7, 20} {
+		inf := Infer(q, []int{w})[0]
+		if !q.SatisfiesMiss(inf) {
+			t.Errorf("trace violates its own inferred constraint %v", inf)
+		}
+		// One miss fewer would be violated (tightness), unless the bound
+		// is already zero.
+		if inf.Misses > 0 {
+			tighter := MissConstraint{Misses: inf.Misses - 1, Window: inf.Window}
+			if q.SatisfiesMiss(tighter) {
+				t.Errorf("inferred %v not tight for window %d", inf, w)
+			}
+		}
+	}
+	// Windows beyond the trace yield the trivial bound.
+	if got := Infer(MustParseSeq("101"), []int{5})[0]; !got.Trivial() {
+		t.Errorf("short-trace inference = %v, want trivial", got)
+	}
+}
+
+func TestSatisfactionProbabilityMatchesCountAtHalf(t *testing.T) {
+	// At p = 0.5 every sequence is equally likely, so the probability is
+	// |S^n(c)| / 2^n.
+	for _, c := range allConstraints(5) {
+		for n := 0; n <= 12; n++ {
+			got := SatisfactionProbability(c, 0.5, n)
+			cnt, ok := CountSatisfying(c, n)
+			if !ok {
+				t.Fatal("count overflow")
+			}
+			want := float64(cnt) / float64(uint64(1)<<uint(n))
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("SatisfactionProbability(%v, 0.5, %d) = %v, want %v", c, n, got, want)
+			}
+		}
+	}
+}
+
+func TestSatisfactionProbabilityMonteCarlo(t *testing.T) {
+	c := Constraint{6, 10}
+	p := 0.84 // Table I's soft example
+	n := 50
+	exact := SatisfactionProbability(c, p, n)
+	rng := newTestRand()
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		q, err := Bernoulli(p, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Satisfies(c) {
+			hits++
+		}
+	}
+	mc := float64(hits) / trials
+	if diff := exact - mc; diff > 0.02 || diff < -0.02 {
+		t.Errorf("exact %v vs Monte Carlo %v diverge", exact, mc)
+	}
+}
+
+func TestSatisfactionProbabilityEdges(t *testing.T) {
+	c := Constraint{2, 3}
+	if got := SatisfactionProbability(c, 1, 100); got != 1 {
+		t.Errorf("p=1 probability = %v, want 1", got)
+	}
+	if got := SatisfactionProbability(c, 0, 100); got != 0 {
+		t.Errorf("p=0 probability = %v, want 0", got)
+	}
+	if got := SatisfactionProbability(Constraint{0, 3}, 0.1, 100); got != 1 {
+		t.Errorf("trivial constraint probability = %v, want 1", got)
+	}
+	// Short sequences satisfy vacuously.
+	if got := SatisfactionProbability(c, 0.1, 2); got != 1 {
+		t.Errorf("vacuous probability = %v, want 1", got)
+	}
+	// Longer horizons can only lower the probability.
+	prev := 1.0
+	for _, n := range []int{5, 10, 20, 40, 80} {
+		cur := SatisfactionProbability(c, 0.9, n)
+		if cur > prev+1e-12 {
+			t.Errorf("satisfaction probability rose with horizon at n=%d", n)
+		}
+		prev = cur
+	}
+}
+
+func TestDownsampleIdentity(t *testing.T) {
+	c := MissConstraint{Misses: 2, Window: 7}
+	if Downsample(c, 1) != c {
+		t.Error("Downsample by 1 changed the constraint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Downsample by 0 did not panic")
+		}
+	}()
+	Downsample(c, 0)
+}

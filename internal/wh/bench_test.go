@@ -1,0 +1,72 @@
+package wh
+
+import "testing"
+
+func BenchmarkSatisfies(b *testing.B) {
+	q, _ := Synthesize(MissConstraint{Misses: 3, Window: 10}, 10000)
+	c := Constraint{M: 7, K: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !q.Satisfies(c) {
+			b.Fatal("unexpected violation")
+		}
+	}
+}
+
+func BenchmarkOplusFold(b *testing.B) {
+	cons := make([]MissConstraint, 12)
+	for i := range cons {
+		cons[i] = MissConstraint{Misses: 2 + i%3, Window: 20 * (1 + i%4)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = OplusAll(cons...)
+	}
+}
+
+func BenchmarkPrecedesBB(b *testing.B) {
+	x := Constraint{M: 35, K: 40}
+	y := Constraint{M: 12, K: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrecedesBB(x, y)
+	}
+}
+
+func BenchmarkImpliesExact(b *testing.B) {
+	x := Constraint{M: 7, K: 10}
+	y := Constraint{M: 5, K: 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Implies(x, y)
+	}
+}
+
+func BenchmarkCountSatisfying(b *testing.B) {
+	c := Constraint{M: 6, K: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := CountSatisfying(c, 64); !ok {
+			b.Fatal("overflow")
+		}
+	}
+}
+
+func BenchmarkMaxConjMisses(b *testing.B) {
+	x := MissConstraint{Misses: 2, Window: 8}
+	y := MissConstraint{Misses: 3, Window: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxConjMisses(x, y, 8)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	c := MissConstraint{Misses: 3, Window: 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(c, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package wh implements the weakly-hard real-time constraint algebra used
+// by NETDAG (Wardega & Li, DATE 2020), following the (m, K) model of
+// Bernat, Burns and Llamosí ("Weakly hard real-time systems", IEEE ToC
+// 2001).
+//
+// A weakly-hard constraint bounds the non-determinism of a recurring
+// event: out of any K consecutive occurrences, at least M must succeed
+// (hit-form), or equivalently at most K−M may fail (miss-form). The paper
+// uses both polarities; this package makes the polarity explicit and
+// converts exactly between the two.
+//
+// The package provides:
+//
+//   - Constraint (hit-form) and MissConstraint (miss-form) with exact
+//     round-trip conversion.
+//   - Satisfaction of constraints by finite binary sequences (Seq).
+//   - The Bernat-Burns domination relation (paper eq. 7, PrecedesBB) and
+//     an exact implication decision procedure over infinite sequences
+//     (Implies), implemented as reachability on a sliding-window
+//     automaton.
+//   - The ⊕ min-plus abstraction for conjunctions of weakly-hard
+//     constraints (paper eq. 8), with exhaustive tools for checking its
+//     soundness and tightness on small windows.
+//   - Satisfaction-set enumeration and counting (S^κ), and the
+//     adversarial-sequence synthesis of paper eq. 12 used for validation
+//     and fault injection.
+package wh
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Constraint is a hit-form weakly-hard constraint (m, K): every window of
+// K consecutive executions must contain at least M successful ones.
+//
+// Valid constraints have 0 <= M <= K and K >= 1. M = 0 is the trivial
+// constraint satisfied by every sequence; M = K demands every execution
+// succeed (a hard real-time constraint).
+type Constraint struct {
+	M int // minimum number of hits per window
+	K int // window length
+}
+
+// MissConstraint is a miss-form weakly-hard constraint (m̄, K̄): every
+// window of Window consecutive executions may contain at most Misses
+// failed ones. The paper writes these with an overline.
+type MissConstraint struct {
+	Misses int // maximum number of misses per window
+	Window int // window length
+}
+
+// ErrInvalidConstraint is returned (wrapped) by Validate for constraints
+// whose parameters are out of range.
+var ErrInvalidConstraint = errors.New("wh: invalid weakly-hard constraint")
+
+// Validate reports whether the constraint parameters are in range.
+func (c Constraint) Validate() error {
+	if c.K < 1 || c.M < 0 || c.M > c.K {
+		return fmt.Errorf("%w: (%d, %d) requires 0 <= M <= K and K >= 1", ErrInvalidConstraint, c.M, c.K)
+	}
+	return nil
+}
+
+// Validate reports whether the miss-form parameters are in range.
+func (c MissConstraint) Validate() error {
+	if c.Window < 1 || c.Misses < 0 || c.Misses > c.Window {
+		return fmt.Errorf("%w: miss-form (%d, %d) requires 0 <= Misses <= Window and Window >= 1", ErrInvalidConstraint, c.Misses, c.Window)
+	}
+	return nil
+}
+
+// Miss converts the hit-form constraint to the equivalent miss-form.
+func (c Constraint) Miss() MissConstraint {
+	return MissConstraint{Misses: c.K - c.M, Window: c.K}
+}
+
+// Hit converts the miss-form constraint to the equivalent hit-form.
+func (c MissConstraint) Hit() Constraint {
+	return Constraint{M: c.Window - c.Misses, K: c.Window}
+}
+
+// String renders the constraint in the paper's (m, K) notation.
+func (c Constraint) String() string { return fmt.Sprintf("(%d,%d)", c.M, c.K) }
+
+// String renders the miss-form constraint in the paper's overline
+// notation, approximated in ASCII as (m,K)~.
+func (c MissConstraint) String() string { return fmt.Sprintf("(%d,%d)~", c.Misses, c.Window) }
+
+// Trivial reports whether every sequence satisfies the constraint.
+func (c Constraint) Trivial() bool { return c.M <= 0 }
+
+// Hard reports whether the constraint demands that every execution
+// succeed (no miss is ever tolerated).
+func (c Constraint) Hard() bool { return c.M == c.K }
+
+// Trivial reports whether every sequence satisfies the constraint.
+func (c MissConstraint) Trivial() bool { return c.Misses >= c.Window }
+
+// Hard reports whether no miss is ever tolerated.
+func (c MissConstraint) Hard() bool { return c.Misses == 0 }
+
+// Equivalent reports whether c and d admit exactly the same infinite
+// sequences. Two constraints are equivalent iff each dominates the other
+// (they are in the same equality class [(m,K)] induced by the partial
+// order ⪯, see the paper's glossary).
+func (c Constraint) Equivalent(d Constraint) bool {
+	return Implies(c, d) && Implies(d, c)
+}
+
+// Normalize returns the canonical representative of the constraint's
+// equality class: the constraint with the smallest window K (and then the
+// smallest M) that is equivalent to c. For example (2,2) demands an
+// all-hit sequence and normalizes to (1,1).
+//
+// Normalization is computed by exact equivalence checks; its cost grows
+// with 2^K, so it is intended for the small windows that occur in LWB
+// scheduling (K up to ~20).
+func (c Constraint) Normalize() Constraint {
+	if err := c.Validate(); err != nil {
+		return c
+	}
+	if c.Trivial() {
+		return Constraint{M: 0, K: 1}
+	}
+	if c.Hard() {
+		return Constraint{M: 1, K: 1}
+	}
+	for k := 1; k < c.K; k++ {
+		for m := 1; m <= k; m++ {
+			d := Constraint{M: m, K: k}
+			if c.Equivalent(d) {
+				return d
+			}
+		}
+	}
+	return c
+}

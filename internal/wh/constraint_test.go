@@ -1,0 +1,133 @@
+package wh
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestConstraintValidate(t *testing.T) {
+	valid := []Constraint{{0, 1}, {1, 1}, {3, 5}, {5, 5}, {0, 100}}
+	for _, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", c, err)
+		}
+	}
+	invalid := []Constraint{{-1, 5}, {6, 5}, {1, 0}, {0, 0}, {0, -3}}
+	for _, c := range invalid {
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("Validate(%v) = nil, want error", c)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConstraint) {
+			t.Errorf("Validate(%v) error %v does not wrap ErrInvalidConstraint", c, err)
+		}
+	}
+}
+
+func TestMissConstraintValidate(t *testing.T) {
+	if err := (MissConstraint{Misses: 2, Window: 5}).Validate(); err != nil {
+		t.Errorf("valid miss constraint rejected: %v", err)
+	}
+	for _, c := range []MissConstraint{{-1, 5}, {6, 5}, {0, 0}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", c)
+		}
+	}
+}
+
+func TestHitMissRoundTrip(t *testing.T) {
+	for k := 1; k <= 12; k++ {
+		for m := 0; m <= k; m++ {
+			c := Constraint{M: m, K: k}
+			if got := c.Miss().Hit(); got != c {
+				t.Fatalf("round trip %v -> %v -> %v", c, c.Miss(), got)
+			}
+			mc := MissConstraint{Misses: m, Window: k}
+			if got := mc.Hit().Miss(); got != mc {
+				t.Fatalf("round trip %v -> %v -> %v", mc, mc.Hit(), got)
+			}
+		}
+	}
+}
+
+func TestMissConversionSemantics(t *testing.T) {
+	// (6,10) hit-form is the paper's Table I example: at least 6
+	// successes per 10 executions, i.e. at most 4 misses per 10.
+	c := Constraint{M: 6, K: 10}
+	want := MissConstraint{Misses: 4, Window: 10}
+	if got := c.Miss(); got != want {
+		t.Errorf("Miss(%v) = %v, want %v", c, got, want)
+	}
+}
+
+func TestTrivialAndHard(t *testing.T) {
+	if !(Constraint{0, 5}).Trivial() || (Constraint{1, 5}).Trivial() {
+		t.Error("Trivial misclassifies hit-form constraints")
+	}
+	if !(Constraint{5, 5}).Hard() || (Constraint{4, 5}).Hard() {
+		t.Error("Hard misclassifies hit-form constraints")
+	}
+	if !(MissConstraint{5, 5}).Trivial() || (MissConstraint{4, 5}).Trivial() {
+		t.Error("Trivial misclassifies miss-form constraints")
+	}
+	if !(MissConstraint{0, 5}).Hard() || (MissConstraint{1, 5}).Hard() {
+		t.Error("Hard misclassifies miss-form constraints")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Constraint{6, 10}).String(); got != "(6,10)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (MissConstraint{4, 10}).String(); got != "(4,10)~" {
+		t.Errorf("miss String = %q", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want Constraint }{
+		{Constraint{0, 7}, Constraint{0, 1}}, // trivial
+		{Constraint{7, 7}, Constraint{1, 1}}, // hard
+		{Constraint{2, 2}, Constraint{1, 1}}, // hard
+		{Constraint{1, 2}, Constraint{1, 2}}, // already canonical
+		{Constraint{2, 4}, Constraint{2, 4}}, // no smaller-window equivalent exists
+		{Constraint{3, 5}, Constraint{3, 5}}, // canonical
+	}
+	for _, tc := range cases {
+		got := tc.in.Normalize()
+		if !got.Equivalent(tc.in) {
+			t.Errorf("Normalize(%v) = %v is not equivalent to input", tc.in, got)
+		}
+		if got != tc.want {
+			t.Errorf("Normalize(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEquivalentIsEquivalenceRelation(t *testing.T) {
+	cs := allConstraints(6)
+	for _, a := range cs {
+		if !a.Equivalent(a) {
+			t.Fatalf("%v not equivalent to itself", a)
+		}
+	}
+	for _, a := range cs {
+		for _, b := range cs {
+			if a.Equivalent(b) != b.Equivalent(a) {
+				t.Fatalf("Equivalent not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+// allConstraints returns every valid hit-form constraint with K <= maxK.
+func allConstraints(maxK int) []Constraint {
+	var out []Constraint
+	for k := 1; k <= maxK; k++ {
+		for m := 0; m <= k; m++ {
+			out = append(out, Constraint{M: m, K: k})
+		}
+	}
+	return out
+}

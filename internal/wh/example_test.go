@@ -1,0 +1,75 @@
+package wh_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// The basic vocabulary: constraints, sequences, satisfaction.
+func ExampleConstraint() {
+	c := wh.Constraint{M: 6, K: 10} // Table I: at least 6 hits per 10 runs
+	q := wh.MustParseSeq("1101101111011011")
+	fmt.Println(c, q.Satisfies(c))
+	// Output: (6,10) true
+}
+
+// Miss-form and hit-form are exact duals.
+func ExampleConstraint_Miss() {
+	c := wh.Constraint{M: 6, K: 10}
+	fmt.Println(c.Miss())
+	// Output: (4,10)~
+}
+
+// The ⊕ abstraction composes guarantees of independent event streams
+// (paper eq. 8).
+func ExampleOplus() {
+	link1 := wh.MissConstraint{Misses: 1, Window: 20} // ≤1 miss per 20
+	link2 := wh.MissConstraint{Misses: 2, Window: 30} // ≤2 misses per 30
+	fmt.Println(wh.Oplus(link1, link2))
+	// Output: (3,20)~
+}
+
+// The Bernat-Burns domination order (paper eq. 7) compares constraint
+// strength.
+func ExamplePrecedesBB() {
+	harder := wh.Constraint{M: 3, K: 4}
+	easier := wh.Constraint{M: 1, K: 2}
+	fmt.Println(wh.PrecedesBB(harder, easier), wh.PrecedesBB(easier, harder))
+	// Output: true false
+}
+
+// Adversarial patterns (paper eq. 12) saturate a guarantee exactly.
+func ExampleSynthesize() {
+	c := wh.MissConstraint{Misses: 2, Window: 6}
+	q, _ := wh.Synthesize(c, 12)
+	fmt.Println(q, wh.InSynthSet(q, c))
+	// Output: 001111001111 true
+}
+
+// The online monitor checks constraints in O(1) per outcome.
+func ExampleMonitor() {
+	m, _ := wh.NewMissMonitor(wh.MissConstraint{Misses: 1, Window: 3})
+	for _, hit := range []bool{true, false, true, true, false, false} {
+		m.Push(hit)
+	}
+	fmt.Println(m.Violations())
+	// Output: 1
+}
+
+// SatisfactionProbability bridges the soft and weakly-hard paradigms.
+func ExampleSatisfactionProbability() {
+	p := wh.SatisfactionProbability(wh.Constraint{M: 6, K: 10}, 0.84, 100)
+	fmt.Printf("%.2f\n", p)
+	// Output: 0.69
+}
+
+// RandomSatisfying draws well-behaved traffic under a guarantee.
+func ExampleRandomSatisfying() {
+	rng := rand.New(rand.NewSource(1))
+	c := wh.MissConstraint{Misses: 2, Window: 8}
+	q, _ := wh.RandomSatisfying(c, 64, 0.3, rng)
+	fmt.Println(q.SatisfiesMiss(c))
+	// Output: true
+}

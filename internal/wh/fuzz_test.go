@@ -1,0 +1,82 @@
+package wh
+
+import "testing"
+
+// FuzzParseSeq checks that ParseSeq either errors or round-trips through
+// String on arbitrary input.
+func FuzzParseSeq(f *testing.F) {
+	f.Add("10110")
+	f.Add("")
+	f.Add("0000000000000000")
+	f.Add("1x0")
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := ParseSeq(s)
+		if err != nil {
+			return
+		}
+		if q.String() != s {
+			t.Fatalf("round trip %q -> %q", s, q.String())
+		}
+		if q.Hits()+q.Misses() != len(q) {
+			t.Fatal("hits + misses != length")
+		}
+	})
+}
+
+// FuzzSatisfactionConsistency cross-checks Satisfies against
+// FirstViolation and the online monitor on arbitrary sequences and
+// constraint parameters.
+func FuzzSatisfactionConsistency(f *testing.F) {
+	f.Add(uint64(0b101101), 10, 2, 3)
+	f.Add(uint64(0), 8, 1, 2)
+	f.Fuzz(func(t *testing.T, bits uint64, n, m, k int) {
+		if n < 0 || n > 32 {
+			return
+		}
+		if k < 1 || k > 16 || m < 0 || m > k {
+			return
+		}
+		c := Constraint{M: m, K: k}
+		q := genSeq(bits, n)
+		sat := q.Satisfies(c)
+		if (q.FirstViolation(c) == -1) != sat {
+			t.Fatalf("Satisfies and FirstViolation disagree on %v under %v", q, c)
+		}
+		mon, err := NewMonitor(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viols := mon.PushSeq(q)
+		if (viols == 0) != sat {
+			t.Fatalf("monitor and Satisfies disagree on %v under %v", q, c)
+		}
+	})
+}
+
+// FuzzOplusSoundness drives random constraint pairs through ⊕ and checks
+// the canonical adversarial witnesses still compose soundly.
+func FuzzOplusSoundness(f *testing.F) {
+	f.Add(1, 4, 2, 6, 3)
+	f.Fuzz(func(t *testing.T, a1, w1, a2, w2, phase int) {
+		if w1 < 1 || w1 > 24 || w2 < 1 || w2 > 24 {
+			return
+		}
+		if a1 < 0 || a1 > w1 || a2 < 0 || a2 > w2 {
+			return
+		}
+		x := MissConstraint{Misses: a1, Window: w1}
+		y := MissConstraint{Misses: a2, Window: w2}
+		z := Oplus(x, y)
+		ql, err := SynthesizeRotated(x, 4*w1*w2, phase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qr, err := SynthesizeRotated(y, 4*w1*w2, phase/2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ql.And(qr).SatisfiesMiss(z) {
+			t.Fatalf("⊕ soundness violated for %v, %v", x, y)
+		}
+	})
+}

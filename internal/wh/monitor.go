@@ -1,0 +1,109 @@
+package wh
+
+import "fmt"
+
+// Monitor is an online checker for one weakly-hard constraint: push
+// hit/miss outcomes as they happen and learn immediately when a window
+// violates the constraint. Weakly-hard runtime monitoring is the
+// deployment-side complement of NETDAG's design-time guarantees (cf. the
+// runtime verification line of work the paper cites via [10]).
+//
+// The monitor keeps a ring buffer of the last K outcomes and a running
+// hit count, so Push is O(1).
+type Monitor struct {
+	c     Constraint
+	ring  []bool
+	next  int
+	count int // outcomes seen, saturating at len(ring)
+	hits  int // hits among the buffered outcomes
+	total int // outcomes pushed overall
+	viols int // completed windows that violated the constraint
+}
+
+// NewMonitor builds a monitor for the hit-form constraint c.
+func NewMonitor(c Constraint) (*Monitor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{c: c, ring: make([]bool, c.K)}, nil
+}
+
+// NewMissMonitor builds a monitor for a miss-form constraint.
+func NewMissMonitor(c MissConstraint) (*Monitor, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return NewMonitor(c.Hit())
+}
+
+// Push records the next outcome (true = hit) and reports whether the
+// window ending at this outcome satisfies the constraint. Windows are
+// only judged once full (the finite-trace vacuity convention of Seq).
+func (m *Monitor) Push(hit bool) bool {
+	if m.count == len(m.ring) {
+		// Evict the oldest outcome.
+		if m.ring[m.next] {
+			m.hits--
+		}
+	} else {
+		m.count++
+	}
+	m.ring[m.next] = hit
+	if hit {
+		m.hits++
+	}
+	m.next = (m.next + 1) % len(m.ring)
+	m.total++
+	ok := m.count < m.c.K || m.hits >= m.c.M
+	if !ok {
+		m.viols++
+	}
+	return ok
+}
+
+// PushSeq pushes a whole sequence and returns the number of violating
+// windows it completed.
+func (m *Monitor) PushSeq(q Seq) int {
+	before := m.viols
+	for _, hit := range q {
+		m.Push(hit)
+	}
+	return m.viols - before
+}
+
+// OK reports whether no completed window has violated the constraint so
+// far.
+func (m *Monitor) OK() bool { return m.viols == 0 }
+
+// Violations returns the number of completed windows that violated the
+// constraint.
+func (m *Monitor) Violations() int { return m.viols }
+
+// Total returns the number of outcomes pushed.
+func (m *Monitor) Total() int { return m.total }
+
+// HeadroomHits returns how many of the next outcomes may miss before the
+// current window (once full) violates the constraint — the "slack" a
+// runtime adaptation layer can spend. For a not-yet-full window it
+// reports the slack as if the missing history were hits.
+func (m *Monitor) HeadroomHits() int {
+	effHits := m.hits + (m.c.K - m.count)
+	h := effHits - m.c.M
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// Reset clears the monitor's history.
+func (m *Monitor) Reset() {
+	for i := range m.ring {
+		m.ring[i] = false
+	}
+	m.next, m.count, m.hits, m.total, m.viols = 0, 0, 0, 0, 0
+}
+
+// String summarizes the monitor state.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("monitor %v: %d pushed, %d violations", m.c, m.total, m.viols)
+}

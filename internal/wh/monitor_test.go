@@ -1,0 +1,127 @@
+package wh
+
+import "testing"
+
+func TestMonitorBasics(t *testing.T) {
+	m, err := NewMonitor(Constraint{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 1 0: window full, 2 hits -> ok.
+	if !m.Push(true) || !m.Push(true) || !m.Push(false) {
+		t.Fatal("valid prefix reported violating")
+	}
+	// next 0: window 1 0 0 -> violation.
+	if m.Push(false) {
+		t.Error("violation not detected")
+	}
+	if m.OK() || m.Violations() != 1 {
+		t.Errorf("violations = %d, want 1", m.Violations())
+	}
+	if m.Total() != 4 {
+		t.Errorf("total = %d", m.Total())
+	}
+}
+
+func TestMonitorMatchesOfflineSatisfaction(t *testing.T) {
+	// The monitor's verdict must agree with Seq.Satisfies on every
+	// sequence of length 12 for a grid of constraints.
+	for _, c := range allConstraints(5) {
+		if c.Trivial() {
+			continue
+		}
+		for bits := 0; bits < 1<<12; bits += 7 { // sampled stride for speed
+			q := bitsToSeq(bits, 12)
+			m, err := NewMonitor(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viols := m.PushSeq(q)
+			if (viols == 0) != q.Satisfies(c) {
+				t.Fatalf("monitor and offline disagree: %v under %v (viols=%d)", q, c, viols)
+			}
+		}
+	}
+}
+
+func TestMonitorVacuousBeforeWindowFull(t *testing.T) {
+	m, _ := NewMonitor(Constraint{3, 3})
+	if !m.Push(false) || !m.Push(false) {
+		t.Error("partial windows must not violate")
+	}
+	// The third push completes the window with zero hits: violation.
+	if m.Push(false) {
+		t.Error("full all-miss window must violate (3,3)")
+	}
+}
+
+func TestMonitorHeadroom(t *testing.T) {
+	m, _ := NewMonitor(Constraint{2, 4})
+	// Empty: headroom = K - M = 2.
+	if got := m.HeadroomHits(); got != 2 {
+		t.Errorf("initial headroom = %d, want 2", got)
+	}
+	m.Push(false)
+	if got := m.HeadroomHits(); got != 1 {
+		t.Errorf("headroom after one miss = %d, want 1", got)
+	}
+	m.Push(false)
+	if got := m.HeadroomHits(); got != 0 {
+		t.Errorf("headroom after two misses = %d, want 0", got)
+	}
+	m.Push(true)
+	m.Push(true) // window now 0 0 1 1 -> satisfied, headroom 0
+	if got := m.HeadroomHits(); got != 0 {
+		t.Errorf("headroom = %d, want 0", got)
+	}
+	m.Push(true) // window 0 1 1 1 -> headroom 1
+	if got := m.HeadroomHits(); got != 1 {
+		t.Errorf("headroom = %d, want 1", got)
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m, _ := NewMissMonitor(MissConstraint{Misses: 0, Window: 2})
+	m.Push(false)
+	m.Push(false)
+	if m.OK() {
+		t.Fatal("hard constraint with misses should violate")
+	}
+	m.Reset()
+	if !m.OK() || m.Total() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if !m.Push(true) {
+		t.Error("fresh push after reset violated")
+	}
+}
+
+func TestMonitorRejectsInvalidConstraint(t *testing.T) {
+	if _, err := NewMonitor(Constraint{5, 3}); err == nil {
+		t.Error("invalid constraint accepted")
+	}
+	if _, err := NewMissMonitor(MissConstraint{Misses: -1, Window: 3}); err == nil {
+		t.Error("invalid miss constraint accepted")
+	}
+}
+
+func TestMonitorAgainstSynthesizedPatterns(t *testing.T) {
+	// Canonical adversarial patterns satisfy their constraint: the
+	// monitor must stay green over long streams.
+	c := MissConstraint{Misses: 2, Window: 6}
+	q, err := Synthesize(c, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMissMonitor(c)
+	if v := m.PushSeq(q); v != 0 {
+		t.Errorf("monitor flagged %d violations on a satisfying stream", v)
+	}
+	// A burst of three misses overflows the 2-miss budget of the window
+	// containing it.
+	m2, _ := NewMissMonitor(c)
+	pattern := append(append(Seq{}, q[:6]...), false, false, false)
+	if v := m2.PushSeq(pattern); v == 0 {
+		t.Error("monitor missed an injected violation")
+	}
+}

@@ -1,0 +1,82 @@
+package wh
+
+// This file implements the paper's central abstraction: the min-plus
+// operator ⊕ for conjunctions ("layers") of weakly-hard constraints,
+// paper eq. (8). Given event streams ω_l ⊢ x and ω_r ⊢ y, the
+// conjunction ω_l ∧ ω_r (hit only where both hit) satisfies x ⊕ y.
+//
+// The operator is stated on miss-form constraints: misses add, capped at
+// the smaller of the two windows.
+
+// Oplus computes x ⊕ y (paper eq. 8) on miss-form constraints:
+//
+//	(α, γ)~ ⊕ (β, δ)~ = ( min{α+β, γ, δ} , min{γ, δ} )~
+//
+// Soundness (paper's lemma): whenever ω_l satisfies x and ω_r satisfies
+// y, the conjunction ω_l ∧ ω_r satisfies x ⊕ y. The worst case in any
+// min{γ,δ}-window is all α misses of ω_l followed by all β misses of ω_r,
+// hence α+β misses, capped by the window length. Tightness: when γ = δ
+// the bound is achieved by some pair of sequences, so ⊕ lands in the
+// infimum of the sound abstractions Ω⊕(x, y).
+//
+// ⊕ is commutative and associative up to the equality classes induced by
+// ⪯, and monotone in both arguments, which is what lets the scheduler
+// fold it over pred(τ) in any order (paper eq. 9).
+func Oplus(x, y MissConstraint) MissConstraint {
+	w := x.Window
+	if y.Window < w {
+		w = y.Window
+	}
+	m := x.Misses + y.Misses
+	if m > w {
+		m = w
+	}
+	return MissConstraint{Misses: m, Window: w}
+}
+
+// OplusHit is Oplus lifted to hit-form constraints via the exact
+// miss/hit conversion.
+func OplusHit(x, y Constraint) Constraint { return Oplus(x.Miss(), y.Miss()).Hit() }
+
+// OplusAll folds ⊕ over a non-empty list of miss-form constraints, the
+// big-⊕ of paper eq. (9). It panics on an empty list: the neutral element
+// would be the no-miss constraint over an infinite window, which has no
+// finite representation.
+func OplusAll(cs ...MissConstraint) MissConstraint {
+	if len(cs) == 0 {
+		panic("wh: OplusAll of no constraints")
+	}
+	acc := cs[0]
+	for _, c := range cs[1:] {
+		acc = Oplus(acc, c)
+	}
+	return acc
+}
+
+// OplusAllHit folds ⊕ over hit-form constraints.
+func OplusAllHit(cs ...Constraint) Constraint {
+	if len(cs) == 0 {
+		panic("wh: OplusAllHit of no constraints")
+	}
+	miss := make([]MissConstraint, len(cs))
+	for i, c := range cs {
+		miss[i] = c.Miss()
+	}
+	return OplusAll(miss...).Hit()
+}
+
+// ConjunctionSatisfies reports whether the ⊕-abstracted conjunction of
+// the guarantees implies the requirement, i.e. the scheduler-side check
+// of paper eq. (10):
+//
+//	( ⊕_{x ∈ pred(τ)} λ_WH(χ(x)) )  ⪯_sufficient  F_WH(τ)
+//
+// using the sound window-containment comparison. An empty guarantee list
+// means τ has no networked predecessors and the requirement holds
+// trivially (no flood can cause τ to miss).
+func ConjunctionSatisfies(guarantees []MissConstraint, requirement MissConstraint) bool {
+	if requirement.Trivial() || len(guarantees) == 0 {
+		return true
+	}
+	return SufficientlyImpliesMiss(OplusAll(guarantees...), requirement)
+}

@@ -1,0 +1,189 @@
+package wh
+
+import "testing"
+
+func TestOplusFormula(t *testing.T) {
+	cases := []struct{ x, y, want MissConstraint }{
+		// Paper eq. (8): (α,γ)~ ⊕ (β,δ)~ = (min{α+β,γ,δ}, min{γ,δ})~.
+		{MissConstraint{1, 5}, MissConstraint{2, 7}, MissConstraint{3, 5}},
+		{MissConstraint{3, 5}, MissConstraint{3, 5}, MissConstraint{5, 5}}, // capped at window
+		{MissConstraint{0, 4}, MissConstraint{0, 9}, MissConstraint{0, 4}}, // hard ⊕ hard = hard
+		{MissConstraint{2, 10}, MissConstraint{0, 3}, MissConstraint{2, 3}},
+	}
+	for _, tc := range cases {
+		if got := Oplus(tc.x, tc.y); got != tc.want {
+			t.Errorf("Oplus(%v, %v) = %v, want %v", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestOplusCommutes(t *testing.T) {
+	for _, x := range allMissConstraints(8) {
+		for _, y := range allMissConstraints(8) {
+			if Oplus(x, y) != Oplus(y, x) {
+				t.Fatalf("Oplus(%v,%v) != Oplus(%v,%v)", x, y, y, x)
+			}
+		}
+	}
+}
+
+func TestOplusAssociates(t *testing.T) {
+	cs := allMissConstraints(5)
+	for _, x := range cs {
+		for _, y := range cs {
+			for _, z := range cs {
+				l := Oplus(Oplus(x, y), z)
+				r := Oplus(x, Oplus(y, z))
+				if l != r {
+					t.Fatalf("⊕ not associative at %v,%v,%v: %v vs %v", x, y, z, l, r)
+				}
+			}
+		}
+	}
+}
+
+// TestOplusSoundnessExhaustive is the paper's Soundness lemma checked by
+// brute force: for every pair of small constraints and every pair of
+// length-n satisfying sequences, the conjunction satisfies x ⊕ y.
+func TestOplusSoundnessExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive soundness check skipped in -short mode")
+	}
+	const n = 10
+	cs := allMissConstraints(4)
+	for _, x := range cs {
+		ls := EnumerateSatisfying(x.Hit(), n)
+		for _, y := range cs {
+			z := Oplus(x, y)
+			rs := EnumerateSatisfying(y.Hit(), n)
+			for _, ql := range ls {
+				for _, qr := range rs {
+					if !ql.And(qr).SatisfiesMiss(z) {
+						t.Fatalf("soundness violated: %v ⊢ %v, %v ⊢ %v, but %v ⊬ %v",
+							ql, x, qr, y, ql.And(qr), z)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOplusSoundnessViaDP checks soundness with the exact worst-case DP
+// on larger windows than the exhaustive test can reach.
+func TestOplusSoundnessViaDP(t *testing.T) {
+	cs := allMissConstraints(8)
+	for _, x := range cs {
+		for _, y := range cs {
+			if x.Window+y.Window > 16 {
+				continue
+			}
+			z := Oplus(x, y)
+			worst := MaxConjMisses(x, y, z.Window)
+			if worst > z.Misses {
+				t.Errorf("⊕ unsound for %v, %v: worst-case misses %d exceed bound %d", x, y, worst, z.Misses)
+			}
+		}
+	}
+}
+
+// TestOplusTightnessEqualWindows is the paper's Tightness lemma: when the
+// two windows are equal, the ⊕ bound is achieved exactly.
+func TestOplusTightnessEqualWindows(t *testing.T) {
+	for w := 2; w <= 8; w++ {
+		for a := 0; a <= w; a++ {
+			for b := 0; b <= w; b++ {
+				x := MissConstraint{Misses: a, Window: w}
+				y := MissConstraint{Misses: b, Window: w}
+				z := Oplus(x, y)
+				worst := MaxConjMisses(x, y, z.Window)
+				if worst != z.Misses {
+					t.Errorf("⊕ not tight for equal windows %v, %v: worst %d, bound %d", x, y, worst, z.Misses)
+				}
+			}
+		}
+	}
+}
+
+// TestOplusMonotone checks that ⊕ is monotone w.r.t. the sufficient
+// ordering in both arguments: weakening an input never strengthens the
+// output. Monotonicity is what allows the scheduler to reason about χ
+// increases locally.
+func TestOplusMonotone(t *testing.T) {
+	cs := allMissConstraints(6)
+	for _, x := range cs {
+		for _, x2 := range cs {
+			if !SufficientlyImpliesMiss(x, x2) {
+				continue // x is not stronger than x2
+			}
+			for _, y := range cs {
+				strong := Oplus(x, y)
+				weak := Oplus(x2, y)
+				if !SufficientlyImpliesMiss(strong, weak) {
+					t.Errorf("⊕ not monotone: %v ⪯ %v but %v ⊕ %v = %v does not imply %v",
+						x, x2, x, y, strong, weak)
+				}
+			}
+		}
+	}
+}
+
+func TestOplusAll(t *testing.T) {
+	got := OplusAll(
+		MissConstraint{1, 10},
+		MissConstraint{2, 8},
+		MissConstraint{1, 12},
+	)
+	want := MissConstraint{Misses: 4, Window: 8}
+	if got != want {
+		t.Errorf("OplusAll = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("OplusAll() of nothing did not panic")
+		}
+	}()
+	OplusAll()
+}
+
+func TestOplusHitRoundTrip(t *testing.T) {
+	x := Constraint{7, 10} // 3 misses per 10
+	y := Constraint{5, 8}  // 3 misses per 8
+	got := OplusHit(x, y)
+	want := Constraint{M: 2, K: 8} // 6 misses per 8
+	if got != want {
+		t.Errorf("OplusHit = %v, want %v", got, want)
+	}
+}
+
+func TestConjunctionSatisfies(t *testing.T) {
+	req := MissConstraint{Misses: 4, Window: 10}
+	ok := []MissConstraint{{1, 12}, {2, 15}, {1, 20}}
+	if !ConjunctionSatisfies(ok, req) {
+		t.Errorf("expected %v to satisfy %v via ⊕", ok, req)
+	}
+	bad := []MissConstraint{{3, 12}, {2, 15}}
+	if ConjunctionSatisfies(bad, req) {
+		t.Errorf("expected %v to fail %v via ⊕", bad, req)
+	}
+	// Windows shorter than the requirement's can never pass the
+	// sufficient comparison even with zero misses.
+	short := []MissConstraint{{0, 5}}
+	if ConjunctionSatisfies(short, req) {
+		t.Errorf("window-5 guarantee must not pass a window-10 requirement")
+	}
+	if !ConjunctionSatisfies(nil, req) {
+		t.Errorf("a task with no networked predecessors satisfies trivially")
+	}
+}
+
+// allMissConstraints returns every valid miss-form constraint with
+// Window <= maxW.
+func allMissConstraints(maxW int) []MissConstraint {
+	var out []MissConstraint
+	for w := 1; w <= maxW; w++ {
+		for m := 0; m <= w; m++ {
+			out = append(out, MissConstraint{Misses: m, Window: w})
+		}
+	}
+	return out
+}

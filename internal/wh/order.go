@@ -1,0 +1,221 @@
+package wh
+
+// This file implements the domination (partial) order on weakly-hard
+// constraints. The paper's eq. (7), due to Bernat-Burns, is a closed-form
+// test; Implies is an exact decision procedure over infinite sequences
+// built on a sliding-window automaton, used as the ground truth in tests
+// and in the abstraction-precision ablation.
+
+// PrecedesBB reports x ⪯ y per the paper's eq. (7):
+//
+//	(α,β) ⪯ (γ,δ)  ⇔  γ ≤ max{ ⌊δ/β⌋·α , δ + ⌈δ/β⌉·(α−β) }
+//
+// with x = (α,β) and y = (γ,δ) in hit-form. x ⪯ y means x is the harder
+// constraint: every sequence satisfying x also satisfies y. The test is a
+// closed form valid for arbitrary window sizes, unlike Implies whose cost
+// grows exponentially in the window.
+func PrecedesBB(x, y Constraint) bool {
+	alpha, beta := x.M, x.K
+	gamma, delta := y.M, y.K
+	if y.Trivial() {
+		return true
+	}
+	if x.Trivial() {
+		return false // a trivial constraint only dominates trivial ones
+	}
+	if x.Hard() {
+		return true // an all-hit sequence satisfies every valid constraint
+	}
+	floor := (delta / beta) * alpha
+	ceil := (delta + beta - 1) / beta
+	alt := delta + ceil*(alpha-beta)
+	bound := floor
+	if alt > bound {
+		bound = alt
+	}
+	return gamma <= bound
+}
+
+// PrecedesBBMiss is PrecedesBB on miss-form constraints: x ⪯ y iff every
+// sequence with at most x.Misses misses per x.Window also has at most
+// y.Misses misses per y.Window.
+func PrecedesBBMiss(x, y MissConstraint) bool { return PrecedesBB(x.Hit(), y.Hit()) }
+
+// windowAutomatonLimit bounds the window size accepted by the exact
+// decision procedures in this file; beyond it the 2^(K-1) state space is
+// impractical and callers should fall back to PrecedesBB or the sound
+// sufficient check SufficientlyImplies.
+const windowAutomatonLimit = 22
+
+// Implies reports whether every infinite sequence satisfying x also
+// satisfies y. It is exact: the set of infinite sequences satisfying a
+// window constraint is recognized by a sliding-window automaton whose
+// states are the last max(x.K, y.K)−1 symbols, and x-valid states can
+// always be extended (emitting a hit preserves validity), so x fails to
+// imply y exactly when some reachable x-valid transition completes a
+// window violating y.
+//
+// Implies panics if max(x.K, y.K) exceeds 22; use PrecedesBB for larger
+// windows.
+func Implies(x, y Constraint) bool {
+	if y.Trivial() {
+		return true
+	}
+	if x.Trivial() {
+		// x admits the all-miss sequence; y is non-trivial.
+		return false
+	}
+	if x.Hard() {
+		return true
+	}
+	if y.Hard() {
+		// x is non-hard, so x admits a sequence with a miss, which
+		// violates any hard y.
+		return false
+	}
+	l := x.K
+	if y.K > l {
+		l = y.K
+	}
+	if l > windowAutomatonLimit {
+		panic("wh: Implies window too large for exact check; use PrecedesBB")
+	}
+	return !violationReachable(x, y, l)
+}
+
+// violationReachable performs BFS over sliding-window states. A state is
+// a pair (bits, n) where n is the number of symbols seen so far capped at
+// l−1 and bits holds the most recent n symbols (bit 0 = most recent).
+// Transitions append a symbol; a transition is x-valid if, once at least
+// x.K symbols exist, the most recent x.K of them contain at least x.M
+// hits. It returns true if some x-valid run completes a window with
+// fewer than y.M hits among its most recent y.K symbols.
+func violationReachable(x, y Constraint, l int) bool {
+	type state struct {
+		bits uint32
+		n    int
+	}
+	hist := l - 1 // symbols retained per state
+	mask := uint32(1)<<uint(hist) - 1
+	seen := make(map[uint64]bool)
+	key := func(s state) uint64 { return uint64(s.bits) | uint64(s.n)<<32 }
+	start := state{}
+	queue := []state{start}
+	seen[key(start)] = true
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, hit := range []bool{true, false} {
+			nb := s.bits << 1
+			if hit {
+				nb |= 1
+			}
+			nn := s.n + 1
+			// Total symbols emitted so far along this run is at least nn
+			// (n saturates at hist, so nn is a lower bound on run length;
+			// window checks below only fire when enough symbols are
+			// certainly present, and saturation means nn == hist+1 implies
+			// the run is at least that long).
+			total := nn
+			if nn > hist {
+				nn = hist
+			}
+			if hist > 0 {
+				nb &= mask
+			} else {
+				nb = 0
+			}
+			// Window of the last k symbols: available iff total >= k. The
+			// appended symbol plus the low k−1 bits of the previous state.
+			lastHits := func(k int) (int, bool) {
+				if total < k {
+					return 0, false
+				}
+				h := 0
+				if hit {
+					h++
+				}
+				prev := s.bits
+				for i := 0; i < k-1; i++ {
+					if prev&(1<<uint(i)) != 0 {
+						h++
+					}
+				}
+				return h, true
+			}
+			if h, ok := lastHits(x.K); ok && h < x.M {
+				continue // not x-valid
+			}
+			// A run is viable only if it extends to an infinite x-valid
+			// sequence. The all-ones continuation is maximal (it
+			// maximizes hits in every boundary window), so viability is
+			// exactly "appending hits forever stays x-valid". Without
+			// this check a doomed prefix (e.g. "00" under x = (2,3),
+			// whose first complete window must fail) could report
+			// spurious y-violations.
+			if !viableWithOnes(nb, total, x) {
+				continue
+			}
+			if h, ok := lastHits(y.K); ok && h < y.M {
+				return true // x-valid, viable run violating y
+			}
+			ns := state{bits: nb, n: nn}
+			if k := key(ns); !seen[k] {
+				seen[k] = true
+				queue = append(queue, ns)
+			}
+		}
+	}
+	return false
+}
+
+// viableWithOnes reports whether a run whose most recent symbols are in
+// bits (newest at bit 0, at least min(total, x.K−1) symbols retained) can
+// be extended by an all-hit suffix without violating x. total is the run
+// length, capped by the caller at one more than the retained history —
+// the cap is harmless because once total >= x.K every window start is
+// admissible and the loop below considers all of them.
+func viableWithOnes(bits uint32, total int, x Constraint) bool {
+	maxQ := x.K - 1
+	if total < maxQ {
+		maxQ = total
+	}
+	for q := 1; q <= maxQ; q++ {
+		// Future window: last q run symbols followed by x.K−q hits.
+		h := popcount32(bits & (uint32(1)<<uint(q) - 1))
+		if h+(x.K-q) < x.M {
+			return false
+		}
+	}
+	return true
+}
+
+// SufficientlyImplies is the cheap sound (but incomplete) domination test
+// used inside the scheduler, the comparison of paper eq. (10): a derived
+// guarantee g implies a requirement r if g promises at least as many hits
+// (g.M ≥ r.M) over a window no longer than the requirement's (g.K ≤ r.K).
+// Any r.K-window then contains a full g.K-window with ≥ g.M ≥ r.M hits.
+func SufficientlyImplies(g, r Constraint) bool {
+	if r.Trivial() {
+		return true
+	}
+	return g.M >= r.M && g.K <= r.K
+}
+
+// SufficientlyImpliesMiss is the miss-form counterpart of eq. (10)'s
+// comparison: a guarantee of at most g.Misses misses per g.Window implies
+// a requirement of at most r.Misses per r.Window when g allows no more
+// misses (g.Misses ≤ r.Misses) over a window at least as long
+// (g.Window ≥ r.Window): any r.Window-window sits inside a g.Window-window
+// carrying at most g.Misses ≤ r.Misses misses.
+func SufficientlyImpliesMiss(g, r MissConstraint) bool {
+	if r.Trivial() {
+		return true
+	}
+	return g.Misses <= r.Misses && g.Window >= r.Window
+}
+
+// Comparable reports whether x and y are ordered either way by the exact
+// domination relation. Weakly-hard constraints form a partial order; many
+// pairs (e.g. (1,2) and (3,5)) are incomparable.
+func Comparable(x, y Constraint) bool { return Implies(x, y) || Implies(y, x) }

@@ -1,0 +1,199 @@
+package wh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// newTestRand returns a deterministic RNG for tests; the fixed seed keeps
+// failures reproducible.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(0x5eed)) }
+
+// quickCfg bounds generated values so window-exponential checks stay fast.
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Rand:     newTestRand(),
+	}
+}
+
+// genConstraint maps arbitrary ints onto a valid small constraint.
+func genConstraint(a, b int, maxK int) Constraint {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	k := b%maxK + 1
+	m := a % (k + 1)
+	return Constraint{M: m, K: k}
+}
+
+func genSeq(bits uint64, n int) Seq {
+	q := make(Seq, n)
+	for i := range q {
+		q[i] = bits&(1<<uint(i%64)) != 0
+	}
+	return q
+}
+
+// Property: miss/hit conversion is an involution.
+func TestQuickHitMissInvolution(t *testing.T) {
+	f := func(a, b int) bool {
+		c := genConstraint(a, b, 30)
+		return c.Miss().Hit() == c
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: satisfaction is monotone in M — requiring fewer hits can only
+// admit more sequences.
+func TestQuickSatisfactionMonotoneInM(t *testing.T) {
+	f := func(bits uint64, a, b int) bool {
+		c := genConstraint(a, b, 10)
+		if c.M == 0 {
+			return true
+		}
+		q := genSeq(bits, 16)
+		weaker := Constraint{M: c.M - 1, K: c.K}
+		if q.Satisfies(c) && !q.Satisfies(weaker) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sequence satisfying (m, K) also satisfies (m, K+1) — longer
+// windows with the same hit demand are weaker in hit-form.
+func TestQuickSatisfactionMonotoneInK(t *testing.T) {
+	f := func(bits uint64, a, b int) bool {
+		c := genConstraint(a, b, 10)
+		q := genSeq(bits, 16)
+		longer := Constraint{M: c.M, K: c.K + 1}
+		if q.Satisfies(c) && !q.Satisfies(longer) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: And is commutative, associative and idempotent, and its
+// result satisfies any constraint both operands' conjunction must (spot
+// check: result misses wherever either misses).
+func TestQuickAndAlgebra(t *testing.T) {
+	f := func(x, y, z uint64) bool {
+		const n = 20
+		a, b, c := genSeq(x, n), genSeq(y, n), genSeq(z, n)
+		if a.And(b).String() != b.And(a).String() {
+			return false
+		}
+		if a.And(b.And(c)).String() != a.And(b).And(c).String() {
+			return false
+		}
+		if a.And(a).String() != a.String() {
+			return false
+		}
+		ab := a.And(b)
+		for i := range ab {
+			if ab[i] && (!a[i] || !b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (soundness of ⊕ on random data): for random constraints and
+// random satisfying sequences drawn by the constrained sampler, the
+// conjunction satisfies x ⊕ y.
+func TestQuickOplusSoundOnSampledSequences(t *testing.T) {
+	rng := newTestRand()
+	f := func(a1, b1, a2, b2 int, p1, p2 float64) bool {
+		x := genConstraint(a1, b1, 8).Miss()
+		y := genConstraint(a2, b2, 8).Miss()
+		norm := func(p float64) float64 {
+			p = math.Abs(math.Mod(p, 1))
+			if math.IsNaN(p) {
+				return 0.5
+			}
+			return p
+		}
+		ql, err := RandomSatisfying(x, 64, norm(p1), rng)
+		if err != nil {
+			return false
+		}
+		qr, err := RandomSatisfying(y, 64, norm(p2), rng)
+		if err != nil {
+			return false
+		}
+		return ql.And(qr).SatisfiesMiss(Oplus(x, y))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PrecedesBB agrees with exact implication on random pairs
+// (windows ≤ 10; the exhaustive test covers ≤ 8 systematically).
+func TestQuickPrecedesBBExact(t *testing.T) {
+	f := func(a1, b1, a2, b2 int) bool {
+		x := genConstraint(a1, b1, 10)
+		y := genConstraint(a2, b2, 10)
+		return PrecedesBB(x, y) == Implies(x, y)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: synthesized adversarial sequences always satisfy their
+// constraint and saturate it (boundary membership) for non-hard
+// constraints.
+func TestQuickSynthesisBoundary(t *testing.T) {
+	f := func(a, b int) bool {
+		c := genConstraint(a, b, 10).Miss()
+		if c.Misses == 0 || c.Misses == c.Window {
+			return true // hard or trivial: boundary set empty/degenerate
+		}
+		q, err := Synthesize(c, 5*c.Window)
+		if err != nil {
+			return false
+		}
+		return InSynthSet(q, c)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CountSatisfying is monotone — weakening a constraint never
+// reduces the count.
+func TestQuickCountMonotone(t *testing.T) {
+	f := func(a, b int) bool {
+		c := genConstraint(a, b, 8)
+		if c.M == 0 {
+			return true
+		}
+		n := 14
+		strong, ok1 := CountSatisfying(c, n)
+		weak, ok2 := CountSatisfying(Constraint{M: c.M - 1, K: c.K}, n)
+		return ok1 && ok2 && strong <= weak
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

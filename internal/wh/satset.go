@@ -1,0 +1,275 @@
+package wh
+
+// This file provides satisfaction-set machinery: enumeration and counting
+// of S^κ((m,K)) and an exact worst-case analysis of conjunctions, used as
+// the ground truth against which the ⊕ abstraction is measured
+// (soundness/tightness lemmas, and the A1 ablation of DESIGN.md).
+
+// enumerateLimit caps the sequence length accepted by EnumerateSatisfying
+// to keep the output set at most a few million sequences.
+const enumerateLimit = 24
+
+// EnumerateSatisfying returns every sequence of length n satisfying c, in
+// lexicographic order (miss < hit). It panics for n > 24; use
+// CountSatisfying for larger κ.
+func EnumerateSatisfying(c Constraint, n int) []Seq {
+	if n < 0 {
+		panic("wh: negative sequence length")
+	}
+	if n > enumerateLimit {
+		panic("wh: EnumerateSatisfying length too large; use CountSatisfying")
+	}
+	var out []Seq
+	cur := make(Seq, 0, n)
+	var rec func()
+	rec = func() {
+		if len(cur) == n {
+			q := make(Seq, n)
+			copy(q, cur)
+			out = append(out, q)
+			return
+		}
+		for _, hit := range []bool{false, true} {
+			cur = append(cur, hit)
+			if windowOK(cur, c) {
+				rec()
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec()
+	return out
+}
+
+// windowOK checks only the most recent full window of length c.K (all
+// earlier windows were checked when their final symbol was appended).
+func windowOK(q Seq, c Constraint) bool {
+	if c.Trivial() || len(q) < c.K {
+		return true
+	}
+	h := 0
+	for _, v := range q[len(q)-c.K:] {
+		if v {
+			h++
+		}
+	}
+	return h >= c.M
+}
+
+// CountSatisfying returns |S^κ(c)| for sequences of length n, computed by
+// dynamic programming over the sliding-window automaton (states are the
+// most recent c.K−1 symbols). The count is exact while it fits in a
+// uint64; the second result reports overflow.
+func CountSatisfying(c Constraint, n int) (count uint64, ok bool) {
+	if n < 0 {
+		panic("wh: negative sequence length")
+	}
+	if c.Trivial() {
+		if n >= 64 {
+			return 0, false
+		}
+		return 1 << uint(n), true
+	}
+	if c.K-1 > 30 {
+		panic("wh: CountSatisfying window too large")
+	}
+	hist := c.K - 1
+	mask := uint32(1)<<uint(hist) - 1
+	// dp maps (recent bits, symbols seen capped at hist) -> count. The
+	// cap is handled by running the first hist steps over growing
+	// prefixes (no window can be complete yet) and then iterating the
+	// full automaton.
+	if n <= hist {
+		if n >= 64 {
+			return 0, false
+		}
+		return 1 << uint(n), true // vacuous: no full window fits
+	}
+	dp := make([]uint64, 1<<uint(hist))
+	// After hist symbols every bit pattern is reachable exactly once.
+	for s := range dp {
+		dp[s] = 1
+	}
+	overflow := false
+	for t := hist; t < n; t++ {
+		next := make([]uint64, len(dp))
+		for s, cnt := range dp {
+			if cnt == 0 {
+				continue
+			}
+			for bit := uint32(0); bit <= 1; bit++ {
+				h := popcount32(uint32(s)) + int(bit)
+				if h < c.M {
+					continue
+				}
+				ns := (uint32(s)<<1 | bit) & mask
+				sum := next[ns] + cnt
+				if sum < next[ns] {
+					overflow = true
+				}
+				next[ns] = sum
+			}
+		}
+		dp = next
+	}
+	var total uint64
+	for _, cnt := range dp {
+		sum := total + cnt
+		if sum < total {
+			overflow = true
+		}
+		total = sum
+	}
+	return total, !overflow
+}
+
+// InSynthSet reports whether q lies in the adversarial set of paper
+// eq. (12), stated on miss-form constraints (m = permitted misses):
+//
+//	S^κ((m,K)~) − S^κ((m−1,K)~) − S^κ((m,K+1)~)
+//
+// The subtracted sets are the two minimally harder constraints — one
+// fewer permitted miss, and the same miss budget over a one-longer
+// window — and are subsets of S^κ((m,K)~), so the difference keeps
+// exactly the boundary sequences: q respects the budget everywhere, some
+// K-window saturates it with exactly m misses, and some (K+1)-window
+// overflows it with m+1. (Read in hit-form the paper's indices would
+// subtract supersets and the set would be empty; eq. 12 only
+// type-checks in miss-form, which matches eq. 13's miss-form network
+// statistic.) For a hard constraint (m = 0) the set is empty.
+func InSynthSet(q Seq, c MissConstraint) bool {
+	if c.Misses == 0 {
+		return false
+	}
+	if !q.SatisfiesMiss(c) {
+		return false
+	}
+	if q.SatisfiesMiss(MissConstraint{Misses: c.Misses - 1, Window: c.Window}) {
+		return false
+	}
+	if q.SatisfiesMiss(MissConstraint{Misses: c.Misses, Window: c.Window + 1}) {
+		return false
+	}
+	return true
+}
+
+// Embeddable reports whether the finite string s occurs as a contiguous
+// segment of some infinite sequence satisfying x (miss-form). For
+// len(s) >= x.Window this is ordinary satisfaction; shorter strings embed
+// iff their total miss count fits the budget (surrounding them with hits
+// completes any window).
+func Embeddable(s Seq, x MissConstraint) bool {
+	if len(s) >= x.Window {
+		return s.SatisfiesMiss(x)
+	}
+	return s.Misses() <= x.Misses
+}
+
+// MaxConjMisses returns the exact worst-case number of misses in a window
+// of length w of ω_l ∧ ω_r, maximized over all infinite ω_l satisfying x
+// and ω_r satisfying y (miss-form). It is the ground truth that the ⊕
+// abstraction bounds from above: MaxConjMisses(x, y, min(γ,δ)) ≤
+// Oplus(x, y).Misses, with equality exactly when ⊕ is tight.
+//
+// The search enumerates pairs of embeddable length-w segments via dynamic
+// programming over pairs of sliding-window states; cost grows with
+// 2^(x.Window + y.Window), so it is intended for analysis windows up to
+// ~12 on each side.
+func MaxConjMisses(x, y MissConstraint, w int) int {
+	if w <= 0 {
+		return 0
+	}
+	if x.Window+y.Window > 26 {
+		panic("wh: MaxConjMisses windows too large for exact search")
+	}
+	sl, sr := newConjSide(x, w), newConjSide(y, w)
+	type key struct{ l, r uint32 }
+	best := -1
+	cur := map[key]int{{0, 0}: 0}
+	for t := 0; t < w; t++ {
+		next := make(map[key]int, len(cur)*2)
+		for st, misses := range cur {
+			for lm := 0; lm <= 1; lm++ { // 1 = left side misses at t
+				nl, okL := sl.step(st.l, t, lm == 1)
+				if !okL {
+					continue
+				}
+				for rm := 0; rm <= 1; rm++ {
+					nr, okR := sr.step(st.r, t, rm == 1)
+					if !okR {
+						continue
+					}
+					nm := misses
+					if lm == 1 || rm == 1 {
+						nm++
+					}
+					k := key{nl, nr}
+					if v, ok := next[k]; !ok || nm > v {
+						next[k] = nm
+					}
+				}
+			}
+		}
+		cur = next
+	}
+	for _, m := range cur {
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// conjSide is one side of the MaxConjMisses DP: it validates that a
+// growing segment stays embeddable in an infinite sequence satisfying the
+// side's miss constraint.
+type conjSide struct {
+	k, budget int
+	mask      uint32
+	capped    bool // w < window: only the total miss count matters
+}
+
+func newConjSide(c MissConstraint, w int) conjSide {
+	s := conjSide{k: c.Window, budget: c.Misses}
+	if w < c.Window {
+		s.capped = true
+		return s
+	}
+	s.mask = uint32(1)<<uint(c.Window-1) - 1
+	return s
+}
+
+// step advances the side's DP state by one symbol. In the capped case the
+// state is the running miss count; otherwise it is the last Window−1
+// symbols with misses encoded as 1-bits (so popcount counts misses).
+func (s conjSide) step(state uint32, t int, miss bool) (uint32, bool) {
+	if s.capped {
+		if miss {
+			state++
+		}
+		return state, int(state) <= s.budget
+	}
+	bit := uint32(0)
+	if miss {
+		bit = 1
+	}
+	if t+1 >= s.k { // a full window of length k ends at position t
+		mcount := popcount32(state & s.mask)
+		if miss {
+			mcount++
+		}
+		if mcount > s.budget {
+			return 0, false
+		}
+	}
+	return (state<<1 | bit) & s.mask, true
+}
+
+func popcount32(v uint32) int {
+	cnt := 0
+	for v != 0 {
+		v &= v - 1
+		cnt++
+	}
+	return cnt
+}

@@ -1,0 +1,224 @@
+package wh
+
+import "testing"
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	for _, c := range allConstraints(5) {
+		for n := 0; n <= 10; n++ {
+			seqs := EnumerateSatisfying(c, n)
+			cnt, ok := CountSatisfying(c, n)
+			if !ok {
+				t.Fatalf("CountSatisfying(%v, %d) overflowed", c, n)
+			}
+			if uint64(len(seqs)) != cnt {
+				t.Errorf("enumerate/count mismatch for %v, n=%d: %d vs %d", c, n, len(seqs), cnt)
+			}
+		}
+	}
+}
+
+func TestEnumerateAllSatisfy(t *testing.T) {
+	c := Constraint{2, 4}
+	for _, q := range EnumerateSatisfying(c, 9) {
+		if !q.Satisfies(c) {
+			t.Fatalf("enumerated %v does not satisfy %v", q, c)
+		}
+	}
+}
+
+func TestEnumerateIsComplete(t *testing.T) {
+	// Every satisfying sequence of length 8 must appear: compare against
+	// a brute-force scan over all 2^8 sequences.
+	c := Constraint{1, 3}
+	want := 0
+	for bits := 0; bits < 1<<8; bits++ {
+		q := make(Seq, 8)
+		for i := range q {
+			q[i] = bits&(1<<uint(i)) != 0
+		}
+		if q.Satisfies(c) {
+			want++
+		}
+	}
+	if got := len(EnumerateSatisfying(c, 8)); got != want {
+		t.Errorf("EnumerateSatisfying found %d sequences, brute force %d", got, want)
+	}
+}
+
+func TestCountKnownValues(t *testing.T) {
+	// (1,2): no two consecutive misses — counts follow the Fibonacci
+	// recurrence a(n) = a(n−1) + a(n−2), a(0)=1, a(1)=2.
+	c := Constraint{1, 2}
+	fib := []uint64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	for n, want := range fib {
+		got, ok := CountSatisfying(c, n)
+		if !ok || got != want {
+			t.Errorf("CountSatisfying((1,2), %d) = %d, want %d", n, got, want)
+		}
+	}
+	// Hard constraint: exactly one satisfying sequence at every length
+	// once windows apply.
+	if got, _ := CountSatisfying(Constraint{3, 3}, 10); got != 1 {
+		t.Errorf("hard-constraint count = %d, want 1", got)
+	}
+	// Trivial constraint: all 2^n sequences.
+	if got, _ := CountSatisfying(Constraint{0, 4}, 20); got != 1<<20 {
+		t.Errorf("trivial count = %d, want 2^20", got)
+	}
+}
+
+func TestInSynthSet(t *testing.T) {
+	c := MissConstraint{Misses: 1, Window: 3}
+	// Canonical burst pattern: miss every 3rd slot.
+	q := MustParseSeq("011011011011")
+	if !InSynthSet(q, c) {
+		t.Errorf("canonical pattern %v should be in the eq.12 set of %v", q, c)
+	}
+	// All hits satisfies (1,3)~ but also the harder (0,3)~.
+	if InSynthSet(MustParseSeq("111111111111"), c) {
+		t.Error("all-hit sequence must not be in the boundary set")
+	}
+	// A sequence violating the constraint is excluded.
+	if InSynthSet(MustParseSeq("001111111111"), c) {
+		t.Error("violating sequence must not be in the boundary set")
+	}
+	// Hard constraints have an empty synthesis set.
+	if InSynthSet(MustParseSeq("1111"), MissConstraint{Misses: 0, Window: 3}) {
+		t.Error("hard constraints admit no adversarial pattern")
+	}
+}
+
+func TestSynthesizeProducesBoundarySequences(t *testing.T) {
+	for w := 2; w <= 8; w++ {
+		for m := 1; m < w; m++ {
+			c := MissConstraint{Misses: m, Window: w}
+			q, err := Synthesize(c, 4*w)
+			if err != nil {
+				t.Fatalf("Synthesize(%v): %v", c, err)
+			}
+			if !InSynthSet(q, c) {
+				t.Errorf("Synthesize(%v) = %v not in the eq.12 boundary set", c, q)
+			}
+		}
+	}
+}
+
+func TestSynthesizeHardConstraint(t *testing.T) {
+	q, err := Synthesize(MissConstraint{Misses: 0, Window: 5}, 10)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if q.Misses() != 0 {
+		t.Errorf("hard-constraint synthesis produced misses: %v", q)
+	}
+}
+
+func TestSynthesizeRotatedStaysInSet(t *testing.T) {
+	c := MissConstraint{Misses: 2, Window: 5}
+	for phase := 0; phase < 5; phase++ {
+		q, err := SynthesizeRotated(c, 25, phase)
+		if err != nil {
+			t.Fatalf("SynthesizeRotated: %v", err)
+		}
+		if !InSynthSet(q, c) {
+			t.Errorf("rotation %d of canonical pattern left the boundary set: %v", phase, q)
+		}
+	}
+}
+
+func TestEmbeddable(t *testing.T) {
+	x := MissConstraint{Misses: 1, Window: 4}
+	// Long segment: ordinary satisfaction.
+	if !Embeddable(MustParseSeq("01110111"), x) {
+		t.Error("valid long segment reported unembeddable")
+	}
+	if Embeddable(MustParseSeq("00110111"), x) {
+		t.Error("segment with a 2-miss 4-window reported embeddable")
+	}
+	// Short segment: total misses must fit the budget.
+	if !Embeddable(MustParseSeq("01"), x) {
+		t.Error("short 1-miss segment reported unembeddable")
+	}
+	if Embeddable(MustParseSeq("00"), x) {
+		t.Error("short 2-miss segment cannot embed under a 1-miss budget")
+	}
+}
+
+func TestMaxConjMissesAgainstBruteForce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("brute-force cross-check skipped in -short mode")
+	}
+	// Compare the DP against explicit enumeration of embeddable segment
+	// pairs for small windows.
+	cs := []MissConstraint{{1, 3}, {2, 4}, {1, 4}, {0, 3}, {2, 3}}
+	for _, x := range cs {
+		for _, y := range cs {
+			for w := 1; w <= 6; w++ {
+				got := MaxConjMisses(x, y, w)
+				want := bruteConjMisses(x, y, w)
+				if got != want {
+					t.Errorf("MaxConjMisses(%v, %v, %d) = %d, brute force %d", x, y, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func bruteConjMisses(x, y MissConstraint, w int) int {
+	best := -1
+	for lb := 0; lb < 1<<uint(w); lb++ {
+		ql := bitsToSeq(lb, w)
+		if !Embeddable(ql, x) {
+			continue
+		}
+		for rb := 0; rb < 1<<uint(w); rb++ {
+			qr := bitsToSeq(rb, w)
+			if !Embeddable(qr, y) {
+				continue
+			}
+			if m := ql.And(qr).Misses(); m > best {
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+func bitsToSeq(bits, n int) Seq {
+	q := make(Seq, n)
+	for i := range q {
+		q[i] = bits&(1<<uint(i)) != 0
+	}
+	return q
+}
+
+func TestRandomSatisfyingRespectsConstraint(t *testing.T) {
+	rng := newTestRand()
+	c := MissConstraint{Misses: 2, Window: 6}
+	for trial := 0; trial < 50; trial++ {
+		q, err := RandomSatisfying(c, 200, 0.4, rng)
+		if err != nil {
+			t.Fatalf("RandomSatisfying: %v", err)
+		}
+		if !q.SatisfiesMiss(c) {
+			t.Fatalf("RandomSatisfying produced violating sequence %v", q)
+		}
+	}
+}
+
+func TestBernoulliHitRate(t *testing.T) {
+	rng := newTestRand()
+	q, err := Bernoulli(0.8, 20000, rng)
+	if err != nil {
+		t.Fatalf("Bernoulli: %v", err)
+	}
+	if r := q.HitRate(); r < 0.77 || r > 0.83 {
+		t.Errorf("Bernoulli(0.8) hit rate %v far from 0.8", r)
+	}
+	if _, err := Bernoulli(1.5, 10, rng); err == nil {
+		t.Error("Bernoulli accepted p > 1")
+	}
+	if _, err := Bernoulli(0.5, 10, nil); err == nil {
+		t.Error("Bernoulli accepted nil rng")
+	}
+}

@@ -1,0 +1,225 @@
+package wh
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Seq is a finite binary execution trace — the paper's "k-sequence"
+// ω ∈ {0,1}*. By convention a true element is a hit (successful
+// execution) and a false element is a miss. Eq. (14) of the paper flips
+// the polarity for fault injection; the cartpole package documents that
+// conversion explicitly rather than reusing Seq with silent reversal.
+type Seq []bool
+
+// ParseSeq builds a sequence from a string of '0' (miss) and '1' (hit)
+// characters. Any other character is an error.
+func ParseSeq(s string) (Seq, error) {
+	out := make(Seq, 0, len(s))
+	for i, r := range s {
+		switch r {
+		case '0':
+			out = append(out, false)
+		case '1':
+			out = append(out, true)
+		default:
+			return nil, fmt.Errorf("wh: invalid sequence character %q at index %d", r, i)
+		}
+	}
+	return out, nil
+}
+
+// MustParseSeq is ParseSeq that panics on error; intended for tests and
+// package-level literals.
+func MustParseSeq(s string) Seq {
+	q, err := ParseSeq(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// String renders the sequence as a string of '0's and '1's.
+func (q Seq) String() string {
+	var b strings.Builder
+	b.Grow(len(q))
+	for _, v := range q {
+		if v {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Hits counts the true elements of the sequence.
+func (q Seq) Hits() int {
+	n := 0
+	for _, v := range q {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Misses counts the false elements of the sequence.
+func (q Seq) Misses() int { return len(q) - q.Hits() }
+
+// HitRate returns Hits/len as a float; it returns 1 for the empty
+// sequence (vacuous success, matching vacuous constraint satisfaction).
+func (q Seq) HitRate() float64 {
+	if len(q) == 0 {
+		return 1
+	}
+	return float64(q.Hits()) / float64(len(q))
+}
+
+// And returns the element-wise conjunction of q and r, the composition
+// ω_l ∧ ω_r used throughout the paper: position t of the result is a hit
+// only if both inputs hit at t. The sequences must have equal length.
+func (q Seq) And(r Seq) Seq {
+	if len(q) != len(r) {
+		panic(fmt.Sprintf("wh: And on sequences of different lengths %d and %d", len(q), len(r)))
+	}
+	out := make(Seq, len(q))
+	for i := range q {
+		out[i] = q[i] && r[i]
+	}
+	return out
+}
+
+// AndAll folds And over one or more sequences. It panics if seqs is
+// empty or lengths differ.
+func AndAll(seqs ...Seq) Seq {
+	if len(seqs) == 0 {
+		panic("wh: AndAll of no sequences")
+	}
+	out := append(Seq(nil), seqs[0]...)
+	for _, s := range seqs[1:] {
+		out = out.And(s)
+	}
+	return out
+}
+
+// MinWindowHits returns the minimum number of hits over all full windows
+// of length k in q, and the starting index of a minimizing window. If q
+// has no full window of length k (len(q) < k), it returns (k, -1): no
+// window can witness a violation, so callers treat the sequence as
+// vacuously satisfying any (m, k) with m <= k.
+func (q Seq) MinWindowHits(k int) (minHits, start int) {
+	if k < 1 {
+		panic("wh: window length must be >= 1")
+	}
+	if len(q) < k {
+		return k, -1
+	}
+	cur := 0
+	for i := 0; i < k; i++ {
+		if q[i] {
+			cur++
+		}
+	}
+	minHits, start = cur, 0
+	for i := k; i < len(q); i++ {
+		if q[i] {
+			cur++
+		}
+		if q[i-k] {
+			cur--
+		}
+		if cur < minHits {
+			minHits, start = cur, i-k+1
+		}
+	}
+	return minHits, start
+}
+
+// MaxWindowMisses returns the maximum number of misses over all full
+// windows of length k, and the starting index of a maximizing window. If
+// no full window exists it returns (0, -1).
+func (q Seq) MaxWindowMisses(k int) (maxMisses, start int) {
+	minHits, s := q.MinWindowHits(k)
+	if s < 0 {
+		return 0, -1
+	}
+	return k - minHits, s
+}
+
+// Satisfies reports whether q ⊢ c: every full window of length c.K in q
+// contains at least c.M hits. Sequences shorter than the window satisfy
+// vacuously (there is no window that can witness a violation); this is
+// the finite-trace reading of the paper's S^κ definition.
+func (q Seq) Satisfies(c Constraint) bool {
+	if c.Trivial() {
+		return true
+	}
+	minHits, start := q.MinWindowHits(c.K)
+	_ = start
+	return minHits >= c.M
+}
+
+// SatisfiesMiss reports whether q satisfies the miss-form constraint:
+// every full window of length c.Window has at most c.Misses misses.
+func (q Seq) SatisfiesMiss(c MissConstraint) bool { return q.Satisfies(c.Hit()) }
+
+// FirstViolation returns the starting index of the first window of
+// length c.K with fewer than c.M hits, or -1 if q satisfies c.
+func (q Seq) FirstViolation(c Constraint) int {
+	if c.Trivial() || len(q) < c.K {
+		return -1
+	}
+	cur := 0
+	for i := 0; i < c.K; i++ {
+		if q[i] {
+			cur++
+		}
+	}
+	if cur < c.M {
+		return 0
+	}
+	for i := c.K; i < len(q); i++ {
+		if q[i] {
+			cur++
+		}
+		if q[i-c.K] {
+			cur--
+		}
+		if cur < c.M {
+			return i - c.K + 1
+		}
+	}
+	return -1
+}
+
+// LongestMissBurst returns the length of the longest run of consecutive
+// misses in q. Burst length is the statistic used to fit weakly-hard
+// network statistics from simulated Glossy traces.
+func (q Seq) LongestMissBurst() int {
+	best, cur := 0, 0
+	for _, v := range q {
+		if v {
+			cur = 0
+			continue
+		}
+		cur++
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// Repeat returns q concatenated with itself n times. n <= 0 yields an
+// empty sequence.
+func (q Seq) Repeat(n int) Seq {
+	if n <= 0 {
+		return Seq{}
+	}
+	out := make(Seq, 0, n*len(q))
+	for i := 0; i < n; i++ {
+		out = append(out, q...)
+	}
+	return out
+}

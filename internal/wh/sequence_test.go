@@ -1,0 +1,161 @@
+package wh
+
+import "testing"
+
+func TestParseSeq(t *testing.T) {
+	q, err := ParseSeq("10110")
+	if err != nil {
+		t.Fatalf("ParseSeq: %v", err)
+	}
+	want := Seq{true, false, true, true, false}
+	if len(q) != len(want) {
+		t.Fatalf("length %d, want %d", len(q), len(want))
+	}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("element %d = %v, want %v", i, q[i], want[i])
+		}
+	}
+	if q.String() != "10110" {
+		t.Errorf("String = %q, want 10110", q.String())
+	}
+	if _, err := ParseSeq("10x"); err == nil {
+		t.Error("ParseSeq accepted an invalid character")
+	}
+}
+
+func TestHitsMissesRate(t *testing.T) {
+	q := MustParseSeq("110100")
+	if q.Hits() != 3 || q.Misses() != 3 {
+		t.Errorf("Hits/Misses = %d/%d, want 3/3", q.Hits(), q.Misses())
+	}
+	if got := q.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+	if got := (Seq{}).HitRate(); got != 1 {
+		t.Errorf("empty HitRate = %v, want 1 (vacuous)", got)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := MustParseSeq("1101")
+	b := MustParseSeq("1011")
+	got := a.And(b).String()
+	if got != "1001" {
+		t.Errorf("And = %q, want 1001", got)
+	}
+	all := AndAll(a, b, MustParseSeq("1111")).String()
+	if all != "1001" {
+		t.Errorf("AndAll = %q, want 1001", all)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("And on mismatched lengths did not panic")
+		}
+	}()
+	_ = a.And(MustParseSeq("10"))
+}
+
+func TestMinWindowHits(t *testing.T) {
+	q := MustParseSeq("1101011001")
+	min, start := q.MinWindowHits(4)
+	if min != 2 {
+		t.Errorf("MinWindowHits(4) = %d, want 2", min)
+	}
+	// The window at start must actually achieve the minimum.
+	h := 0
+	for _, v := range q[start : start+4] {
+		if v {
+			h++
+		}
+	}
+	if h != min {
+		t.Errorf("window at start %d has %d hits, reported min %d", start, h, min)
+	}
+	// Short sequence: vacuous.
+	if m, s := MustParseSeq("10").MinWindowHits(5); m != 5 || s != -1 {
+		t.Errorf("short MinWindowHits = (%d,%d), want (5,-1)", m, s)
+	}
+}
+
+func TestMaxWindowMisses(t *testing.T) {
+	q := MustParseSeq("1001001110")
+	max, _ := q.MaxWindowMisses(3)
+	if max != 2 {
+		t.Errorf("MaxWindowMisses(3) = %d, want 2", max)
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	cases := []struct {
+		seq  string
+		c    Constraint
+		want bool
+	}{
+		{"1111111111", Constraint{1, 1}, true},
+		{"1111011111", Constraint{1, 1}, false},
+		{"1101101101", Constraint{2, 3}, true},
+		{"1100101101", Constraint{2, 3}, false},
+		{"0000000000", Constraint{0, 3}, true}, // trivial constraint
+		{"10", Constraint{4, 5}, true},         // vacuous: no full window
+		{"0101010101", Constraint{1, 2}, true},
+		{"0101010100", Constraint{1, 2}, false}, // trailing 00
+	}
+	for _, tc := range cases {
+		q := MustParseSeq(tc.seq)
+		if got := q.Satisfies(tc.c); got != tc.want {
+			t.Errorf("%q.Satisfies(%v) = %v, want %v", tc.seq, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestSatisfiesMissMatchesHitForm(t *testing.T) {
+	q := MustParseSeq("110101100111")
+	for k := 1; k <= 6; k++ {
+		for m := 0; m <= k; m++ {
+			hit := Constraint{M: m, K: k}
+			if q.Satisfies(hit) != q.SatisfiesMiss(hit.Miss()) {
+				t.Fatalf("hit/miss satisfaction disagree for %v", hit)
+			}
+		}
+	}
+}
+
+func TestFirstViolation(t *testing.T) {
+	q := MustParseSeq("1110100111")
+	c := Constraint{2, 3}
+	idx := q.FirstViolation(c)
+	if idx != 3 { // window "010" starting at index 3 has 1 hit
+		t.Errorf("FirstViolation = %d, want 3", idx)
+	}
+	if got := MustParseSeq("111111").FirstViolation(c); got != -1 {
+		t.Errorf("FirstViolation on satisfying seq = %d, want -1", got)
+	}
+}
+
+func TestLongestMissBurst(t *testing.T) {
+	cases := []struct {
+		seq  string
+		want int
+	}{
+		{"1111", 0},
+		{"0000", 4},
+		{"1001101", 2},
+		{"0110001", 3},
+	}
+	for _, tc := range cases {
+		if got := MustParseSeq(tc.seq).LongestMissBurst(); got != tc.want {
+			t.Errorf("LongestMissBurst(%q) = %d, want %d", tc.seq, got, tc.want)
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	q := MustParseSeq("10")
+	if got := q.Repeat(3).String(); got != "101010" {
+		t.Errorf("Repeat = %q", got)
+	}
+	if got := q.Repeat(0); len(got) != 0 {
+		t.Errorf("Repeat(0) length = %d", len(got))
+	}
+}

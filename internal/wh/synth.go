@@ -1,0 +1,126 @@
+package wh
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file synthesizes the adversarial miss patterns of paper eq. (12),
+// used both by the §IV-A validation harness and by the §IV-C cartpole
+// fault-injection experiment. The canonical pattern for a miss-form
+// constraint (m, K)~ is the maximally bursty periodic sequence
+//
+//	(0^m 1^(K−m))^*
+//
+// in which every K-window carries exactly m misses and every period
+// boundary exposes a (K+1)-window with m+1 misses — precisely the
+// membership conditions of InSynthSet.
+
+// Synthesize returns the canonical adversarial sequence of the given
+// length for the miss-form constraint c: bursts of c.Misses consecutive
+// misses separated by c.Window−c.Misses hits. For a hard constraint
+// (Misses = 0) it returns the all-hit sequence, the only satisfying
+// pattern. It returns an error for invalid constraints or negative
+// lengths.
+func Synthesize(c MissConstraint, length int) (Seq, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("wh: negative synthesis length %d", length)
+	}
+	out := make(Seq, length)
+	for i := range out {
+		out[i] = i%c.Window >= c.Misses
+	}
+	return out, nil
+}
+
+// SynthesizeRotated returns the canonical adversarial pattern rotated by
+// the given phase (0 <= phase < c.Window gives distinct alignments).
+// Rotations preserve membership in the eq. (12) set for lengths of at
+// least two periods, because the pattern is periodic.
+func SynthesizeRotated(c MissConstraint, length, phase int) (Seq, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("wh: negative synthesis length %d", length)
+	}
+	phase %= c.Window
+	if phase < 0 {
+		phase += c.Window
+	}
+	out := make(Seq, length)
+	for i := range out {
+		out[i] = (i+phase)%c.Window >= c.Misses
+	}
+	return out, nil
+}
+
+// SynthesizeRandom draws a random adversarial pattern for c: the
+// canonical pattern at a uniformly random phase. rng must be non-nil so
+// experiments are reproducible under caller-controlled seeding.
+func SynthesizeRandom(c MissConstraint, length int, rng *rand.Rand) (Seq, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("wh: SynthesizeRandom requires a non-nil rng")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return SynthesizeRotated(c, length, rng.Intn(c.Window))
+}
+
+// RandomSatisfying draws a random sequence of the given length that
+// satisfies the miss-form constraint c. At each position the sequence
+// misses with probability missProb unless doing so would overflow the
+// miss budget of the window ending there, in which case it hits. The
+// result always satisfies c but is generally not in the eq. (12)
+// boundary set; it models well-behaved traffic rather than adversarial
+// traffic.
+func RandomSatisfying(c MissConstraint, length int, missProb float64, rng *rand.Rand) (Seq, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("wh: RandomSatisfying requires a non-nil rng")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if missProb < 0 || missProb > 1 {
+		return nil, fmt.Errorf("wh: miss probability %v outside [0,1]", missProb)
+	}
+	out := make(Seq, length)
+	window := 0 // misses among the last min(i, Window) symbols
+	for i := range out {
+		if i >= c.Window && !out[i-c.Window] {
+			window--
+		}
+		if window < c.Misses && rng.Float64() < missProb {
+			out[i] = false
+			window++
+		} else {
+			out[i] = true
+		}
+	}
+	return out, nil
+}
+
+// Bernoulli draws a length-n sequence whose elements hit independently
+// with probability p — the soft-real-time sampling model of paper
+// eq. (11), justified by Zimmerling et al.'s observation that Glossy
+// floods behave as independent Bernoulli trials.
+func Bernoulli(p float64, n int, rng *rand.Rand) (Seq, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("wh: Bernoulli requires a non-nil rng")
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("wh: hit probability %v outside [0,1]", p)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("wh: negative sequence length %d", n)
+	}
+	out := make(Seq, n)
+	for i := range out {
+		out[i] = rng.Float64() < p
+	}
+	return out, nil
+}
