@@ -17,7 +17,9 @@ import (
 
 func main() {
 	deadline := flag.Int64("deadline", 0, "if positive, report the minimum power meeting this latency (µs)")
+	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	figures.Workers = *workers
 
 	points, err := figures.Fig4()
 	if err != nil {

@@ -19,7 +19,9 @@ func main() {
 	episodes := flag.Int("episodes", 100, "episodes per fig. 3 grid cell")
 	runs := flag.Int("runs", 10000, "validation runs")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
+	figures.Workers = *workers
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -12,6 +13,10 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
+	flag.Parse()
+	figures.Workers = *workers
+
 	points, err := figures.Fig2()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netdag-mimo:", err)

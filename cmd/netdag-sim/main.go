@@ -29,6 +29,7 @@ func main() {
 	guard := flag.Float64("guard", 500, "guard window (µs, timed mode)")
 	period := flag.Int64("period", 0, "schedule period (µs, timed mode; 0 = makespan + 100 ms)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -44,6 +45,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	p.Workers = *workers
 	s, err := core.Solve(p)
 	if err != nil {
 		fatal(err)

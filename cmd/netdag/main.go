@@ -46,6 +46,7 @@ func main() {
 	example := flag.Bool("example", false, "print an example problem spec and exit")
 	jsonOut := flag.Bool("json", false, "emit the schedule as JSON instead of a timeline")
 	smtOut := flag.Bool("smt", false, "emit the SMT-LIB 2 encoding (ASAP round assignment) and exit")
+	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if *example {
@@ -65,6 +66,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	p.Workers = *workers
 	if *smtOut {
 		lg, err := dag.NewLineGraph(p.App)
 		if err != nil {

@@ -67,7 +67,10 @@ func main() {
 	fmt.Println()
 	guar := expt.NewTable("per-actuator guarantees", "actuator", "requirement", "⊕ guarantee")
 	for _, a := range acts {
-		gc, _ := core.SatisfiedWH(p, s, a)
+		gc, _, err := core.SatisfiedWH(p, s, a)
+		if err != nil {
+			log.Fatal(err)
+		}
 		guar.Addf("%s\t%v\t%v", g.Task(a).Name, level, gc)
 	}
 	fmt.Print(guar.String())

@@ -47,8 +47,11 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(sched.String())
-	fmt.Printf("guaranteed P(act succeeds) = %.4f (target 0.95)\n\n",
-		core.SatisfiedSoft(problem, sched, act))
+	guaranteed, err := core.SatisfiedSoft(problem, sched, act)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("guaranteed P(act succeeds) = %.4f (target 0.95)\n\n", guaranteed)
 
 	// 4. Validate per §IV-A: sample flood behaviour from the statistic
 	// and check the empirical success rate.

@@ -186,7 +186,10 @@ func TestMultirateEndToEnd(t *testing.T) {
 	}
 	// Both actuation instances carry their guarantee.
 	for inst, c := range cons {
-		guar, ok := core.SatisfiedWH(p, s, inst)
+		guar, ok, err := core.SatisfiedWH(p, s, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok || !wh.SufficientlyImpliesMiss(guar, c) {
 			t.Errorf("instance %d guarantee %v (ok=%v) misses %v", inst, guar, ok, c)
 		}
@@ -238,11 +241,11 @@ func TestMergedApplicationsShareTheBus(t *testing.T) {
 		t.Fatalf("merged schedule audit: %v", err)
 	}
 	// Both apps' guarantees hold.
-	if got := core.SatisfiedSoft(p, s, trans["ctl"][ctlSink.ID]); got < 0.9 {
-		t.Errorf("control app guarantee %v < 0.9", got)
+	if got, err := core.SatisfiedSoft(p, s, trans["ctl"][ctlSink.ID]); err != nil || got < 0.9 {
+		t.Errorf("control app guarantee %v < 0.9 (err %v)", got, err)
 	}
-	if got := core.SatisfiedSoft(p, s, trans["mon"][m1]); got < 0.7 {
-		t.Errorf("monitoring app guarantee %v < 0.7", got)
+	if got, err := core.SatisfiedSoft(p, s, trans["mon"][m1]); err != nil || got < 0.7 {
+		t.Errorf("monitoring app guarantee %v < 0.7 (err %v)", got, err)
 	}
 	// Sharing pays: the merged schedule beats running the two apps
 	// back-to-back (which would serialize all rounds and tasks).

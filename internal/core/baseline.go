@@ -35,7 +35,7 @@ func GlobalNTXBaseline(p *Problem) (*Schedule, error) {
 		for i := range chi {
 			chi[i] = n
 		}
-		return p.place(assign, chi, rounds)
+		return p.place(assign, chi, rounds, -1)
 	}
 	return nil, fmt.Errorf("%w: no global N_TX within 1..%d meets the constraints", ErrUnsat, p.MaxNTX)
 }

@@ -31,8 +31,8 @@ func TestGlobalNTXBaselineFeasible(t *testing.T) {
 		}
 	}
 	last, _ := g.TaskByName("stage2")
-	if got := SatisfiedSoft(p, s, last.ID); got < 0.9 {
-		t.Errorf("baseline misses the soft target: %v", got)
+	if got, err := SatisfiedSoft(p, s, last.ID); err != nil || got < 0.9 {
+		t.Errorf("baseline misses the soft target: %v (err %v)", got, err)
 	}
 }
 

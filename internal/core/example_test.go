@@ -33,7 +33,10 @@ func ExampleSolve() {
 	if err != nil {
 		panic(err)
 	}
-	guar, _ := core.SatisfiedWH(p, s, act)
+	guar, _, err := core.SatisfiedWH(p, s, act)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println(len(s.Rounds), "rounds; guarantee", guar)
 	// Output: 2 rounds; guarantee (10,60)~
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"github.com/netdag/netdag/internal/dag"
 	"github.com/netdag/netdag/internal/solver"
@@ -40,52 +42,167 @@ func Solve(p *Problem) (*Schedule, error) {
 	if maxRounds < lg.MinRounds() {
 		return nil, fmt.Errorf("core: MaxRounds %d below the line graph's minimum %d", maxRounds, lg.MinRounds())
 	}
-	var best *Schedule
-	explored := 0
-	var firstErr error
-	cpWCET := p.App.CriticalPathWCET()
-	msgs := p.App.Messages()
-	lg.EnumerateAssignments(maxRounds, func(l []int) bool {
-		explored++
-		assign := append([]int(nil), l...)
-		// Cheap lower bound: rounds are global blackouts, so the
-		// makespan is at least the critical-path WCET plus the cheapest
-		// possible bus time for this assignment (all floods at χ = 1).
-		if best != nil {
-			rounds := 0
-			for _, r := range assign {
-				if r+1 > rounds {
-					rounds = r + 1
-				}
-			}
-			lb := cpWCET + int64(rounds)*p.Params.BeaconDuration(1, p.Diameter)
-			for _, m := range msgs {
-				lb += p.Params.SlotDuration(1, m.Width, p.Diameter)
-			}
-			if lb >= best.Makespan {
-				return true
-			}
-		}
-		sched, err := p.scheduleForAssignment(assign)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			return true
-		}
-		if best == nil || sched.Makespan < best.Makespan {
-			best = sched
-		}
-		return true
-	})
+	s := newSearch(p, lg, maxRounds)
+	workers := p.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var best *candidate
+	var explored int
+	var firstErr *searchErr
+	if workers <= 1 {
+		best, explored, firstErr = s.runSequential()
+	} else {
+		best, explored, firstErr = s.runParallel(workers)
+	}
 	if best == nil {
 		if firstErr != nil {
-			return nil, firstErr
+			return nil, firstErr.err
 		}
 		return nil, fmt.Errorf("%w: no admissible round assignment", ErrUnsat)
 	}
-	best.Explored = explored
-	return best, nil
+	best.sched.Explored = explored
+	return best.sched, nil
+}
+
+// search carries the state shared by the sequential and parallel outer
+// searches over round assignments: the problem, the line graph, and the
+// precomputed per-message χ floors that tighten the admissibility lower
+// bound.
+type search struct {
+	p         *Problem
+	lg        *dag.LineGraph
+	maxRounds int
+	cpWCET    int64
+	// chiFloor[m] is a lower bound on χ for message m's slot in any
+	// feasible schedule. In weakly-hard mode it comes from the per-flood
+	// guarantee-window requirements (minNTXForWindow over every
+	// constrained task the message feeds); in soft mode it is 1.
+	chiFloor []int
+	// slotFloor is the assignment-independent part of the bus-time lower
+	// bound: every message slot at its χ floor.
+	slotFloor int64
+}
+
+// candidate is a schedule paired with its position in the deterministic
+// enumeration order, the tie-break of the parallel reduction.
+type candidate struct {
+	sched *Schedule
+	idx   int
+}
+
+// searchErr is an error paired with its enumeration position so the
+// parallel search reports the same "first" error the sequential one does.
+type searchErr struct {
+	idx int
+	err error
+}
+
+func newSearch(p *Problem, lg *dag.LineGraph, maxRounds int) *search {
+	s := &search{
+		p:         p,
+		lg:        lg,
+		maxRounds: maxRounds,
+		cpWCET:    p.App.CriticalPathWCET(),
+		chiFloor:  make([]int, p.App.NumMessages()),
+	}
+	for m := range s.chiFloor {
+		s.chiFloor[m] = 1
+	}
+	if p.Mode == WeaklyHard {
+		for _, t := range p.App.Tasks() {
+			target, has := p.WHCons[t.ID]
+			if !has || target.Trivial() {
+				continue
+			}
+			minN, ok := p.minNTXForWindow(target.Window)
+			if !ok {
+				// The instance is unsat; scheduleForAssignment reports it
+				// with the offending task. Clamp so the bound stays valid.
+				minN = p.MaxNTX
+			}
+			for _, m := range p.App.MsgAncestors(t.ID) {
+				if minN > s.chiFloor[m] {
+					s.chiFloor[m] = minN
+				}
+			}
+		}
+	}
+	for _, m := range p.App.Messages() {
+		s.slotFloor += p.Params.SlotDuration(s.chiFloor[m.ID], m.Width, p.Diameter)
+	}
+	return s
+}
+
+// lowerBound is the cheap per-assignment makespan bound: rounds are
+// global blackouts, so the makespan is at least the critical-path WCET
+// plus the cheapest possible bus time, with every flood at its χ floor.
+// Beacons inherit the floor of the messages sharing their round, since
+// the weakly-hard window requirement applies to every predecessor flood
+// (eq. 10), beacons included.
+func (s *search) lowerBound(assign []int) int64 {
+	rounds := 0
+	for _, r := range assign {
+		if r+1 > rounds {
+			rounds = r + 1
+		}
+	}
+	lb := s.cpWCET + s.slotFloor
+	beacon := make([]int, rounds)
+	for m, r := range assign {
+		if s.chiFloor[m] > beacon[r] {
+			beacon[r] = s.chiFloor[m]
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		n := beacon[r]
+		if n < 1 {
+			n = 1
+		}
+		lb += s.p.Params.BeaconDuration(n, s.p.Diameter)
+	}
+	return lb
+}
+
+// prunable reports whether an assignment with the given lower bound and
+// enumeration index provably cannot beat the incumbent under the total
+// order (makespan, then enumeration index): its bound exceeds the
+// incumbent makespan, or matches it without winning the index tie.
+func prunable(lb int64, idx int, incMakespan int64, incIdx int) bool {
+	return lb > incMakespan || (lb >= incMakespan && idx > incIdx)
+}
+
+// runSequential is the Workers = 1 search: enumerate assignments in
+// order, prune against the running best, and keep the first schedule
+// achieving the minimum makespan.
+func (s *search) runSequential() (*candidate, int, *searchErr) {
+	var best *candidate
+	explored := 0
+	var firstErr *searchErr
+	s.lg.EnumerateAssignments(s.maxRounds, func(l []int) bool {
+		idx := explored
+		explored++
+		bound := int64(-1)
+		if best != nil {
+			if prunable(s.lowerBound(l), idx, best.sched.Makespan, best.idx) {
+				return true
+			}
+			bound = best.sched.Makespan
+		}
+		assign := append([]int(nil), l...)
+		sched, err := s.p.scheduleForAssignment(assign, bound)
+		if err != nil {
+			if err != errBoundPruned && firstErr == nil {
+				firstErr = &searchErr{idx: idx, err: err}
+			}
+			return true
+		}
+		if best == nil || sched.Makespan < best.sched.Makespan {
+			best = &candidate{sched: sched, idx: idx}
+		}
+		return true
+	})
+	return best, explored, firstErr
 }
 
 // predFloods returns, for a task, the flood indices of pred(τ): its
@@ -107,8 +224,17 @@ func predFloods(app *dag.Graph, assign []int, nMsgs int, id dag.TaskID) []int {
 	return floods
 }
 
+// errBoundPruned reports that the timing search was cut off by the
+// incumbent makespan bound: the assignment provably cannot beat the best
+// schedule already found. This is a pruning outcome, not a failure, and
+// must never surface to Solve's caller.
+var errBoundPruned = errors.New("core: assignment pruned by the incumbent makespan bound")
+
 // scheduleForAssignment runs steps 2 and 3 for one round assignment.
-func (p *Problem) scheduleForAssignment(assign []int) (*Schedule, error) {
+// bound, when >= 0, is the makespan of the best schedule found so far; it
+// is fed to the timing search as an upper bound so hopeless branches are
+// cut early. A bound-induced dead end returns errBoundPruned.
+func (p *Problem) scheduleForAssignment(assign []int, bound int64) (*Schedule, error) {
 	app := p.App
 	msgs := app.Messages()
 	nMsgs := len(msgs)
@@ -215,7 +341,7 @@ func (p *Problem) scheduleForAssignment(assign []int) (*Schedule, error) {
 		return nil, err
 	}
 
-	return p.place(assign, chi, rounds)
+	return p.place(assign, chi, rounds, bound)
 }
 
 // minNTXForWindow returns the smallest n with λ_WH(n).Window >= w.
@@ -229,8 +355,14 @@ func (p *Problem) minNTXForWindow(w int) (int, bool) {
 }
 
 // place runs the exact timing search for fixed (l, χ) and assembles the
-// Schedule.
-func (p *Problem) place(assign, chi []int, rounds int) (*Schedule, error) {
+// Schedule. bound, when >= 0, caps the makespan via solver.MakespanBound
+// so the branch-and-bound is cut off by schedules already found for other
+// assignments; a search the bound renders infeasible returns
+// errBoundPruned. When the node budget truncates a *bounded* search, the
+// search is redone without the bound: the bound value depends on which
+// worker found the incumbent first, and a truncated result must not, or
+// parallel runs would stop being reproducible.
+func (p *Problem) place(assign, chi []int, rounds int, bound int64) (*Schedule, error) {
 	app := p.App
 	msgs := app.Messages()
 	nMsgs := len(msgs)
@@ -290,12 +422,26 @@ func (p *Problem) place(assign, chi []int, rounds int) (*Schedule, error) {
 	for id, rel := range p.ReleaseTimes {
 		prob.Release(taskAct[id], rel)
 	}
+	if bound >= 0 {
+		prob.MakespanBound(bound)
+	}
 	var res solver.Result
 	var err error
 	if p.GreedyPlacement {
 		res, err = prob.Greedy()
+		if errors.Is(err, solver.ErrBounded) {
+			return nil, errBoundPruned
+		}
 	} else {
 		res, err = prob.Minimize(p.SolverNodes)
+		if bound >= 0 {
+			if errors.Is(err, solver.ErrBounded) {
+				return nil, errBoundPruned
+			}
+			if errors.Is(err, solver.ErrBudget) || (err == nil && !res.Optimal) {
+				return p.place(assign, chi, rounds, -1)
+			}
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: timing search failed: %w", err)
@@ -335,43 +481,78 @@ func MinMakespan(p *Problem) (int64, error) {
 	return s.Makespan, nil
 }
 
+// ErrScheduleMismatch reports that a schedule does not cover the
+// application it is being audited against — e.g. a message the
+// application defines has no slot in any round. The guarantee auditors
+// return it instead of feeding an out-of-domain χ = 0 into the network
+// statistic (which panics).
+var ErrScheduleMismatch = errors.New("core: schedule does not match the application")
+
+// predRound returns the round index carrying message m, checking that
+// the schedule actually covers it.
+func predRound(s *Schedule, m dag.MsgID) (int, error) {
+	if int(m) < 0 || int(m) >= len(s.Assign) {
+		return 0, fmt.Errorf("%w: message %d has no round assignment", ErrScheduleMismatch, m)
+	}
+	r := s.Assign[m]
+	if r < 0 || r >= len(s.Rounds) {
+		return 0, fmt.Errorf("%w: message %d assigned to round %d of %d", ErrScheduleMismatch, m, r, len(s.Rounds))
+	}
+	return r, nil
+}
+
 // SatisfiedSoft reports the success probability the schedule guarantees
 // for the given task under the problem's statistic (the left side of
-// eq. 6), or 1 when it has no networked dependencies.
-func SatisfiedSoft(p *Problem, s *Schedule, id dag.TaskID) float64 {
+// eq. 6), or 1 when it has no networked dependencies. Auditing a schedule
+// that does not cover the task's predecessor messages returns
+// ErrScheduleMismatch.
+func SatisfiedSoft(p *Problem, s *Schedule, id dag.TaskID) (float64, error) {
 	prob := 1.0
 	msgs := p.App.MsgAncestors(id)
 	roundSeen := make(map[int]bool)
 	for _, m := range msgs {
-		ntx, _ := s.SlotNTX(m)
+		ntx, ok := s.SlotNTX(m)
+		if !ok {
+			return 0, fmt.Errorf("%w: message %d has no slot", ErrScheduleMismatch, m)
+		}
 		prob *= p.SoftStat.SuccessProb(ntx)
-		r := s.Assign[m]
+		r, err := predRound(s, m)
+		if err != nil {
+			return 0, err
+		}
 		if !roundSeen[r] {
 			roundSeen[r] = true
 			prob *= p.SoftStat.SuccessProb(s.Rounds[r].BeaconNTX)
 		}
 	}
-	return prob
+	return prob, nil
 }
 
 // SatisfiedWH returns the ⊕-folded guarantee the schedule provides for
 // the given task (the left side of eq. 9/10) and whether the task has
-// networked dependencies at all.
-func SatisfiedWH(p *Problem, s *Schedule, id dag.TaskID) (wh.MissConstraint, bool) {
+// networked dependencies at all. Auditing a schedule that does not cover
+// the task's predecessor messages returns ErrScheduleMismatch.
+func SatisfiedWH(p *Problem, s *Schedule, id dag.TaskID) (wh.MissConstraint, bool, error) {
 	msgs := p.App.MsgAncestors(id)
 	if len(msgs) == 0 {
-		return wh.MissConstraint{}, false
+		return wh.MissConstraint{}, false, nil
 	}
 	var gs []wh.MissConstraint
 	roundSeen := make(map[int]bool)
 	for _, m := range msgs {
-		ntx, _ := s.SlotNTX(m)
+		ntx, ok := s.SlotNTX(m)
+		if !ok {
+			return wh.MissConstraint{}, false, fmt.Errorf("%w: message %d has no slot", ErrScheduleMismatch, m)
+		}
 		gs = append(gs, p.WHStat.MissConstraint(ntx))
-		r := s.Assign[m]
+		r, err := predRound(s, m)
+		if err != nil {
+			return wh.MissConstraint{}, false, err
+		}
 		if !roundSeen[r] {
 			roundSeen[r] = true
 			gs = append(gs, p.WHStat.MissConstraint(s.Rounds[r].BeaconNTX))
 		}
 	}
-	return wh.OplusAll(gs...), true
+	return wh.OplusAll(gs...), true, nil
 }

@@ -44,8 +44,8 @@ func TestSolveSoftPipeline(t *testing.T) {
 		t.Errorf("3-stage pipeline needs 2 rounds, got %d", len(s.Rounds))
 	}
 	last, _ := g.TaskByName("stage2")
-	if got := SatisfiedSoft(p, s, last.ID); got < 0.9 {
-		t.Errorf("guaranteed probability %v below target 0.9", got)
+	if got, err := SatisfiedSoft(p, s, last.ID); err != nil || got < 0.9 {
+		t.Errorf("guaranteed probability %v below target 0.9 (err %v)", got, err)
 	}
 	if !s.Optimal {
 		t.Error("paper-scale instance should be solved to optimality")
@@ -116,7 +116,10 @@ func TestSolveWeaklyHardPipeline(t *testing.T) {
 		t.Fatalf("schedule fails its feasibility audit: %v", err)
 	}
 	last, _ := g.TaskByName("stage2")
-	g10, ok := SatisfiedWH(p, s, last.ID)
+	g10, ok, err := SatisfiedWH(p, s, last.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("stage2 has networked predecessors")
 	}
@@ -182,7 +185,10 @@ func TestSolveMIMOWeaklyHard(t *testing.T) {
 		t.Fatalf("MIMO schedule invalid: %v", err)
 	}
 	for _, a := range apps.Actuators(g) {
-		guar, ok := SatisfiedWH(p, s, a)
+		guar, ok, err := SatisfiedWH(p, s, a)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			t.Fatalf("actuator %d has no networked predecessors", a)
 		}
@@ -322,7 +328,11 @@ func TestSatisfiedSoftMatchesManualProduct(t *testing.T) {
 			prod *= p.SoftStat.SuccessProb(sl.NTX)
 		}
 	}
-	if got := SatisfiedSoft(p, s, last.ID); math.Abs(got-prod) > 1e-12 {
+	got, err := SatisfiedSoft(p, s, last.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-prod) > 1e-12 {
 		t.Errorf("SatisfiedSoft = %v, manual product %v", got, prod)
 	}
 }

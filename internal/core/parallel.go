@@ -1,0 +1,143 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel outer search over round assignments. A
+// producer goroutine enumerates admissible assignments in the canonical
+// deterministic order, tagging each with its enumeration index, and
+// batches them onto a channel; a pool of workers runs the per-assignment
+// (χ, ζ) search, sharing the best-known makespan through an atomic
+// incumbent that feeds both prune points — the cheap admissibility lower
+// bound and the timing search's MakespanBound.
+//
+// Determinism: the reduction is a total order — makespan first, then
+// enumeration index — and an assignment is only ever pruned when it
+// provably cannot win under that order (see prunable), so the final
+// winner is independent of worker interleaving and identical to the
+// sequential search's result. The per-assignment timing result is also
+// incumbent-independent: a bounded search that completes is exact within
+// the bound (hence equal to the unbounded optimum whenever one exists
+// under the bound), and a bounded search the node budget truncates is
+// redone without the bound (see place).
+
+// assignmentBatchSize is how many assignments the producer hands over
+// per channel send. Assignments are cheap to enumerate and expensive to
+// schedule, so small batches keep workers busy without starving the
+// reduction of parallelism on small instances.
+const assignmentBatchSize = 8
+
+// incumbentRec is the shared best-known outcome: the minimum makespan
+// published so far and the enumeration index of the assignment that
+// achieved it.
+type incumbentRec struct {
+	makespan int64
+	idx      int
+}
+
+// job is one round assignment tagged with its enumeration index.
+type job struct {
+	idx    int
+	assign []int
+}
+
+// runParallel evaluates round assignments on `workers` goroutines and
+// reduces their local bests under the (makespan, enumeration index)
+// order. It returns the same winner, explored count, and first error the
+// sequential search would.
+func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
+	jobs := make(chan []job, workers)
+	done := make(chan struct{})
+	defer close(done)
+
+	go func() {
+		defer close(jobs)
+		next := 0
+		s.lg.EnumerateBatches(s.maxRounds, assignmentBatchSize, func(batch [][]int) bool {
+			bjobs := make([]job, len(batch))
+			for i, a := range batch {
+				bjobs[i] = job{idx: next, assign: a}
+				next++
+			}
+			select {
+			case jobs <- bjobs:
+				return true
+			case <-done:
+				return false
+			}
+		})
+	}()
+
+	var inc atomic.Pointer[incumbentRec]
+	// publish installs (makespan, idx) as the incumbent unless a better
+	// one (under the total order) is already in place.
+	publish := func(makespan int64, idx int) {
+		rec := &incumbentRec{makespan: makespan, idx: idx}
+		for {
+			cur := inc.Load()
+			if cur != nil && (cur.makespan < makespan || (cur.makespan == makespan && cur.idx <= idx)) {
+				return
+			}
+			if inc.CompareAndSwap(cur, rec) {
+				return
+			}
+		}
+	}
+
+	type workerOut struct {
+		best     *candidate
+		explored int
+		firstErr *searchErr
+	}
+	outs := make([]workerOut, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(out *workerOut) {
+			defer wg.Done()
+			for batch := range jobs {
+				for _, j := range batch {
+					out.explored++
+					bound := int64(-1)
+					if cur := inc.Load(); cur != nil {
+						if prunable(s.lowerBound(j.assign), j.idx, cur.makespan, cur.idx) {
+							continue
+						}
+						bound = cur.makespan
+					}
+					sched, err := s.p.scheduleForAssignment(j.assign, bound)
+					if err != nil {
+						if err != errBoundPruned && (out.firstErr == nil || j.idx < out.firstErr.idx) {
+							out.firstErr = &searchErr{idx: j.idx, err: err}
+						}
+						continue
+					}
+					publish(sched.Makespan, j.idx)
+					if out.best == nil || sched.Makespan < out.best.sched.Makespan ||
+						(sched.Makespan == out.best.sched.Makespan && j.idx < out.best.idx) {
+						out.best = &candidate{sched: sched, idx: j.idx}
+					}
+				}
+			}
+		}(&outs[w])
+	}
+	wg.Wait()
+
+	var best *candidate
+	explored := 0
+	var firstErr *searchErr
+	for i := range outs {
+		o := &outs[i]
+		explored += o.explored
+		if o.best != nil && (best == nil || o.best.sched.Makespan < best.sched.Makespan ||
+			(o.best.sched.Makespan == best.sched.Makespan && o.best.idx < best.idx)) {
+			best = o.best
+		}
+		if o.firstErr != nil && (firstErr == nil || o.firstErr.idx < firstErr.idx) {
+			firstErr = o.firstErr
+		}
+	}
+	return best, explored, firstErr
+}

@@ -92,6 +92,19 @@ type Problem struct {
 	// SolverNodes bounds the branch-and-bound timing search per round
 	// assignment. Zero selects DefaultSolverNodes.
 	SolverNodes int
+	// Workers sets how many round assignments Solve evaluates
+	// concurrently. Zero selects runtime.GOMAXPROCS(0); 1 forces the
+	// purely sequential search. Any value returns the same schedule: the
+	// parallel reduction breaks ties deterministically (makespan, then
+	// enumeration order), so results are byte-identical across Workers
+	// settings whenever the timing search completes within SolverNodes —
+	// raise SolverNodes if Optimal comes back false and bit-exact
+	// reproducibility across worker counts matters.
+	//
+	// With Workers > 1, user-supplied SoftStat / WHStat implementations
+	// must be safe for concurrent use; every statistic shipped in
+	// internal/glossy is (they are immutable after construction).
+	Workers int
 	// GreedyChi forces the greedy χ optimizer even on small instances
 	// (used by the ablations; the default picks exact search when the
 	// flood count permits).
@@ -143,6 +156,9 @@ func (p *Problem) normalize() error {
 	}
 	if p.SolverNodes == 0 {
 		p.SolverNodes = DefaultSolverNodes
+	}
+	if p.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", p.Workers)
 	}
 	for id, d := range p.Deadlines {
 		if t := p.App.Task(id); d < t.WCET {

@@ -64,13 +64,20 @@ func TestRandomInstancesScheduleAndAudit(t *testing.T) {
 		switch p.Mode {
 		case Soft:
 			for id, target := range p.SoftCons {
-				if got := SatisfiedSoft(p, s, id); got < target-1e-9 {
+				got, err := SatisfiedSoft(p, s, id)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if got < target-1e-9 {
 					t.Errorf("trial %d: task %d guaranteed %v < target %v", trial, id, got, target)
 				}
 			}
 		case WeaklyHard:
 			for id, target := range p.WHCons {
-				guar, ok := SatisfiedWH(p, s, id)
+				guar, ok, err := SatisfiedWH(p, s, id)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
 				if ok && !wh.SufficientlyImpliesMiss(guar, target) {
 					t.Errorf("trial %d: task %d guarantee %v misses %v", trial, id, guar, target)
 				}

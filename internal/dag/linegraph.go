@@ -178,6 +178,36 @@ func (lg *LineGraph) EnumerateAssignments(maxRounds int, fn func(l []int) bool) 
 	}
 }
 
+// EnumerateBatches groups the assignments of EnumerateAssignments into
+// batches of up to batchSize freshly allocated copies, in the same
+// deterministic order, and passes each batch to fn — the producer side of
+// a parallel outer search, where per-batch channel sends amortize
+// synchronization. The final batch may be short. Enumeration stops (and
+// no further batches are emitted) when fn returns false, so a consumer
+// can cancel mid-enumeration. Batches are safe to retain.
+func (lg *LineGraph) EnumerateBatches(maxRounds, batchSize int, fn func(batch [][]int) bool) {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	batch := make([][]int, 0, batchSize)
+	stopped := false
+	lg.EnumerateAssignments(maxRounds, func(l []int) bool {
+		batch = append(batch, append([]int(nil), l...))
+		if len(batch) < batchSize {
+			return true
+		}
+		if !fn(batch) {
+			stopped = true
+			return false
+		}
+		batch = make([][]int, 0, batchSize)
+		return true
+	})
+	if !stopped && len(batch) > 0 {
+		fn(batch)
+	}
+}
+
 func (lg *LineGraph) less(a, b MsgID) bool {
 	if lg.depth[a] != lg.depth[b] {
 		return lg.depth[a] < lg.depth[b]

@@ -224,3 +224,95 @@ func TestLineGraphChain(t *testing.T) {
 		t.Errorf("chain with 3 rounds admits %d assignments, want exactly 1", count)
 	}
 }
+
+// TestEnumerateBatchesMatchesEnumerateAssignments checks that batching
+// preserves the sequential enumeration exactly: same assignments, same
+// order, partitioned into full batches plus one optional short tail.
+func TestEnumerateBatchesMatchesEnumerateAssignments(t *testing.T) {
+	_, lg := fanDAG(t)
+	const maxRounds = 3
+	var seq [][]int
+	lg.EnumerateAssignments(maxRounds, func(l []int) bool {
+		seq = append(seq, append([]int(nil), l...))
+		return true
+	})
+	if len(seq) < 2 {
+		t.Fatalf("degenerate corpus: %d assignments", len(seq))
+	}
+	for _, batchSize := range []int{1, 2, 3, len(seq), len(seq) + 7, 0} {
+		var got [][]int
+		var sizes []int
+		lg.EnumerateBatches(maxRounds, batchSize, func(batch [][]int) bool {
+			sizes = append(sizes, len(batch))
+			got = append(got, batch...)
+			return true
+		})
+		if len(got) != len(seq) {
+			t.Fatalf("batchSize %d: %d assignments, want %d", batchSize, len(got), len(seq))
+		}
+		for i := range seq {
+			if len(got[i]) != len(seq[i]) {
+				t.Fatalf("batchSize %d: assignment %d length mismatch", batchSize, i)
+			}
+			for j := range seq[i] {
+				if got[i][j] != seq[i][j] {
+					t.Fatalf("batchSize %d: assignment %d = %v, want %v", batchSize, i, got[i], seq[i])
+				}
+			}
+		}
+		want := batchSize
+		if want < 1 {
+			want = 1
+		}
+		for k, s := range sizes {
+			if k < len(sizes)-1 && s != want {
+				t.Errorf("batchSize %d: interior batch %d has %d entries", batchSize, k, s)
+			}
+			if s == 0 || s > want {
+				t.Errorf("batchSize %d: batch %d has %d entries", batchSize, k, s)
+			}
+		}
+	}
+}
+
+// TestEnumerateBatchesEarlyStop confirms a false return cancels the
+// enumeration without a trailing flush.
+func TestEnumerateBatchesEarlyStop(t *testing.T) {
+	_, lg := fanDAG(t)
+	calls := 0
+	lg.EnumerateBatches(3, 2, func(batch [][]int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("enumeration continued after cancel: %d calls", calls)
+	}
+}
+
+// TestEnumerateBatchesCopiesAreStable: retained batches must not alias
+// the enumerator's reused buffer.
+func TestEnumerateBatchesCopiesAreStable(t *testing.T) {
+	_, lg := fanDAG(t)
+	var all [][]int
+	lg.EnumerateBatches(3, 4, func(batch [][]int) bool {
+		all = append(all, batch...)
+		return true
+	})
+	for i, l := range all {
+		if !lg.ValidAssignment(l) {
+			t.Errorf("retained assignment %d = %v is invalid (buffer aliasing?)", i, l)
+		}
+	}
+	// All retained assignments must be distinct.
+	seen := make(map[string]bool)
+	for _, l := range all {
+		key := ""
+		for _, r := range l {
+			key += string(rune('0' + r))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate retained assignment %v — enumerator buffer aliased", l)
+		}
+		seen[key] = true
+	}
+}

@@ -31,6 +31,7 @@ type Config struct {
 	Speed       float64 // random-waypoint speed per step
 	Qs          []float64
 	Seed        int64
+	Workers     int // scheduler worker count (core.Problem.Workers)
 }
 
 // DefaultConfig explores ten power settings over a 10-node mobile
@@ -104,6 +105,7 @@ func Explore(cfg Config) ([]Point, error) {
 			SoftCons:  cfg.SoftCons,
 			MaxNTX:    cfg.MaxNTX,
 			GreedyChi: true, // DSE sweeps many settings; speed over the last µs
+			Workers:   cfg.Workers,
 		}
 		sched, err := core.Solve(prob)
 		if err != nil {

@@ -34,6 +34,18 @@ import (
 	"github.com/netdag/netdag/internal/wh"
 )
 
+// Workers is the round-assignment search worker count applied to every
+// scheduling problem the experiments build (core.Problem.Workers: 0 =
+// GOMAXPROCS, 1 = sequential). The experiment binaries expose it as
+// their -workers flag.
+var Workers int
+
+// solve runs core.Solve with the package-wide Workers setting applied.
+func solve(p *core.Problem) (*core.Schedule, error) {
+	p.Workers = Workers
+	return core.Solve(p)
+}
+
 // mimoProblem builds the A_MIMO weakly-hard problem with the given
 // per-actuator constraints (nil entries mean unconstrained).
 func mimoProblem(cons map[dag.TaskID]wh.MissConstraint) (*core.Problem, *dag.Graph, error) {
@@ -94,6 +106,7 @@ func Fig2() ([]Fig2Point, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.Workers = Workers
 			m, err := core.MinMakespan(p)
 			if err != nil {
 				return nil, fmt.Errorf("figures: fig2 level %v, %d actuators: %w", level, k, err)
@@ -138,6 +151,7 @@ func Fig4() ([]dse.Point, error) {
 	}
 	cfg := dse.DefaultConfig(g, cons)
 	cfg.MobileNodes = 13 // one mobile node per task
+	cfg.Workers = Workers
 	return dse.Explore(cfg)
 }
 
@@ -171,7 +185,7 @@ func DiameterSweep() ([]DiameterRow, error) {
 			Mode: core.WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
 			GreedyChi: true,
 		}
-		s, err := core.Solve(p)
+		s, err := solve(p)
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +222,7 @@ func Validation(runs int, seed int64) (*ValidationResult, error) {
 		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
 		SoftCons: map[dag.TaskID]float64{mid.ID: 0.95, last.ID: 0.9},
 	}
-	ss, err := core.Solve(soft)
+	ss, err := solve(soft)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +243,7 @@ func Validation(runs int, seed int64) (*ValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ws, err := core.Solve(whp)
+	ws, err := solve(whp)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +283,7 @@ func TableI() ([]TableIRow, error) {
 		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
 		SoftCons: map[dag.TaskID]float64{last.ID: 0.84},
 	}
-	ss, err := core.Solve(soft)
+	ss, err := solve(soft)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +300,7 @@ func TableI() ([]TableIRow, error) {
 		// Table I: "at least 6 times in every 10" = hit-form (6,10).
 		WHCons: map[dag.TaskID]wh.MissConstraint{last2.ID: (wh.Constraint{M: 6, K: 10}).Miss()},
 	}
-	ws, err := core.Solve(hard)
+	ws, err := solve(hard)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +365,7 @@ func AblationA2() ([]A2Row, error) {
 			SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
 			SoftCons: cons,
 		}
-		nd, err := core.Solve(p)
+		nd, err := solve(p)
 		if err != nil {
 			return nil, err
 		}
@@ -388,7 +402,7 @@ func AblationA3() ([]A3Row, error) {
 		if err != nil {
 			return err
 		}
-		se, err := core.Solve(pe)
+		se, err := solve(pe)
 		if err != nil {
 			return err
 		}
@@ -397,7 +411,7 @@ func AblationA3() ([]A3Row, error) {
 			return err
 		}
 		pg.GreedyPlacement = true
-		sg, err := core.Solve(pg)
+		sg, err := solve(pg)
 		if err != nil {
 			return err
 		}
@@ -469,7 +483,7 @@ func AblationA4() ([]A4Row, error) {
 				return 0, err
 			}
 			p.GreedyChi = greedy
-			s, err := core.Solve(p)
+			s, err := solve(p)
 			if err != nil {
 				return 0, err
 			}
@@ -516,7 +530,7 @@ func AblationA5(runs int, seed int64) ([]A5Row, error) {
 		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
 		SoftCons: map[dag.TaskID]float64{last.ID: 0.85},
 	}
-	s, err := core.Solve(p)
+	s, err := solve(p)
 	if err != nil {
 		return nil, err
 	}
@@ -608,7 +622,7 @@ func AblationA6(runs int, seed int64) ([]A6Row, error) {
 		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
 		SoftCons: map[dag.TaskID]float64{last.ID: 0.95},
 	}
-	s, err := core.Solve(p)
+	s, err := solve(p)
 	if err != nil {
 		return nil, err
 	}

@@ -73,22 +73,27 @@ type TableSoft struct {
 	probs []float64 // probs[i] is λ(i+1)
 }
 
-// NewTableSoft builds a table statistic, enforcing monotonicity by
-// running maximum. The table must be non-empty with entries in [0, 1].
+// NewTableSoft builds a table statistic, enforcing monotonicity with a
+// conservative suffix-minimum envelope: λ(n) = min over k >= n of the
+// profiled entry for k. The envelope never exceeds the measured
+// probability at any n — a running maximum would promise success rates
+// profiling never observed, which is unsound for a scheduler that treats
+// the statistic as a guarantee. The table must be non-empty with entries
+// in [0, 1].
 func NewTableSoft(probs []float64) (TableSoft, error) {
 	if len(probs) == 0 {
 		return TableSoft{}, errors.New("glossy: empty soft statistic table")
 	}
 	out := make([]float64, len(probs))
-	run := 0.0
-	for i, p := range probs {
+	for i := len(probs) - 1; i >= 0; i-- {
+		p := probs[i]
 		if p < 0 || p > 1 {
 			return TableSoft{}, fmt.Errorf("glossy: probability %v outside [0,1]", p)
 		}
-		if p > run {
-			run = p
+		out[i] = p
+		if i+1 < len(probs) && out[i+1] < p {
+			out[i] = out[i+1]
 		}
-		out[i] = run
 	}
 	return TableSoft{probs: out}, nil
 }
@@ -151,7 +156,10 @@ type TableWH struct {
 // each successive entry must dominate (be at least as hard as) its
 // predecessor under the sufficient order: misses non-increasing and
 // window non-decreasing, the shape profiling naturally produces. Entries
-// violating monotonicity are tightened to the previous entry.
+// violating monotonicity are repaired by *weakening* the earlier entries
+// (raising their miss allowance, shrinking their window) — never by
+// strengthening a later entry beyond what its profiling data supports,
+// which would let the scheduler promise guarantees nothing measured.
 func NewTableWH(cons []wh.MissConstraint) (TableWH, error) {
 	if len(cons) == 0 {
 		return TableWH{}, errors.New("glossy: empty weakly-hard statistic table")
@@ -162,16 +170,18 @@ func NewTableWH(cons []wh.MissConstraint) (TableWH, error) {
 			return TableWH{}, err
 		}
 		out[i] = c
-		if i > 0 {
-			if out[i].Misses > out[i-1].Misses {
-				out[i].Misses = out[i-1].Misses
-			}
-			if out[i].Window < out[i-1].Window {
-				out[i].Window = out[i-1].Window
-			}
-			if out[i].Misses > out[i].Window {
-				out[i].Misses = out[i].Window
-			}
+	}
+	for i := len(out) - 2; i >= 0; i-- {
+		if out[i].Misses < out[i+1].Misses {
+			out[i].Misses = out[i+1].Misses
+		}
+		if out[i].Window > out[i+1].Window {
+			out[i].Window = out[i+1].Window
+		}
+		// The weakened pair can leave misses above the window; cap it at
+		// the (vacuous) trivial constraint for that window.
+		if out[i].Misses > out[i].Window {
+			out[i].Misses = out[i].Window
 		}
 	}
 	return TableWH{cons: out}, nil

@@ -44,13 +44,25 @@ func TestSigmoidSoftEq15(t *testing.T) {
 }
 
 func TestTableSoft(t *testing.T) {
-	// Profiling noise (dip at n=3) must be monotonized.
-	tab, err := NewTableSoft([]float64{0.5, 0.8, 0.75, 0.9})
+	// Profiling noise (dip at n=3) must be monotonized conservatively:
+	// the dip pulls earlier entries DOWN (suffix-min); it must never be
+	// papered over by raising λ(3) above what was measured.
+	meas := []float64{0.5, 0.8, 0.75, 0.9}
+	tab, err := NewTableSoft(meas)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := tab.SuccessProb(3); got != 0.8 {
-		t.Errorf("monotonized λ(3) = %v, want 0.8", got)
+	if got := tab.SuccessProb(2); got != 0.75 {
+		t.Errorf("monotonized λ(2) = %v, want 0.75 (pulled down by the dip)", got)
+	}
+	if got := tab.SuccessProb(3); got != 0.75 {
+		t.Errorf("monotonized λ(3) = %v, want the measured 0.75", got)
+	}
+	// Soundness: the table never promises more than the measurement.
+	for n := 1; n <= len(meas); n++ {
+		if got := tab.SuccessProb(n); got > meas[n-1] {
+			t.Errorf("λ(%d) = %v exceeds measured %v", n, got, meas[n-1])
+		}
 	}
 	if got := tab.SuccessProb(99); got != 0.9 {
 		t.Errorf("beyond-table query = %v, want last entry 0.9", got)
@@ -106,20 +118,35 @@ func TestSyntheticWHMonotone(t *testing.T) {
 }
 
 func TestTableWH(t *testing.T) {
-	tab, err := NewTableWH([]wh.MissConstraint{
+	meas := []wh.MissConstraint{
 		{Misses: 5, Window: 20},
-		{Misses: 6, Window: 18}, // violates monotonicity; must be tightened
+		{Misses: 6, Window: 18}, // violates monotonicity; earlier entries weaken
 		{Misses: 2, Window: 30},
-	})
+	}
+	tab, err := NewTableWH(meas)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := tab.MissConstraint(2)
-	if got.Misses > 5 || got.Window < 20 {
-		t.Errorf("entry 2 not tightened: %v", got)
+	// Monotonization must weaken earlier entries to absorb the n=2 dip,
+	// never strengthen the dip itself past its measurement.
+	if got := tab.MissConstraint(1); got != (wh.MissConstraint{Misses: 6, Window: 18}) {
+		t.Errorf("entry 1 = %v, want the weakened (6,18)~", got)
+	}
+	if got := tab.MissConstraint(2); got != (wh.MissConstraint{Misses: 6, Window: 18}) {
+		t.Errorf("entry 2 = %v, want the measured (6,18)~", got)
+	}
+	if got := tab.MissConstraint(3); got != (wh.MissConstraint{Misses: 2, Window: 30}) {
+		t.Errorf("entry 3 = %v, want the measured (2,30)~", got)
+	}
+	// Soundness: each published guarantee is implied by its measurement —
+	// the table never claims more than was observed.
+	for n := 1; n <= len(meas); n++ {
+		if !wh.PrecedesBBMiss(meas[n-1], tab.MissConstraint(n)) {
+			t.Errorf("entry %d = %v not implied by measured %v", n, tab.MissConstraint(n), meas[n-1])
+		}
 	}
 	if err := CheckWHMonotone(tab, 3); err != nil {
-		t.Errorf("tightened table not monotone: %v", err)
+		t.Errorf("monotonized table not monotone: %v", err)
 	}
 	if got := tab.MissConstraint(99); got != tab.MissConstraint(3) {
 		t.Errorf("beyond-table query = %v", got)

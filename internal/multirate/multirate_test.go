@@ -160,7 +160,10 @@ func TestUnrolledGraphSchedules(t *testing.T) {
 		t.Fatalf("unrolled schedule invalid: %v", err)
 	}
 	for inst := range cons {
-		guar, ok := core.SatisfiedWH(p, s, inst)
+		guar, ok, err := core.SatisfiedWH(p, s, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !ok {
 			t.Fatalf("instance %d has no networked predecessors", inst)
 		}

@@ -23,13 +23,14 @@ type ActID int
 
 // Problem is a disjunctive scheduling instance under construction.
 type Problem struct {
-	net   *stn.STN
-	start []stn.VarID
-	dur   []int64
-	name  []string
-	end   stn.VarID
-	disj  [][2]ActID
-	gap   int64
+	net     *stn.STN
+	start   []stn.VarID
+	dur     []int64
+	name    []string
+	end     stn.VarID
+	disj    [][2]ActID
+	gap     int64
+	bounded bool // a MakespanBound was imposed externally
 }
 
 // Result is a schedule: start times per activity and the achieved
@@ -45,6 +46,12 @@ type Result struct {
 var (
 	ErrInfeasible = errors.New("solver: no feasible schedule")
 	ErrBudget     = errors.New("solver: node budget exhausted before any feasible schedule")
+	// ErrBounded is returned instead of ErrInfeasible when a MakespanBound
+	// was imposed on the instance: the instance might be feasible without
+	// the bound, so callers running a bounded search (e.g. branch-and-bound
+	// with a shared incumbent) must treat it as a pruning outcome, not as
+	// proof of infeasibility.
+	ErrBounded = errors.New("solver: no feasible schedule within the imposed makespan bound")
 )
 
 // NewProblem returns an empty instance. gap is the minimum separation
@@ -105,7 +112,10 @@ func (p *Problem) Deadline(a ActID, t int64) {
 }
 
 // MakespanBound imposes makespan <= t, tightening the search a priori.
+// Once a bound is imposed, infeasibility is reported as ErrBounded rather
+// than ErrInfeasible, since it may be an artifact of the bound.
 func (p *Problem) MakespanBound(t int64) {
+	p.bounded = true
 	p.net.AddMax(p.end, stn.Zero, t)
 }
 
@@ -136,16 +146,22 @@ func (p *Problem) overlaps(d []int64, a, b ActID) bool {
 
 // Minimize runs exact branch and bound over the non-overlap disjunctions
 // and returns a makespan-minimal schedule. maxNodes bounds the search; if
-// it is exhausted the best schedule found so far is returned with
-// Optimal = false, or ErrBudget if none was found. maxNodes <= 0 means
-// unlimited.
+// a branch had to be abandoned because the budget ran out, the best
+// schedule found so far is returned with Optimal = false, or ErrBudget if
+// none was found. A search that completes exactly at the budget is still
+// optimal. maxNodes <= 0 means unlimited.
 func (p *Problem) Minimize(maxNodes int) (Result, error) {
 	res := Result{Makespan: -1}
 	nodes := 0
+	// truncated records that the budget actually cut the search short — a
+	// branch was abandoned unexplored. Node count alone cannot tell this
+	// apart from a search that finished exactly on budget.
+	truncated := false
 	budget := func() bool { return maxNodes > 0 && nodes >= maxNodes }
 	var rec func()
 	rec = func() {
 		if budget() {
+			truncated = true
 			return
 		}
 		nodes++
@@ -174,6 +190,7 @@ func (p *Problem) Minimize(maxNodes int) (Result, error) {
 			rec()
 			p.net.Reset(mark)
 			if budget() {
+				truncated = true
 				return
 			}
 			mark = p.net.Mark()
@@ -195,12 +212,15 @@ func (p *Problem) Minimize(maxNodes int) (Result, error) {
 	rec()
 	res.Nodes = nodes
 	if res.Makespan < 0 {
-		if maxNodes > 0 && nodes >= maxNodes {
+		if truncated {
 			return res, ErrBudget
+		}
+		if p.bounded {
+			return res, ErrBounded
 		}
 		return res, ErrInfeasible
 	}
-	res.Optimal = !(maxNodes > 0 && nodes >= maxNodes)
+	res.Optimal = !truncated
 	return res, nil
 }
 
@@ -217,6 +237,9 @@ func (p *Problem) Greedy() (Result, error) {
 		nodes++
 		d, err := p.net.Earliest()
 		if err != nil {
+			if p.bounded {
+				return Result{Makespan: -1}, ErrBounded
+			}
 			return Result{Makespan: -1}, ErrInfeasible
 		}
 		resolved := true

@@ -313,3 +313,98 @@ func randomInstance(rng *rand.Rand, nAct, nDisj int) *Problem {
 	}
 	return p
 }
+
+// TestMinimizeOptimalAtExactBudget pins the boundary semantics of
+// maxNodes: a search that finishes using exactly its budget explored
+// everything it needed to, so it must still claim optimality. Only an
+// actually abandoned branch may clear Optimal.
+func TestMinimizeOptimalAtExactBudget(t *testing.T) {
+	build := func() (*Problem, []ActID) {
+		p := NewProblem(1)
+		var ids []ActID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, p.AddActivity("t", int64(i+1)))
+		}
+		for i := range ids {
+			for j := i + 1; j < len(ids); j++ {
+				p.Disjoint(ids[i], ids[j])
+			}
+		}
+		return p, ids
+	}
+	ref, _ := build()
+	unlimited, err := ref.Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unlimited.Optimal {
+		t.Fatal("unlimited search must be optimal")
+	}
+	// Re-run the identical instance with the budget set to the exact node
+	// count the search needs.
+	p, _ := build()
+	exact, err := p.Minimize(unlimited.Nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Nodes != unlimited.Nodes {
+		t.Fatalf("budgeted run explored %d nodes, unlimited %d", exact.Nodes, unlimited.Nodes)
+	}
+	if !exact.Optimal {
+		t.Errorf("search completing exactly at its %d-node budget must stay Optimal", unlimited.Nodes)
+	}
+	if exact.Makespan != unlimited.Makespan {
+		t.Errorf("budgeted makespan %d != unlimited %d", exact.Makespan, unlimited.Makespan)
+	}
+	// One node fewer must actually truncate.
+	p2, _ := build()
+	short, err := p2.Minimize(unlimited.Nodes - 1)
+	if err == nil && short.Optimal {
+		t.Error("search truncated one node early must not claim optimality")
+	}
+}
+
+// TestMakespanBoundInfeasibleIsErrBounded distinguishes bound-induced
+// infeasibility from genuine infeasibility: incumbent-pruned searches
+// need to know the instance might still be feasible without the bound.
+func TestMakespanBoundInfeasibleIsErrBounded(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem(1)
+		a := p.AddActivity("a", 10)
+		b := p.AddActivity("b", 20)
+		p.Disjoint(a, b)
+		return p
+	}
+	// Optimum is 31; a bound of 30 kills every ordering.
+	p := build()
+	p.MakespanBound(30)
+	if _, err := p.Minimize(0); !errors.Is(err, ErrBounded) {
+		t.Errorf("Minimize under a killing bound: %v, want ErrBounded", err)
+	}
+	if errors.Is(ErrBounded, ErrInfeasible) {
+		t.Error("ErrBounded must not alias ErrInfeasible")
+	}
+	g := build()
+	g.MakespanBound(30)
+	if _, err := g.Greedy(); !errors.Is(err, ErrBounded) {
+		t.Errorf("Greedy under a killing bound: %v, want ErrBounded", err)
+	}
+	// A bound equal to the optimum stays feasible and optimal.
+	q := build()
+	q.MakespanBound(31)
+	res, err := q.Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 31 || !res.Optimal {
+		t.Errorf("bound-at-optimum: makespan %d optimal %v, want 31 true", res.Makespan, res.Optimal)
+	}
+	// Without any bound the same contradiction reports ErrInfeasible.
+	r := NewProblem(1)
+	a := r.AddActivity("a", 10)
+	r.Release(a, 5)
+	r.Deadline(a, 10) // cannot fit 10 µs after t=5 before t=10
+	if _, err := r.Minimize(0); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("unbounded contradiction: %v, want ErrInfeasible", err)
+	}
+}

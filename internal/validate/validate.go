@@ -78,10 +78,14 @@ func SoftTask(p *core.Problem, s *core.Schedule, id dag.TaskID, runs int, rng *r
 	if !ok {
 		return SoftReport{}, fmt.Errorf("validate: task %d has no soft constraint", id)
 	}
+	scheduled, err := core.SatisfiedSoft(p, s, id)
+	if err != nil {
+		return SoftReport{}, err
+	}
 	rep := SoftReport{
 		Task: id, Name: p.App.Task(id).Name,
 		Target:    target,
-		Scheduled: core.SatisfiedSoft(p, s, id),
+		Scheduled: scheduled,
 		Runs:      runs,
 	}
 	ntxs := predNTX(p, s, id)
@@ -142,7 +146,10 @@ func WHTask(p *core.Problem, s *core.Schedule, id dag.TaskID, runs int, rng *ran
 		Requirement: req,
 		Runs:        runs,
 	}
-	guar, has := core.SatisfiedWH(p, s, id)
+	guar, has, err := core.SatisfiedWH(p, s, id)
+	if err != nil {
+		return WHReport{}, err
+	}
 	if !has {
 		// No networked dependencies: the task trivially satisfies.
 		rep.Pass = true
