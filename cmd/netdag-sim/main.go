@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -30,6 +32,7 @@ func main() {
 	period := flag.Int64("period", 0, "schedule period (µs, timed mode; 0 = makespan + 100 ms)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
+	deadline := flag.Duration("deadline", 0, "abort the schedule search after this wall-clock budget and simulate the best schedule found so far (0 = no limit)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -46,7 +49,20 @@ func main() {
 		fatal(err)
 	}
 	p.Workers = *workers
-	s, err := core.Solve(p)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	s, err := core.SolveContext(ctx, p)
+	if errors.Is(err, core.ErrCanceled) {
+		if s == nil {
+			fatal(fmt.Errorf("deadline %v expired before any schedule was found", *deadline))
+		}
+		fmt.Fprintf(os.Stderr, "netdag-sim: deadline %v expired; simulating best schedule found so far (not proven optimal)\n", *deadline)
+		err = nil
+	}
 	if err != nil {
 		fatal(err)
 	}

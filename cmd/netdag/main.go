@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	netdag [-baseline] [-validate runs] problem.json
+//	netdag [-baseline] [-deadline 30s] [-validate runs] problem.json
 //	netdag -example > problem.json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -47,6 +49,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the schedule as JSON instead of a timeline")
 	smtOut := flag.Bool("smt", false, "emit the SMT-LIB 2 encoding (ASAP round assignment) and exit")
 	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
+	deadline := flag.Duration("deadline", 0, "abort the search after this wall-clock budget and print the best schedule found so far (0 = no limit)")
 	flag.Parse()
 
 	if *example {
@@ -81,7 +84,21 @@ func main() {
 	if *baseline {
 		s, err = core.GlobalNTXBaseline(p)
 	} else {
-		s, err = core.Solve(p)
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		s, err = core.SolveContext(ctx, p)
+		if errors.Is(err, core.ErrCanceled) {
+			if s == nil {
+				fatal(fmt.Errorf("deadline %v expired before any schedule was found", *deadline))
+			}
+			fmt.Fprintf(os.Stderr, "netdag: deadline %v expired after %d assignments; printing best schedule found so far (not proven optimal)\n",
+				*deadline, s.Explored)
+			err = nil
+		}
 	}
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,7 +36,7 @@ func GlobalNTXBaseline(p *Problem) (*Schedule, error) {
 		for i := range chi {
 			chi[i] = n
 		}
-		return p.place(assign, chi, rounds, -1)
+		return p.place(context.Background(), assign, chi, rounds, -1)
 	}
 	return nil, fmt.Errorf("%w: no global N_TX within 1..%d meets the constraints", ErrUnsat, p.MaxNTX)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -28,6 +29,29 @@ import (
 // (the A3 ablation quantifies this against exhaustive search on small
 // instances).
 func Solve(p *Problem) (*Schedule, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// ErrCanceled reports that SolveContext's context expired before the
+// search completed. When any feasible schedule had already been found,
+// SolveContext returns it alongside ErrCanceled with Optimal = false —
+// the incumbent is usable, just not proven makespan-minimal — so
+// deadline-bound callers (the -deadline CLI flags, netdag-serve) can
+// still act on the best-so-far.
+var ErrCanceled = errors.New("core: solve canceled before the search completed")
+
+// SolveContext is Solve with cooperative cancellation: the context is
+// polled in the outer enumeration over round assignments (both the
+// sequential loop and the parallel producer/workers) and inside the
+// per-assignment branch-and-bound timing search. On expiry it returns
+// (incumbent, ErrCanceled) — the incumbent being the best schedule found
+// so far with Optimal = false, or nil when none was reached in time.
+//
+// A canceled run forfeits the determinism guarantee of the complete
+// search: which incumbent is in hand when the deadline strikes depends
+// on timing. Everything the incumbent claims about itself (feasibility,
+// constraint satisfaction) still holds.
+func SolveContext(ctx context.Context, p *Problem) (*Schedule, error) {
 	if err := p.normalize(); err != nil {
 		return nil, err
 	}
@@ -42,7 +66,7 @@ func Solve(p *Problem) (*Schedule, error) {
 	if maxRounds < lg.MinRounds() {
 		return nil, fmt.Errorf("core: MaxRounds %d below the line graph's minimum %d", maxRounds, lg.MinRounds())
 	}
-	s := newSearch(p, lg, maxRounds)
+	s := newSearch(ctx, p, lg, maxRounds)
 	workers := p.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -55,13 +79,21 @@ func Solve(p *Problem) (*Schedule, error) {
 	} else {
 		best, explored, firstErr = s.runParallel(workers)
 	}
+	canceled := ctx.Err() != nil
 	if best == nil {
+		if canceled {
+			return nil, ErrCanceled
+		}
 		if firstErr != nil {
 			return nil, firstErr.err
 		}
 		return nil, fmt.Errorf("%w: no admissible round assignment", ErrUnsat)
 	}
 	best.sched.Explored = explored
+	if canceled {
+		best.sched.Optimal = false
+		return best.sched, ErrCanceled
+	}
 	return best.sched, nil
 }
 
@@ -70,6 +102,7 @@ func Solve(p *Problem) (*Schedule, error) {
 // precomputed per-message χ floors that tighten the admissibility lower
 // bound.
 type search struct {
+	ctx       context.Context
 	p         *Problem
 	lg        *dag.LineGraph
 	maxRounds int
@@ -98,8 +131,9 @@ type searchErr struct {
 	err error
 }
 
-func newSearch(p *Problem, lg *dag.LineGraph, maxRounds int) *search {
+func newSearch(ctx context.Context, p *Problem, lg *dag.LineGraph, maxRounds int) *search {
 	s := &search{
+		ctx:       ctx,
 		p:         p,
 		lg:        lg,
 		maxRounds: maxRounds,
@@ -180,6 +214,9 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 	explored := 0
 	var firstErr *searchErr
 	s.lg.EnumerateAssignments(s.maxRounds, func(l []int) bool {
+		if s.ctx.Err() != nil {
+			return false // canceled: stop enumerating, keep the incumbent
+		}
 		idx := explored
 		explored++
 		bound := int64(-1)
@@ -190,9 +227,9 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 			bound = best.sched.Makespan
 		}
 		assign := append([]int(nil), l...)
-		sched, err := s.p.scheduleForAssignment(assign, bound)
+		sched, err := s.p.scheduleForAssignment(s.ctx, assign, bound)
 		if err != nil {
-			if err != errBoundPruned && firstErr == nil {
+			if !skippableSearchErr(err) && firstErr == nil {
 				firstErr = &searchErr{idx: idx, err: err}
 			}
 			return true
@@ -230,11 +267,20 @@ func predFloods(app *dag.Graph, assign []int, nMsgs int, id dag.TaskID) []int {
 // must never surface to Solve's caller.
 var errBoundPruned = errors.New("core: assignment pruned by the incumbent makespan bound")
 
+// skippableSearchErr reports whether a per-assignment error must not be
+// recorded as the search's first error: bound prunes are normal search
+// outcomes, and a cancellation that struck before the assignment yielded
+// any schedule is reported once at the SolveContext level, not per
+// assignment (its position in the enumeration is timing-dependent).
+func skippableSearchErr(err error) bool {
+	return err == errBoundPruned || errors.Is(err, solver.ErrCanceled)
+}
+
 // scheduleForAssignment runs steps 2 and 3 for one round assignment.
 // bound, when >= 0, is the makespan of the best schedule found so far; it
 // is fed to the timing search as an upper bound so hopeless branches are
 // cut early. A bound-induced dead end returns errBoundPruned.
-func (p *Problem) scheduleForAssignment(assign []int, bound int64) (*Schedule, error) {
+func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound int64) (*Schedule, error) {
 	app := p.App
 	msgs := app.Messages()
 	nMsgs := len(msgs)
@@ -341,7 +387,7 @@ func (p *Problem) scheduleForAssignment(assign []int, bound int64) (*Schedule, e
 		return nil, err
 	}
 
-	return p.place(assign, chi, rounds, bound)
+	return p.place(ctx, assign, chi, rounds, bound)
 }
 
 // minNTXForWindow returns the smallest n with λ_WH(n).Window >= w.
@@ -361,8 +407,9 @@ func (p *Problem) minNTXForWindow(w int) (int, bool) {
 // errBoundPruned. When the node budget truncates a *bounded* search, the
 // search is redone without the bound: the bound value depends on which
 // worker found the incumbent first, and a truncated result must not, or
-// parallel runs would stop being reproducible.
-func (p *Problem) place(assign, chi []int, rounds int, bound int64) (*Schedule, error) {
+// parallel runs would stop being reproducible. A canceled search is never
+// redone; its incumbent (if any) is returned as a non-optimal schedule.
+func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, bound int64) (*Schedule, error) {
 	app := p.App
 	msgs := app.Messages()
 	nMsgs := len(msgs)
@@ -433,15 +480,25 @@ func (p *Problem) place(assign, chi []int, rounds int, bound int64) (*Schedule, 
 			return nil, errBoundPruned
 		}
 	} else {
-		res, err = prob.Minimize(p.SolverNodes)
+		res, err = prob.MinimizeContext(ctx, p.SolverNodes)
+		canceled := errors.Is(err, solver.ErrCanceled)
+		if canceled && res.Makespan >= 0 {
+			// Cancellation struck after a feasible placement was found:
+			// keep the incumbent (Optimal is already false). Within a
+			// bound it genuinely competes against the shared incumbent.
+			err = nil
+		}
 		if bound >= 0 {
 			if errors.Is(err, solver.ErrBounded) {
 				return nil, errBoundPruned
 			}
-			if errors.Is(err, solver.ErrBudget) || (err == nil && !res.Optimal) {
-				return p.place(assign, chi, rounds, -1)
+			if !canceled && (errors.Is(err, solver.ErrBudget) || (err == nil && !res.Optimal)) {
+				return p.place(ctx, assign, chi, rounds, -1)
 			}
 		}
+	}
+	if errors.Is(err, solver.ErrCanceled) {
+		return nil, err
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: timing search failed: %w", err)
@@ -468,6 +525,7 @@ func (p *Problem) place(assign, chi []int, rounds int, bound int64) (*Schedule, 
 	}
 	sched.Makespan = res.Makespan
 	sched.Optimal = res.Optimal
+	sched.SolverNodes = res.Nodes
 	return sched, nil
 }
 

@@ -56,6 +56,9 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 		defer close(jobs)
 		next := 0
 		s.lg.EnumerateBatches(s.maxRounds, assignmentBatchSize, func(batch [][]int) bool {
+			if s.ctx.Err() != nil {
+				return false // canceled: stop producing, workers drain out
+			}
 			bjobs := make([]job, len(batch))
 			for i, a := range batch {
 				bjobs[i] = job{idx: next, assign: a}
@@ -64,6 +67,8 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 			select {
 			case jobs <- bjobs:
 				return true
+			case <-s.ctx.Done():
+				return false
 			case <-done:
 				return false
 			}
@@ -98,6 +103,9 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 		go func(out *workerOut) {
 			defer wg.Done()
 			for batch := range jobs {
+				if s.ctx.Err() != nil {
+					return // canceled: stop scheduling, keep the local best
+				}
 				for _, j := range batch {
 					out.explored++
 					bound := int64(-1)
@@ -107,9 +115,9 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 						}
 						bound = cur.makespan
 					}
-					sched, err := s.p.scheduleForAssignment(j.assign, bound)
+					sched, err := s.p.scheduleForAssignment(s.ctx, j.assign, bound)
 					if err != nil {
-						if err != errBoundPruned && (out.firstErr == nil || j.idx < out.firstErr.idx) {
+						if !skippableSearchErr(err) && (out.firstErr == nil || j.idx < out.firstErr.idx) {
 							out.firstErr = &searchErr{idx: j.idx, err: err}
 						}
 						continue

@@ -46,6 +46,11 @@ type Schedule struct {
 	Optimal  bool  // the timing search proved makespan optimality for this (χ, l)
 	BusTime  int64 // total time reserved for communication
 	Explored int   // round assignments examined by the outer search
+	// SolverNodes is the branch-and-bound node count of the timing search
+	// that produced the winning placement — an observability figure (the
+	// netdag-serve metrics export it), not part of the schedule identity:
+	// under a shared incumbent bound it varies with worker interleaving.
+	SolverNodes int
 }
 
 // SlotNTX returns χ(e) for a message.

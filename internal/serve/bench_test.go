@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/spec"
+)
+
+// BenchmarkServeCacheHit measures the hot path: parse → fingerprint →
+// LRU lookup → serve cached bytes. No solver work at all.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s := New(Config{})
+	body := pipelineSpec(3)
+	warm := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup solve: %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || rec.Header().Get(cacheHeader) != "hit" {
+			b.Fatalf("iteration %d: status %d cache %q", i, rec.Code, rec.Header().Get(cacheHeader))
+		}
+	}
+}
+
+// BenchmarkServeCacheMiss measures the miss-path overhead around the
+// solver — fingerprint, flight bookkeeping, admission, export — with the
+// solve itself stubbed to a precomputed schedule so the solver's own
+// cost (benchmarked in internal/core) doesn't drown the serving layer.
+func BenchmarkServeCacheMiss(b *testing.B) {
+	var sched *core.Schedule
+	s := New(Config{
+		SolveFn: func(ctx context.Context, p *core.Problem) (*core.Schedule, error) {
+			if sched == nil {
+				var err error
+				sched, err = core.SolveContext(ctx, p)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return sched, nil
+		},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh diameter per iteration defeats the cache; the first
+		// line of the spec varies, the rest is shared.
+		body := pipelineSpec(3 + i)
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK || rec.Header().Get(cacheHeader) != "miss" {
+			b.Fatalf("iteration %d: status %d cache %q body %s", i, rec.Code, rec.Header().Get(cacheHeader), rec.Body)
+		}
+	}
+}
+
+// BenchmarkFingerprint isolates the canonical-hash cost on a mid-sized
+// spec (32 tasks in a chain).
+func BenchmarkFingerprint(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString(`{"mode": "weakly-hard", "diameter": 3, "tasks": [`)
+	for i := 0; i < 32; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"name": "t%d", "node": "n%d", "wcet": %d}`, i, i%4, 100+i)
+	}
+	sb.WriteString(`], "edges": [`)
+	for i := 1; i < 32; i++ {
+		if i > 1 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"from": "t%d", "to": "t%d", "width": 8}`, i-1, i)
+	}
+	sb.WriteString(`], "whStatistic": {"type": "synthetic"}}`)
+	body := sb.String()
+
+	var f spec.File
+	if err := json.Unmarshal([]byte(body), &f); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Fingerprint(&f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, log-spaced from "cache-adjacent" to "deadline territory".
+var latencyBuckets = [...]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 15, 60}
+
+// metrics is the server's observability surface, rendered in Prometheus
+// text exposition format by writeProm. Everything is lock-free atomics;
+// the histogram tolerates the usual scrape-time skew between bucket
+// counts and sum.
+type metrics struct {
+	cacheHits         atomic.Int64 // served straight from the LRU
+	cacheMisses       atomic.Int64 // led a fresh solve (flight leader)
+	coalesced         atomic.Int64 // piggybacked on an in-flight identical solve
+	admissionRejected atomic.Int64 // 429: queue full
+	deadlineExpired   atomic.Int64 // 504: deadline with no incumbent
+	solveErrors       atomic.Int64 // 422: infeasible / unsat specs
+	badRequests       atomic.Int64 // 400: malformed specs
+	incomplete        atomic.Int64 // 200 with a non-optimal incumbent
+
+	inflight atomic.Int64 // solves currently running
+	queued   atomic.Int64 // solves waiting for a worker slot
+
+	exploredAssignments atomic.Int64 // cumulative Schedule.Explored
+	solverNodes         atomic.Int64 // cumulative Schedule.SolverNodes
+
+	latencyCount atomic.Int64
+	latencySumUS atomic.Int64
+	latencyBkt   [len(latencyBuckets) + 1]atomic.Int64 // +Inf tail
+}
+
+// observeSolve records one completed (or canceled) solve's wall time.
+func (m *metrics) observeSolve(d time.Duration) {
+	m.latencyCount.Add(1)
+	m.latencySumUS.Add(d.Microseconds())
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.latencyBkt[i].Add(1)
+			return
+		}
+	}
+	m.latencyBkt[len(latencyBuckets)].Add(1)
+}
+
+// writeProm renders the metrics in Prometheus text exposition format.
+// cacheLen is sampled at scrape time.
+func (m *metrics) writeProm(w io.Writer, cacheLen int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("netdag_cache_hits_total", "Solve requests served from the solution cache.", m.cacheHits.Load())
+	counter("netdag_cache_misses_total", "Solve requests that led a fresh solve.", m.cacheMisses.Load())
+	counter("netdag_solves_coalesced_total", "Solve requests coalesced onto an identical in-flight solve.", m.coalesced.Load())
+	counter("netdag_admission_rejected_total", "Solve requests rejected with 429 because the queue was full.", m.admissionRejected.Load())
+	counter("netdag_deadline_expired_total", "Solve requests that hit their deadline with no incumbent (504).", m.deadlineExpired.Load())
+	counter("netdag_solve_errors_total", "Solve requests whose spec was valid but unsolvable (422).", m.solveErrors.Load())
+	counter("netdag_bad_requests_total", "Requests with malformed specs (400).", m.badRequests.Load())
+	counter("netdag_solves_incomplete_total", "Solves that returned a non-optimal incumbent at the deadline.", m.incomplete.Load())
+	counter("netdag_explored_assignments_total", "Cumulative round assignments examined across solves.", m.exploredAssignments.Load())
+	counter("netdag_solver_nodes_total", "Cumulative branch-and-bound nodes spent on winning placements.", m.solverNodes.Load())
+	gauge("netdag_inflight_solves", "Solves currently running.", m.inflight.Load())
+	gauge("netdag_queue_depth", "Solves waiting for a worker slot.", m.queued.Load())
+	gauge("netdag_cache_entries", "Entries resident in the solution cache.", int64(cacheLen))
+
+	fmt.Fprintf(w, "# HELP netdag_solve_seconds Wall time of solves (cache misses only).\n")
+	fmt.Fprintf(w, "# TYPE netdag_solve_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.latencyBkt[i].Load()
+		fmt.Fprintf(w, "netdag_solve_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.latencyBkt[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "netdag_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "netdag_solve_seconds_sum %g\n", float64(m.latencySumUS.Load())/1e6)
+	fmt.Fprintf(w, "netdag_solve_seconds_count %d\n", m.latencyCount.Load())
+}
+
+// trimFloat renders a bucket bound without trailing zeros ("0.05", "1").
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,101 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countdownCtx is a context whose Err flips to DeadlineExceeded after a
+// fixed number of Err() polls — a deterministic way to cancel the search
+// mid-flight, since MinimizeContext polls at its prune points.
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+// denseInstance is n mutually-disjoint activities: a factorial search
+// space that cannot finish within a handful of context polls.
+func denseInstance(n int) *Problem {
+	p := NewProblem(1)
+	var ids []ActID
+	for i := 0; i < n; i++ {
+		ids = append(ids, p.AddActivity("t", int64(i+1)))
+	}
+	for i := range ids {
+		for j := i + 1; j < len(ids); j++ {
+			p.Disjoint(ids[i], ids[j])
+		}
+	}
+	return p
+}
+
+func TestMinimizeContextAlreadyCanceled(t *testing.T) {
+	p := denseInstance(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := p.MinimizeContext(ctx, 0)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res.Makespan != -1 {
+		t.Errorf("pre-canceled search produced makespan %d", res.Makespan)
+	}
+}
+
+func TestMinimizeContextMidSearchKeepsIncumbent(t *testing.T) {
+	// Let enough polls through for the first dives to find a feasible
+	// ordering, then cancel. With 8 mutually-disjoint activities the
+	// full search is far beyond a few poll windows.
+	for _, after := range []int64{2, 5, 20} {
+		p := denseInstance(8)
+		ctx := &countdownCtx{Context: context.Background(), after: after}
+		res, err := p.MinimizeContext(ctx, 0)
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("after=%d: err = %v, want ErrCanceled", after, err)
+		}
+		if res.Optimal {
+			t.Errorf("after=%d: canceled search claims optimality", after)
+		}
+		if res.Makespan >= 0 {
+			// The incumbent must be a genuinely feasible makespan: at
+			// least the sum of durations (all activities are disjoint).
+			var sum int64
+			for a := ActID(0); int(a) < p.NumActivities(); a++ {
+				sum += p.Duration(a) + 1
+			}
+			if res.Makespan < sum-1 {
+				t.Errorf("after=%d: incumbent makespan %d below the disjoint lower bound %d",
+					after, res.Makespan, sum-1)
+			}
+		}
+	}
+}
+
+// TestMinimizeContextCompleteSearchUnaffected: a context that never
+// expires leaves results bit-identical to Minimize.
+func TestMinimizeContextCompleteSearchUnaffected(t *testing.T) {
+	p1 := denseInstance(5)
+	r1, err1 := p1.Minimize(0)
+	p2 := denseInstance(5)
+	r2, err2 := p2.MinimizeContext(context.Background(), 0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if r1.Makespan != r2.Makespan || r1.Optimal != r2.Optimal || r1.Nodes != r2.Nodes {
+		t.Errorf("Minimize (%d,%v,%d) != MinimizeContext (%d,%v,%d)",
+			r1.Makespan, r1.Optimal, r1.Nodes, r2.Makespan, r2.Optimal, r2.Nodes)
+	}
+}

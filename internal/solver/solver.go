@@ -12,6 +12,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -52,7 +53,18 @@ var (
 	// with a shared incumbent) must treat it as a pruning outcome, not as
 	// proof of infeasibility.
 	ErrBounded = errors.New("solver: no feasible schedule within the imposed makespan bound")
+	// ErrCanceled is returned by MinimizeContext when the context expires
+	// mid-search. The accompanying Result still carries the incumbent
+	// schedule (Makespan >= 0, Optimal = false) when one was found before
+	// the cancellation, so deadline-bound callers can use the best-so-far.
+	ErrCanceled = errors.New("solver: search canceled")
 )
+
+// cancelCheckMask spaces the context polls in the branch-and-bound loop:
+// the context is consulted once every cancelCheckMask+1 nodes, keeping the
+// check off the per-node hot path while still bounding the reaction time
+// to a cancellation by a few hundred STN propagations.
+const cancelCheckMask = 0x3f
 
 // NewProblem returns an empty instance. gap is the minimum separation
 // inserted between ordered activities (the paper's strict inequalities in
@@ -151,15 +163,33 @@ func (p *Problem) overlaps(d []int64, a, b ActID) bool {
 // none was found. A search that completes exactly at the budget is still
 // optimal. maxNodes <= 0 means unlimited.
 func (p *Problem) Minimize(maxNodes int) (Result, error) {
+	return p.MinimizeContext(context.Background(), maxNodes)
+}
+
+// MinimizeContext is Minimize with cooperative cancellation: the context
+// is polled at the search's prune points, and when it expires the search
+// unwinds immediately and returns ErrCanceled. The Result accompanying
+// ErrCanceled holds the incumbent found so far (Makespan >= 0,
+// Optimal = false) or Makespan = -1 when cancellation struck before any
+// feasible schedule was reached.
+func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, error) {
 	res := Result{Makespan: -1}
 	nodes := 0
 	// truncated records that the budget actually cut the search short — a
 	// branch was abandoned unexplored. Node count alone cannot tell this
 	// apart from a search that finished exactly on budget.
 	truncated := false
+	canceled := false
 	budget := func() bool { return maxNodes > 0 && nodes >= maxNodes }
 	var rec func()
 	rec = func() {
+		if canceled {
+			return
+		}
+		if nodes&cancelCheckMask == 0 && ctx.Err() != nil {
+			canceled = true
+			return
+		}
 		if budget() {
 			truncated = true
 			return
@@ -189,6 +219,9 @@ func (p *Problem) Minimize(maxNodes int) (Result, error) {
 			p.Precede(first, second)
 			rec()
 			p.net.Reset(mark)
+			if canceled {
+				return
+			}
 			if budget() {
 				truncated = true
 				return
@@ -211,6 +244,11 @@ func (p *Problem) Minimize(maxNodes int) (Result, error) {
 	}
 	rec()
 	res.Nodes = nodes
+	if canceled {
+		// The incumbent (if any) rides along with the error so callers
+		// under a deadline are not left empty-handed.
+		return res, ErrCanceled
+	}
 	if res.Makespan < 0 {
 		if truncated {
 			return res, ErrBudget

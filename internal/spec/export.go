@@ -18,9 +18,18 @@ type ScheduleOut struct {
 	Mode       string     `json:"mode"`
 	MakespanUS int64      `json:"makespanUS"`
 	BusTimeUS  int64      `json:"busTimeUS"`
-	Rounds     []RoundOut `json:"rounds"`
-	Tasks      []TaskOut  `json:"tasks"`
-	Energy     *EnergyOut `json:"energy,omitempty"`
+	// Optimal records whether the search proved makespan optimality;
+	// deadline-interrupted solves (core.SolveContext) export their
+	// incumbent with Optimal = false.
+	Optimal bool `json:"optimal"`
+	// Explored and SolverNodes are observability figures: round
+	// assignments examined by the outer search and branch-and-bound
+	// nodes spent on the winning placement.
+	Explored    int        `json:"explored,omitempty"`
+	SolverNodes int        `json:"solverNodes,omitempty"`
+	Rounds      []RoundOut `json:"rounds"`
+	Tasks       []TaskOut  `json:"tasks"`
+	Energy      *EnergyOut `json:"energy,omitempty"`
 }
 
 // RoundOut is one communication round.
@@ -62,9 +71,12 @@ func Export(p *core.Problem, s *core.Schedule) (*ScheduleOut, error) {
 		return nil, errors.New("spec: nil problem or schedule")
 	}
 	out := &ScheduleOut{
-		Mode:       s.Mode.String(),
-		MakespanUS: s.Makespan,
-		BusTimeUS:  s.BusTime,
+		Mode:        s.Mode.String(),
+		MakespanUS:  s.Makespan,
+		BusTimeUS:   s.BusTime,
+		Optimal:     s.Optimal,
+		Explored:    s.Explored,
+		SolverNodes: s.SolverNodes,
 	}
 	for _, r := range s.Rounds {
 		ro := RoundOut{
@@ -135,11 +147,14 @@ func Import(p *core.Problem, r io.Reader) (*core.Schedule, error) {
 		return nil, errors.New("spec: unknown mode " + in.Mode)
 	}
 	s := &core.Schedule{
-		Mode:     mode,
-		Makespan: in.MakespanUS,
-		BusTime:  in.BusTimeUS,
-		Tasks:    make(map[dag.TaskID]core.TaskTime, len(in.Tasks)),
-		Assign:   make([]int, p.App.NumMessages()),
+		Mode:        mode,
+		Makespan:    in.MakespanUS,
+		BusTime:     in.BusTimeUS,
+		Optimal:     in.Optimal,
+		Explored:    in.Explored,
+		SolverNodes: in.SolverNodes,
+		Tasks:       make(map[dag.TaskID]core.TaskTime, len(in.Tasks)),
+		Assign:      make([]int, p.App.NumMessages()),
 	}
 	for _, to := range in.Tasks {
 		task, ok := p.App.TaskByName(to.Name)

@@ -1,0 +1,52 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns a content-addressed identity for a problem spec:
+// the hex SHA-256 of a canonical JSON rendering. Two specs that describe
+// the same scheduling problem — same tasks, edges, rates, statistics and
+// constraints — fingerprint identically regardless of the order their
+// tasks and edges are listed in or how their JSON was formatted, so the
+// fingerprint is a sound cache key for solved schedules: any solution of
+// one spec is a solution of the other (task and message identities are
+// resolved by name, not by declaration index).
+//
+// Canonicalization: tasks are sorted by name, edges by (from, to), and
+// maps marshal with sorted keys (encoding/json's guarantee). Defaulted
+// knobs are NOT normalized to their effective values — a spec that says
+// "maxNTX": 8 explicitly hashes differently from one that omits it —
+// because defaults may change between versions and a stale cache must
+// never serve a schedule produced under different effective knobs.
+//
+// The input is not validated; hash a spec that Build accepts if the
+// fingerprint is meant to name a solvable problem. (Build's rejection of
+// duplicate tasks and edges is what makes the sort canonical: without
+// it, the same edge listed twice with different widths would fingerprint
+// differently from its silently-merged equivalent.)
+func Fingerprint(f *File) (string, error) {
+	if f == nil {
+		return "", fmt.Errorf("%w: nil spec", ErrSpec)
+	}
+	c := *f // shallow copy; slices are re-sorted on copies below
+	c.Tasks = append([]TaskSpec(nil), f.Tasks...)
+	sort.Slice(c.Tasks, func(i, j int) bool { return c.Tasks[i].Name < c.Tasks[j].Name })
+	c.Edges = append([]EdgeSpec(nil), f.Edges...)
+	sort.Slice(c.Edges, func(i, j int) bool {
+		if c.Edges[i].From != c.Edges[j].From {
+			return c.Edges[i].From < c.Edges[j].From
+		}
+		return c.Edges[i].To < c.Edges[j].To
+	})
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,152 @@
+package spec
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+)
+
+func TestBuildRejectsDuplicateTask(t *testing.T) {
+	doc := strings.Replace(validWH,
+		`{"name": "sense", "node": "n0", "wcet": 500},`,
+		`{"name": "sense", "node": "n0", "wcet": 500},
+    {"name": "sense", "node": "n9", "wcet": 100},`, 1)
+	_, err := Load(strings.NewReader(doc))
+	if !errors.Is(err, ErrDuplicateTask) {
+		t.Fatalf("duplicate task: %v, want ErrDuplicateTask", err)
+	}
+	if !errors.Is(err, ErrSpec) {
+		t.Error("ErrDuplicateTask does not wrap ErrSpec")
+	}
+}
+
+func TestBuildRejectsDuplicateEdge(t *testing.T) {
+	// The same (from, to) edge twice — even with differing widths, which
+	// dag.Connect would otherwise silently merge by max width.
+	doc := strings.Replace(validWH,
+		`{"from": "sense", "to": "ctrl", "width": 8},`,
+		`{"from": "sense", "to": "ctrl", "width": 8},
+    {"from": "sense", "to": "ctrl", "width": 16},`, 1)
+	_, err := Load(strings.NewReader(doc))
+	if !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate edge: %v, want ErrDuplicateEdge", err)
+	}
+	if !errors.Is(err, ErrSpec) {
+		t.Error("ErrDuplicateEdge does not wrap ErrSpec")
+	}
+}
+
+// exportImportCycle solves doc, exports the schedule to JSON, re-imports
+// it against a freshly built problem, and asserts the re-imported
+// schedule validates against the original application — the contract the
+// scheduling service relies on when clients feed ScheduleOut back.
+func exportImportCycle(t *testing.T, doc string) {
+	t.Helper()
+	p, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p, s); err != nil {
+		t.Fatal(err)
+	}
+	// Re-import against an independently built problem, as a client
+	// would after receiving the JSON over the wire.
+	p2, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(p2, &buf)
+	if err != nil {
+		t.Fatalf("re-import: %v", err)
+	}
+	if err := got.Validate(p2.App); err != nil {
+		t.Fatalf("re-imported schedule fails validation against the original problem: %v", err)
+	}
+	if got.Makespan != s.Makespan || got.BusTime != s.BusTime {
+		t.Errorf("round-trip changed timing: (%d,%d) vs (%d,%d)",
+			got.Makespan, got.BusTime, s.Makespan, s.BusTime)
+	}
+	if got.Optimal != s.Optimal || got.Explored != s.Explored || got.SolverNodes != s.SolverNodes {
+		t.Errorf("round-trip dropped solve provenance: (%v,%d,%d) vs (%v,%d,%d)",
+			got.Optimal, got.Explored, got.SolverNodes, s.Optimal, s.Explored, s.SolverNodes)
+	}
+	if len(got.Rounds) != len(s.Rounds) || len(got.Tasks) != len(s.Tasks) {
+		t.Errorf("round-trip changed shape: %d/%d rounds, %d/%d tasks",
+			len(got.Rounds), len(s.Rounds), len(got.Tasks), len(s.Tasks))
+	}
+}
+
+func TestExportImportRoundTripValidates(t *testing.T) {
+	exportImportCycle(t, validWH)
+}
+
+func TestExportImportRoundTripMultiRate(t *testing.T) {
+	doc := strings.Replace(validWH, `"whStatistic"`,
+		`"rates": {"act": 2, "ctrl": 2}, "whStatistic"`, 1)
+	exportImportCycle(t, doc)
+}
+
+func TestFingerprintCanonicalization(t *testing.T) {
+	base := &File{
+		Mode: "weakly-hard", Diameter: 3,
+		Tasks: []TaskSpec{
+			{Name: "a", Node: "n0", WCET: 100},
+			{Name: "b", Node: "n1", WCET: 200},
+		},
+		Edges:         []EdgeSpec{{From: "a", To: "b", Width: 8}},
+		WHStatistic:   &StatSpec{Type: "synthetic"},
+		WHConstraints: map[string]WHSpec{"b": {Misses: 4, Window: 40}},
+	}
+	h1, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Task order is not identity.
+	reordered := *base
+	reordered.Tasks = []TaskSpec{base.Tasks[1], base.Tasks[0]}
+	h2, err := Fingerprint(&reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Error("task order changed the fingerprint")
+	}
+	// Fingerprint must not mutate its argument.
+	if reordered.Tasks[0].Name != "b" {
+		t.Error("Fingerprint reordered the caller's slice")
+	}
+
+	// Content is identity.
+	widened := *base
+	widened.Edges = []EdgeSpec{{From: "a", To: "b", Width: 16}}
+	h3, err := Fingerprint(&widened)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h3 {
+		t.Error("changing an edge width kept the fingerprint")
+	}
+
+	constrained := *base
+	constrained.WHConstraints = map[string]WHSpec{"b": {Misses: 2, Window: 40}}
+	h4, err := Fingerprint(&constrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h4 {
+		t.Error("tightening a constraint kept the fingerprint")
+	}
+
+	if _, err := Fingerprint(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("nil spec: %v, want ErrSpec", err)
+	}
+}

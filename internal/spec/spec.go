@@ -88,6 +88,21 @@ type WHSpec struct {
 // ErrSpec wraps all spec-level validation failures.
 var ErrSpec = errors.New("spec: invalid problem specification")
 
+// Named rejections for duplicated spec entries. Both wrap ErrSpec, so
+// errors.Is(err, ErrSpec) keeps matching. They exist for more than
+// hygiene: the content-addressed solution cache (internal/serve) keys on
+// a canonical hash of the sorted task and edge lists, and duplicates
+// would let two textually different specs of the same problem hash
+// differently (e.g. the same edge listed twice with different widths,
+// which dag.Connect would silently merge by max width).
+var (
+	// ErrDuplicateTask reports a task name declared more than once.
+	ErrDuplicateTask = fmt.Errorf("%w: duplicate task name", ErrSpec)
+	// ErrDuplicateEdge reports a (from, to) dependency declared more than
+	// once.
+	ErrDuplicateEdge = fmt.Errorf("%w: duplicate edge", ErrSpec)
+)
+
 // Load parses a JSON problem spec and builds the core.Problem.
 func Load(r io.Reader) (*core.Problem, error) {
 	var f File
@@ -107,12 +122,16 @@ func Build(f *File) (*core.Problem, error) {
 	g := dag.New()
 	ids := make(map[string]dag.TaskID, len(f.Tasks))
 	for _, t := range f.Tasks {
+		if _, dup := ids[t.Name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateTask, t.Name)
+		}
 		id, err := g.AddTask(t.Name, t.Node, t.WCET)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
 		}
 		ids[t.Name] = id
 	}
+	seenEdge := make(map[[2]string]bool, len(f.Edges))
 	for _, e := range f.Edges {
 		src, ok := ids[e.From]
 		if !ok {
@@ -122,6 +141,10 @@ func Build(f *File) (*core.Problem, error) {
 		if !ok {
 			return nil, fmt.Errorf("%w: edge to unknown task %q", ErrSpec, e.To)
 		}
+		if seenEdge[[2]string{e.From, e.To}] {
+			return nil, fmt.Errorf("%w: %s -> %s", ErrDuplicateEdge, e.From, e.To)
+		}
+		seenEdge[[2]string{e.From, e.To}] = true
 		if err := g.Connect(src, dst, e.Width); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrSpec, err)
 		}
