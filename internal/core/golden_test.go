@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Golden regression values. The incremental STN engine maintains the same
+// unique least solution the seed's batch Bellman-Ford computed, so solver
+// results — and everything downstream in core — must stay bit-identical
+// across engine changes. These pins were captured from the seed
+// implementation; a drift in any of them means the engine no longer
+// computes the least solution (or search order leaked into results).
+func TestGoldenSolutionsStable(t *testing.T) {
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := make(map[dag.TaskID]wh.MissConstraint)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = wh.MissConstraint{Misses: 24, Window: 40}
+	}
+
+	check := func(name string, s *Schedule, makespan, bustime int64, optimal bool, rounds int) {
+		t.Helper()
+		if s.Makespan != makespan || s.BusTime != bustime || s.Optimal != optimal || len(s.Rounds) != rounds {
+			t.Errorf("%s: makespan=%d bustime=%d optimal=%v rounds=%d, want %d/%d/%v/%d",
+				name, s.Makespan, s.BusTime, s.Optimal, len(s.Rounds),
+				makespan, bustime, optimal, rounds)
+		}
+	}
+
+	s, err := Solve(&Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("MIMO exact-chi", s, 100760, 97956, true, 2)
+
+	g2, err := apps.Pipeline(4, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := g2.Sinks()[0]
+	s2, err := Solve(&Problem{
+		App: g2, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:     Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: map[dag.TaskID]float64{sink: 0.9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("Soft pipeline", s2, 36734, 34728, true, 3)
+
+	s3, err := Solve(&Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: cons,
+		GreedyChi: true, GreedyPlacement: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("MIMO greedy", s3, 101624, 98820, false, 2)
+}

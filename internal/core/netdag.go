@@ -430,7 +430,10 @@ func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, boun
 	}
 
 	prob := solver.NewProblem(1)
-	taskAct := make(map[dag.TaskID]solver.ActID)
+	// TaskIDs are dense indices, so a slice beats a map on the
+	// per-assignment hot path (place runs once per enumerated round
+	// assignment, and every precedence/disjunction below consults it).
+	taskAct := make([]solver.ActID, app.NumTasks())
 	for _, t := range app.Tasks() {
 		taskAct[t.ID] = prob.AddActivity(t.Name, t.WCET)
 	}

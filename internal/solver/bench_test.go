@@ -33,6 +33,7 @@ func lwbLikeInstance(tasks, rounds int) *Problem {
 }
 
 func BenchmarkMinimizeLWBLike(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := lwbLikeInstance(10, 3)
 		if _, err := p.Minimize(100000); err != nil {
@@ -41,7 +42,29 @@ func BenchmarkMinimizeLWBLike(b *testing.B) {
 	}
 }
 
+// BenchmarkMinimizeLWBLikeHeavy is the B&B-heavy instance: more tasks and
+// rounds mean thousands of explored nodes per solve, so per-node solver
+// cost dominates and instance construction is noise. It reports ns and
+// allocations per explored node, the metrics the incremental STN engine
+// is meant to shrink.
+func BenchmarkMinimizeLWBLikeHeavy(b *testing.B) {
+	b.ReportAllocs()
+	var nodes int64
+	for i := 0; i < b.N; i++ {
+		p := lwbLikeInstance(14, 4)
+		res, err := p.Minimize(100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes += int64(res.Nodes)
+	}
+	if b.N > 0 && nodes > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(nodes), "ns/node")
+	}
+}
+
 func BenchmarkGreedyLWBLike(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := lwbLikeInstance(10, 3)
 		if _, err := p.Greedy(); err != nil {

@@ -149,10 +149,12 @@ func (p *Problem) check(a ActID) {
 	}
 }
 
-// overlaps reports whether a and b overlap (or violate the gap) when
-// started at the earliest times d.
-func (p *Problem) overlaps(d []int64, a, b ActID) bool {
-	sa, sb := d[p.start[a]], d[p.start[b]]
+// overlapsNow reports whether a and b overlap (or violate the gap) at
+// the STN's currently maintained earliest times. Zero-allocation: it
+// reads the incremental engine's distances directly instead of taking a
+// snapshot.
+func (p *Problem) overlapsNow(a, b ActID) bool {
+	sa, sb := p.net.Dist(p.start[a]), p.net.Dist(p.start[b])
 	return sa+p.dur[a]+p.gap > sb && sb+p.dur[b]+p.gap > sa
 }
 
@@ -181,8 +183,9 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 	truncated := false
 	canceled := false
 	budget := func() bool { return maxNodes > 0 && nodes >= maxNodes }
-	var rec func()
-	rec = func() {
+	net := p.net
+	var rec func(from int)
+	rec = func(from int) {
 		if canceled {
 			return
 		}
@@ -195,30 +198,41 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 			return
 		}
 		nodes++
-		d, err := p.net.Earliest()
-		if err != nil {
-			return // inconsistent branch
+		if !net.Consistent() {
+			return // inconsistent branch (detected incrementally on Precede)
 		}
-		lb := d[p.end]
+		lb := net.Dist(p.end)
 		if res.Makespan >= 0 && lb >= res.Makespan {
 			return // bound: cannot improve
 		}
-		// Find a violated disjunction under the earliest schedule.
-		for _, pair := range p.disj {
+		// Find a violated disjunction under the earliest schedule. The scan
+		// resumes cyclically from the disjunction branched on last: the
+		// ordering just imposed rarely disturbs the disjunctions already
+		// passed over, so the next violation is usually a near neighbor —
+		// but a shifted schedule *can* re-violate an earlier pair, so the
+		// scan still wraps around and covers all of p.disj before the node
+		// may be declared feasible.
+		nd := len(p.disj)
+		for k := 0; k < nd; k++ {
+			i := from + k
+			if i >= nd {
+				i -= nd
+			}
+			pair := p.disj[i]
 			a, b := pair[0], pair[1]
-			if !p.overlaps(d, a, b) {
+			if !p.overlapsNow(a, b) {
 				continue
 			}
 			// Branch on the order of a and b. Try the order suggested by
 			// the earliest times first (better first incumbent).
 			first, second := a, b
-			if d[p.start[b]] < d[p.start[a]] {
+			if net.Dist(p.start[b]) < net.Dist(p.start[a]) {
 				first, second = b, a
 			}
-			mark := p.net.Mark()
+			mark := net.Mark()
 			p.Precede(first, second)
-			rec()
-			p.net.Reset(mark)
+			rec(i)
+			net.Reset(mark)
 			if canceled {
 				return
 			}
@@ -226,23 +240,24 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 				truncated = true
 				return
 			}
-			mark = p.net.Mark()
+			mark = net.Mark()
 			p.Precede(second, first)
-			rec()
-			p.net.Reset(mark)
+			rec(i)
+			net.Reset(mark)
 			return
 		}
 		// No violated disjunction: the earliest schedule is feasible.
 		if res.Makespan < 0 || lb < res.Makespan {
-			starts := make([]int64, len(p.start))
-			for i, v := range p.start {
-				starts[i] = d[v]
+			if res.Starts == nil {
+				res.Starts = make([]int64, len(p.start))
 			}
-			res.Starts = starts
+			for i, v := range p.start {
+				res.Starts[i] = net.Dist(v)
+			}
 			res.Makespan = lb
 		}
 	}
-	rec()
+	rec(0)
 	res.Nodes = nodes
 	if canceled {
 		// The incumbent (if any) rides along with the error so callers
@@ -268,13 +283,13 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 // instances where rounds already carry most of the ordering; the A3
 // ablation quantifies the gap to Minimize.
 func (p *Problem) Greedy() (Result, error) {
-	mark := p.net.Mark()
-	defer p.net.Reset(mark)
+	net := p.net
+	mark := net.Mark()
+	defer net.Reset(mark)
 	nodes := 0
 	for {
 		nodes++
-		d, err := p.net.Earliest()
-		if err != nil {
+		if !net.Consistent() {
 			if p.bounded {
 				return Result{Makespan: -1}, ErrBounded
 			}
@@ -285,12 +300,12 @@ func (p *Problem) Greedy() (Result, error) {
 		// smallest, to mimic chronological dispatching.
 		bestIdx, bestKey := -1, int64(0)
 		for i, pair := range p.disj {
-			if !p.overlaps(d, pair[0], pair[1]) {
+			if !p.overlapsNow(pair[0], pair[1]) {
 				continue
 			}
 			resolved = false
-			key := d[p.start[pair[0]]]
-			if k := d[p.start[pair[1]]]; k < key {
+			key := net.Dist(p.start[pair[0]])
+			if k := net.Dist(p.start[pair[1]]); k < key {
 				key = k
 			}
 			if bestIdx < 0 || key < bestKey {
@@ -300,13 +315,13 @@ func (p *Problem) Greedy() (Result, error) {
 		if resolved {
 			starts := make([]int64, len(p.start))
 			for i, v := range p.start {
-				starts[i] = d[v]
+				starts[i] = net.Dist(v)
 			}
-			return Result{Starts: starts, Makespan: d[p.end], Nodes: nodes}, nil
+			return Result{Starts: starts, Makespan: net.Dist(p.end), Nodes: nodes}, nil
 		}
 		a, b := p.disj[bestIdx][0], p.disj[bestIdx][1]
 		first, second := a, b
-		sa, sb := d[p.start[a]], d[p.start[b]]
+		sa, sb := net.Dist(p.start[a]), net.Dist(p.start[b])
 		if sb < sa || (sb == sa && p.dur[b] < p.dur[a]) {
 			first, second = b, a
 		}

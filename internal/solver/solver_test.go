@@ -408,3 +408,51 @@ func TestMakespanBoundInfeasibleIsErrBounded(t *testing.T) {
 		t.Errorf("unbounded contradiction: %v, want ErrInfeasible", err)
 	}
 }
+
+// TestMinimizeIsRepeatable pins the trail discipline: a full search must
+// leave the underlying STN exactly as it found it, so solving the same
+// Problem again — or interleaving Greedy and Minimize — yields identical
+// results. The core layer relies on this when it probes one instance
+// with several strategies.
+func TestMinimizeIsRepeatable(t *testing.T) {
+	mk := func() *Problem {
+		p := NewProblem(1)
+		var acts []ActID
+		for i := 0; i < 6; i++ {
+			acts = append(acts, p.AddActivity("a", int64(10+3*i)))
+		}
+		for i := 0; i < len(acts); i++ {
+			for j := i + 1; j < len(acts); j++ {
+				if (i+j)%2 == 0 {
+					p.Disjoint(acts[i], acts[j])
+				}
+			}
+		}
+		p.Precede(acts[0], acts[3])
+		return p
+	}
+	p := mk()
+	r1, err := p.Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Greedy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Makespan != r2.Makespan || r1.Optimal != r2.Optimal || r1.Nodes != r2.Nodes {
+		t.Errorf("re-solve drifted: first %+v, second %+v", r1, r2)
+	}
+	for i := range r1.Starts {
+		if r1.Starts[i] != r2.Starts[i] {
+			t.Errorf("Starts[%d] drifted: %d vs %d", i, r1.Starts[i], r2.Starts[i])
+		}
+	}
+	if g.Makespan < r1.Makespan {
+		t.Errorf("greedy %d beat exact %d", g.Makespan, r1.Makespan)
+	}
+}

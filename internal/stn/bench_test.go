@@ -37,3 +37,86 @@ func BenchmarkEarliestDense(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAddMinMarkReset is the branch-and-bound inner step: push one
+// constraint whose delta ripples down a chain, read a distance, pop.
+// This is the operation the incremental engine exists for; it must not
+// allocate.
+func BenchmarkAddMinMarkReset(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	prev := s.NewVar("v0")
+	head := prev
+	for i := 1; i < 50; i++ {
+		v := s.NewVar("v")
+		s.AddMin(v, prev, 10)
+		prev = v
+	}
+	tail := prev
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := s.Mark()
+		s.AddMin(head, Zero, 100) // shifts the whole chain
+		if s.Dist(tail) != 590 {
+			b.Fatalf("Dist(tail) = %d", s.Dist(tail))
+		}
+		s.Reset(mark)
+	}
+}
+
+// BenchmarkAddMinNoEffect measures the fast path: a constraint already
+// satisfied by the maintained distances (the common case deep in a
+// search, where most orderings are already implied).
+func BenchmarkAddMinNoEffect(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	a := s.NewVar("a")
+	z := s.NewVar("b")
+	s.AddMin(z, a, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := s.Mark()
+		s.AddMin(z, a, 50) // implied: no propagation
+		s.Reset(mark)
+	}
+}
+
+// BenchmarkInconsistentPushPop measures detecting a positive cycle and
+// recovering from it — the failure half of every disjunction branch.
+func BenchmarkInconsistentPushPop(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	a := s.NewVar("a")
+	z := s.NewVar("b")
+	s.AddMin(z, a, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := s.Mark()
+		s.AddMin(a, z, 1) // closes a positive cycle
+		if s.Consistent() {
+			b.Fatal("cycle undetected")
+		}
+		s.Reset(mark)
+	}
+}
+
+// BenchmarkEarliestInto measures the zero-allocation snapshot read.
+func BenchmarkEarliestInto(b *testing.B) {
+	b.ReportAllocs()
+	s := New()
+	prev := s.NewVar("v0")
+	for i := 1; i < 50; i++ {
+		v := s.NewVar("v")
+		s.AddMin(v, prev, 10)
+		prev = v
+	}
+	buf := make([]int64, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.EarliestInto(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}

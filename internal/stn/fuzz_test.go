@@ -1,0 +1,86 @@
+package stn
+
+import (
+	"testing"
+)
+
+// FuzzOps interprets the fuzz input as a program of network operations —
+// NewVar, AddMin, AddMax, Mark, Reset — and cross-checks the incremental
+// engine against the batch Bellman-Ford oracle after every step. It
+// exercises exactly the state machine the branch-and-bound search drives:
+// interleaved growth, propagation, inconsistency, and trail unwinding.
+//
+// Each operation consumes three bytes: opcode, variable selector(s), and
+// a signed weight. Variable counts and program length are bounded so a
+// single input stays cheap.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 1, 5, 1, 16, 250})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 3, 0, 0, 1, 2, 7, 4, 0, 0})
+	f.Add([]byte{0, 0, 0, 1, 1, 200, 2, 1, 200}) // saturating weights
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 192 {
+			data = data[:192]
+		}
+		s := New()
+		var marks []struct {
+			mark  int
+			nvars int
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, sel, wb := data[i], data[i+1], int64(int8(data[i+2]))
+			switch op % 5 {
+			case 0:
+				if s.NumVars() < 12 {
+					s.NewVar("v")
+				}
+			case 1:
+				n := s.NumVars()
+				u := VarID(int(sel) % n)
+				v := VarID(int(sel>>4) % n)
+				w := wb
+				if wb == 127 { // probe the saturation path too
+					w = int64(1) << 62
+				}
+				s.AddMin(v, u, w)
+			case 2:
+				n := s.NumVars()
+				u := VarID(int(sel) % n)
+				v := VarID(int(sel>>4) % n)
+				s.AddMax(v, u, wb)
+			case 3:
+				marks = append(marks, struct {
+					mark  int
+					nvars int
+				}{s.Mark(), s.NumVars()})
+			case 4:
+				if len(marks) == 0 {
+					continue
+				}
+				j := int(sel) % len(marks)
+				sp := marks[j]
+				marks = marks[:j]
+				s.Reset(sp.mark)
+				if s.NumVars() != sp.nvars {
+					t.Fatalf("op %d: NumVars after Reset = %d, want %d", i/3, s.NumVars(), sp.nvars)
+				}
+			}
+			want, wantErr := batchEarliest(s)
+			if s.Consistent() != (wantErr == nil) {
+				t.Fatalf("op %d: Consistent()=%v, oracle err=%v", i/3, s.Consistent(), wantErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			for v := range want {
+				if got := s.Dist(VarID(v)); got != want[v] {
+					t.Fatalf("op %d: Dist(%d)=%d, oracle %d", i/3, v, got, want[v])
+				}
+			}
+		}
+		// Full unwind must always recover the pristine single-variable net.
+		s.Reset(0)
+		if s.NumVars() != 1 || !s.Consistent() || s.Dist(Zero) != 0 {
+			t.Fatalf("Reset(0): NumVars=%d consistent=%v dist0=%d", s.NumVars(), s.Consistent(), s.Dist(Zero))
+		}
+	})
+}
