@@ -3,6 +3,12 @@
 // samples predecessor behaviour per eq. (11) (i.i.d. Bernoulli) and
 // eq. (12) (adversarial boundary patterns), and checks the task-level
 // constraints against the composed behaviour ω_τ = ∧ ω_x.
+//
+// Given a positional problem spec, it instead validates that spec
+// empirically end-to-end: solve, deploy onto a clique topology, run a
+// deterministic fault-injection campaign (optionally under a -faults
+// scenario) and certify the observed miss streams against the spec's
+// declared constraints. Exits non-zero on any failed check.
 package main
 
 import (
@@ -10,19 +16,38 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/netdag/netdag/internal/campaign"
+	"github.com/netdag/netdag/internal/core"
 	"github.com/netdag/netdag/internal/expt"
 	"github.com/netdag/netdag/internal/figures"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/sim"
+	"github.com/netdag/netdag/internal/spec"
 )
 
 func main() {
-	runs := flag.Int("runs", 10000, "independent runs per task")
-	seed := flag.Int64("seed", 1, "sampling RNG seed")
+	runs := flag.Int("runs", 10000, "independent runs per task (per replication in spec mode)")
+	seed := flag.Int64("seed", 1, "sampling RNG seed (campaign master seed in spec mode)")
+	reps := flag.Int("campaign", 100, "replications of the certification campaign (spec mode)")
+	prr := flag.Float64("prr", 0.9, "uniform link packet reception ratio of the clique (spec mode)")
+	faultsFile := flag.String("faults", "", "JSON fault scenario to inject (spec mode)")
+	confidence := flag.Float64("confidence", campaign.DefaultConfidence, "Wilson confidence level for soft certification (spec mode)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: netdag-validate [flags] [problem.json]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		validateSpec(flag.Arg(0), *runs, *seed, *reps, *prr, *faultsFile, *confidence, *workers)
+		return
+	}
 
 	res, err := figures.Validation(*runs, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "netdag-validate:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	soft := expt.NewTable("§IV-A soft validation (eq. 11)", "task", "target", "scheduled", "statistic v", "pass")
 	for _, r := range res.Soft {
@@ -46,4 +71,77 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// validateSpec solves a problem spec, deploys it, runs a certification
+// campaign against it and exits 1 if any declared constraint is
+// empirically violated.
+func validateSpec(path string, runs int, seed int64, reps int, prr float64, faultsFile string, confidence float64, workers int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := spec.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	p.Workers = workers
+	var scenario *sim.Scenario
+	if faultsFile != "" {
+		sf, err := os.Open(faultsFile)
+		if err != nil {
+			fatal(err)
+		}
+		scenario, err = sim.LoadScenario(sf)
+		sf.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		fatal(err)
+	}
+	topo := network.Clique(len(p.App.Nodes()), prr)
+	d, err := lwb.NewDeployment(p.App, s, topo, p.Params)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := campaign.Run(d, campaign.Config{
+		Replications: reps,
+		Runs:         runs,
+		Seed:         seed,
+		Workers:      workers,
+		Scenario:     scenario,
+		Clocks:       sim.DefaultClockConfig(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := campaign.Certify(p, res, confidence)
+	if err != nil {
+		fatal(err)
+	}
+	tab := expt.NewTable(fmt.Sprintf("empirical validation (%s mode, %d×%d runs, confidence %.2f)",
+		rep.Mode, rep.Replications, rep.Runs, rep.Confidence),
+		"task", "status", "evidence", "replay seed")
+	for _, t := range rep.Tasks {
+		var evidence string
+		if t.Window > 0 {
+			evidence = fmt.Sprintf("worst window %d/%d vs (%d,%d)~", t.WorstMisses, t.Window, t.Misses, t.Window)
+		} else {
+			evidence = fmt.Sprintf("rate %.4f in [%.4f,%.4f] vs %.4f", t.HitRate, t.WilsonLo, t.WilsonHi, t.Target)
+		}
+		tab.Addf("%s\t%s\t%s\t%d", t.Task, t.Status, evidence, t.WorstSeed)
+	}
+	fmt.Print(tab.String())
+	if rep.Violations > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netdag-validate:", err)
+	os.Exit(1)
 }

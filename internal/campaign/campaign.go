@@ -1,0 +1,205 @@
+// Package campaign runs deterministic fault-injection campaigns over a
+// deployed schedule and certifies the resulting empirical miss streams
+// against the constraints the scheduler promised.
+//
+// A campaign is N seeded replications of the clock-accurate simulator
+// (internal/sim), each with an independently derived PRNG
+// (sim.ReplicationSeed), optionally under a fault scenario
+// (sim.Scenario). Replications run in parallel on a worker pool, but the
+// result is a pure function of (deployment, config): replication i's
+// trace depends only on the master seed and i, never on worker
+// interleaving — so a certifier finding is replayable from the reported
+// replication seed alone.
+//
+// The certifier (certify.go) checks every soft constraint's pooled
+// empirical success rate with a Wilson confidence bound
+// (internal/stats), and every weakly-hard constraint's worst observed
+// window against the declared (m, K).
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/sim"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Config tunes a campaign.
+type Config struct {
+	// Replications is N, the number of independently seeded simulator
+	// replications (required, positive).
+	Replications int
+	// Runs is how many schedule periods each replication executes; it
+	// must cover the largest weakly-hard window for the certification to
+	// be non-vacuous (Certify checks this).
+	Runs int
+	// Seed is the campaign master seed; replication i draws its own PRNG
+	// seed via sim.ReplicationSeed(Seed, i).
+	Seed int64
+	// Workers bounds the replications running concurrently. Zero selects
+	// runtime.GOMAXPROCS(0); any value produces identical results.
+	Workers int
+	// Scenario optionally injects faults (nil: fault-free).
+	Scenario *sim.Scenario
+	// Clocks configures the per-node clock model.
+	Clocks sim.ClockConfig
+	// PeriodUS is the schedule repetition period; zero selects the
+	// makespan plus 100 ms, matching the netdag-sim default.
+	PeriodUS int64
+}
+
+// Replication is one seeded simulator run of the campaign.
+type Replication struct {
+	// Rep is the replication index in [0, Replications).
+	Rep int
+	// Seed is the replication's own PRNG seed — enough, together with
+	// the deployment and scenario, to replay this exact trace.
+	Seed int64
+	// TaskSeqs is the per-task hit/miss trace across the replication's
+	// runs.
+	TaskSeqs map[dag.TaskID]wh.Seq
+	// BeaconCaptureRate and DesyncRate mirror sim.Result.
+	BeaconCaptureRate float64
+	DesyncRate        float64
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Cfg Config
+	// Reps holds every replication, indexed by replication number.
+	Reps []Replication
+	// PeriodUS is the effective schedule period used.
+	PeriodUS int64
+}
+
+// MeanBeaconCapture averages the beacon capture rate over replications.
+func (r *Result) MeanBeaconCapture() float64 {
+	if len(r.Reps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range r.Reps {
+		s += r.Reps[i].BeaconCaptureRate
+	}
+	return s / float64(len(r.Reps))
+}
+
+// MeanDesyncRate averages the desynchronization rate over replications.
+func (r *Result) MeanDesyncRate() float64 {
+	if len(r.Reps) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range r.Reps {
+		s += r.Reps[i].DesyncRate
+	}
+	return s / float64(len(r.Reps))
+}
+
+// Run executes the campaign to completion; see RunContext.
+func Run(d *lwb.Deployment, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), d, cfg)
+}
+
+// RunContext executes cfg.Replications seeded replications of the
+// deployed schedule on a worker pool, reusing the producer/worker idiom
+// of the round-assignment search (internal/core/parallel.go): a producer
+// feeds replication indices to workers over a channel, each worker owns
+// an independently seeded PRNG per replication, and results land in a
+// slice slot owned exclusively by that replication — no shared mutable
+// state, so the campaign is race-free and bit-identical across Workers
+// settings and GOMAXPROCS.
+//
+// Cancellation: when ctx is canceled, no new replications start and
+// RunContext returns ctx.Err(). Campaigns are all-or-nothing — a partial
+// campaign would certify against fewer trials than requested.
+func RunContext(ctx context.Context, d *lwb.Deployment, cfg Config) (*Result, error) {
+	if d == nil {
+		return nil, errors.New("campaign: nil deployment")
+	}
+	if cfg.Replications <= 0 {
+		return nil, fmt.Errorf("campaign: Replications must be positive, got %d", cfg.Replications)
+	}
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("campaign: Runs must be positive, got %d", cfg.Runs)
+	}
+	period := cfg.PeriodUS
+	if period == 0 {
+		period = d.Sched.Makespan + 100_000
+	}
+	runner, err := sim.NewRunner(d, cfg.Clocks, period)
+	if err != nil {
+		return nil, err
+	}
+	runner.Faults = cfg.Scenario
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Replications {
+		workers = cfg.Replications
+	}
+
+	res := &Result{Cfg: cfg, Reps: make([]Replication, cfg.Replications), PeriodUS: period}
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < cfg.Replications; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// firstErr keeps the error of the lowest-indexed failing replication,
+	// so the reported error is deterministic too.
+	var mu sync.Mutex
+	errRep := -1
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				seed := sim.ReplicationSeed(cfg.Seed, i)
+				r, err := runner.RunSeeded(cfg.Runs, seed)
+				if err != nil {
+					mu.Lock()
+					if errRep < 0 || i < errRep {
+						errRep, firstErr = i, err
+					}
+					mu.Unlock()
+					continue
+				}
+				res.Reps[i] = Replication{
+					Rep:               i,
+					Seed:              seed,
+					TaskSeqs:          r.TaskSeqs,
+					BeaconCaptureRate: r.BeaconCaptureRate,
+					DesyncRate:        r.DesyncRate,
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("campaign: replication %d: %w", errRep, firstErr)
+	}
+	return res, nil
+}

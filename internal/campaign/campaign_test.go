@@ -1,0 +1,272 @@
+package campaign
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/sim"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// deployWH schedules a 3-stage pipeline under a weakly-hard constraint
+// on the end task and deploys it onto a 3-node line.
+func deployWH(t testing.TB, prr float64, cons wh.MissConstraint) (*core.Problem, *lwb.Deployment) {
+	t.Helper()
+	g, err := apps.Pipeline(3, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 2,
+		Mode:   core.WeaklyHard,
+		WHStat: glossy.SyntheticWH{},
+		WHCons: map[dag.TaskID]wh.MissConstraint{last.ID: cons},
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lwb.NewDeployment(g, s, network.Line(3, prr), p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+// deploySoft is the soft-mode twin with a success-rate target on the
+// end task.
+func deploySoft(t testing.TB, prr, target float64) (*core.Problem, *lwb.Deployment) {
+	t.Helper()
+	g, err := apps.Pipeline(3, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage2")
+	p := &core.Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 2,
+		Mode:     core.Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: prr},
+		SoftCons: map[dag.TaskID]float64{last.ID: target},
+	}
+	s, err := core.Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := lwb.NewDeployment(g, s, network.Line(3, prr), p.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, d
+}
+
+func TestCampaignValidation(t *testing.T) {
+	_, d := deployWH(t, 0.9, wh.MissConstraint{Misses: 10, Window: 40})
+	if _, err := Run(nil, Config{Replications: 1, Runs: 1}); err == nil {
+		t.Error("nil deployment accepted")
+	}
+	if _, err := Run(d, Config{Replications: 0, Runs: 10}); err == nil {
+		t.Error("zero replications accepted")
+	}
+	if _, err := Run(d, Config{Replications: 10, Runs: 0}); err == nil {
+		t.Error("zero runs accepted")
+	}
+}
+
+// TestCampaignDeterministicAcrossWorkers is the acceptance criterion:
+// a fixed-seed campaign is bit-identical across runs and worker counts.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	_, d := deployWH(t, 0.9, wh.MissConstraint{Misses: 10, Window: 40})
+	sc := &sim.Scenario{
+		Fades:     []sim.LinkFade{{A: -1, B: -1, PGoodBad: 0.05, PBadGood: 0.2, BadScale: 0.2}},
+		Blackouts: []sim.Blackout{{FromUS: 500_000, ToUS: 900_000}},
+	}
+	base := Config{Replications: 12, Runs: 50, Seed: 99, Scenario: sc, Clocks: sim.DefaultClockConfig()}
+	var ref *Result
+	for _, workers := range []int{1, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Run(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(ref.Reps, res.Reps) {
+			t.Fatalf("campaign with %d workers differs from the 1-worker reference", workers)
+		}
+	}
+	// And bit-identical on a straight re-run.
+	again, err := Run(d, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Reps, again.Reps) {
+		t.Fatal("same configuration, different campaign results across runs")
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	_, d := deployWH(t, 0.9, wh.MissConstraint{Misses: 10, Window: 40})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, d, Config{Replications: 50, Runs: 50}); err == nil {
+		t.Error("canceled campaign returned no error")
+	}
+}
+
+// TestCertifyCleanDeployment: a healthy deployment certifies clean, and
+// the reported worst seed replays to the exact trace the campaign saw.
+func TestCertifyCleanDeployment(t *testing.T) {
+	p, d := deployWH(t, 0.95, wh.MissConstraint{Misses: 10, Window: 40})
+	cfg := Config{Replications: 20, Runs: 40, Seed: 5, Clocks: sim.DefaultClockConfig()}
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Certify(p, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("healthy deployment flagged: %+v", rep.Tasks)
+	}
+	if rep.Confidence != DefaultConfidence {
+		t.Errorf("zero confidence not defaulted: %v", rep.Confidence)
+	}
+	// Replay: the reported seed alone must reproduce the replication.
+	tr := rep.Tasks[0]
+	runner, err := sim.NewRunner(d, cfg.Clocks, res.PeriodUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := runner.RunSeeded(cfg.Runs, tr.WorstSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replay.TaskSeqs, res.Reps[tr.WorstRep].TaskSeqs) {
+		t.Fatal("replaying the reported seed did not reproduce the replication")
+	}
+}
+
+// TestCertifyFlagsInjectedViolation: burst loss exceeding the declared
+// (m,K) is flagged, and the reported seed + window replay exactly.
+func TestCertifyFlagsInjectedViolation(t *testing.T) {
+	p, d := deployWH(t, 0.95, wh.MissConstraint{Misses: 10, Window: 40})
+	sc := &sim.Scenario{
+		Name:  "deep-fade",
+		Fades: []sim.LinkFade{{A: -1, B: -1, PGoodBad: 0.1, PBadGood: 0.05, BadScale: 0}},
+	}
+	cfg := Config{Replications: 10, Runs: 80, Seed: 3, Scenario: sc, Clocks: sim.DefaultClockConfig()}
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Certify(p, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatal("correlated deep fades not flagged against (10,40)~")
+	}
+	if rep.Scenario != "deep-fade" {
+		t.Errorf("scenario name %q not carried into the report", rep.Scenario)
+	}
+	tr := rep.Tasks[0]
+	if tr.Status != Violation || tr.WorstMisses <= tr.Misses {
+		t.Fatalf("violation record inconsistent: %+v", tr)
+	}
+	// Replay from the report alone: seed → trace → same worst window.
+	runner, err := sim.NewRunner(d, cfg.Clocks, res.PeriodUS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.Faults = sc
+	replay, err := runner.RunSeeded(cfg.Runs, tr.WorstSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := p.App.TaskByName(tr.Task)
+	window := replay.TaskSeqs[last.ID][tr.WorstWindowStart : tr.WorstWindowStart+tr.Window]
+	if window.String() != tr.WorstWindow {
+		t.Fatalf("replayed window %q != reported %q", window.String(), tr.WorstWindow)
+	}
+	if misses := len(window) - window.Hits(); misses != tr.WorstMisses {
+		t.Fatalf("replayed window has %d misses, report says %d", len(window)-window.Hits(), tr.WorstMisses)
+	}
+}
+
+func TestCertifyVacuousWindowRejected(t *testing.T) {
+	p, d := deployWH(t, 0.95, wh.MissConstraint{Misses: 10, Window: 40})
+	res, err := Run(d, Config{Replications: 2, Runs: 20, Clocks: sim.DefaultClockConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Certify(p, res, 0); err == nil {
+		t.Error("20 runs against a 40-window constraint certified (vacuously)")
+	}
+}
+
+func TestCertifySoftMode(t *testing.T) {
+	p, d := deploySoft(t, 0.95, 0.5)
+	cfg := Config{Replications: 10, Runs: 100, Seed: 11, Clocks: sim.DefaultClockConfig()}
+	res, err := Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Certify(p, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("modest soft target flagged: %+v", rep.Tasks)
+	}
+	tr := rep.Tasks[0]
+	if tr.Status != Pass || tr.Trials != cfg.Replications*cfg.Runs {
+		t.Errorf("soft pass record inconsistent: %+v", tr)
+	}
+	if !(tr.WilsonLo <= tr.HitRate && tr.HitRate <= tr.WilsonHi) {
+		t.Errorf("Wilson interval [%v,%v] does not bracket rate %v", tr.WilsonLo, tr.WilsonHi, tr.HitRate)
+	}
+	// The same deployment under a total blackout must be a certified
+	// soft violation, not merely marginal.
+	sc := &sim.Scenario{Blackouts: []sim.Blackout{{FromUS: 0, ToUS: 1 << 60}}}
+	cfg.Scenario = sc
+	res, err = Run(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Certify(p, res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("blacked-out deployment certified clean: %+v", rep.Tasks)
+	}
+}
+
+func TestCertifyValidation(t *testing.T) {
+	p, d := deployWH(t, 0.9, wh.MissConstraint{Misses: 10, Window: 40})
+	res, err := Run(d, Config{Replications: 2, Runs: 40, Clocks: sim.DefaultClockConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Certify(nil, res, 0); err == nil {
+		t.Error("nil problem accepted")
+	}
+	if _, err := Certify(p, nil, 0); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Certify(p, res, 1.5); err == nil {
+		t.Error("confidence 1.5 accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package campaign
+
+// The certifier: checks a campaign's empirical miss streams against the
+// task-level constraints the scheduler promised. Soft constraints are
+// checked statistically — the pooled success rate's Wilson interval at
+// the configured confidence decides between a certified pass, a
+// certified violation, and a marginal result. Weakly-hard constraints
+// are checked combinatorially — the worst observed window of any
+// replication either fits the declared (m, K) budget or it does not —
+// and every violation carries the offending replication's seed and the
+// miss pattern of the worst window, so it can be replayed exactly with
+// sim.Runner.RunSeeded.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/stats"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// Status classifies one constraint's certification outcome.
+type Status string
+
+const (
+	// Pass: the empirical evidence is consistent with the constraint (for
+	// soft constraints, the Wilson lower bound is at or above the target;
+	// for weakly-hard, no window anywhere exceeded the miss budget).
+	Pass Status = "pass"
+	// Marginal (soft only): the point estimate is below the target but
+	// the Wilson interval still contains it — not enough trials to call a
+	// violation at the configured confidence.
+	Marginal Status = "marginal"
+	// Violation: the constraint is empirically broken — a soft target
+	// above the Wilson upper bound, or a weakly-hard window over budget.
+	Violation Status = "violation"
+)
+
+// TaskReport is one constraint's certification.
+type TaskReport struct {
+	Task   string `json:"task"`
+	Status Status `json:"status"`
+
+	// Soft-mode fields.
+	Target   float64 `json:"target,omitempty"`   // F_s(τ)
+	HitRate  float64 `json:"hitRate,omitempty"`  // pooled successes / trials
+	WilsonLo float64 `json:"wilsonLo,omitempty"` // confidence interval on the true rate
+	WilsonHi float64 `json:"wilsonHi,omitempty"`
+	Trials   int     `json:"trials,omitempty"`
+
+	// Weakly-hard-mode fields.
+	Misses      int `json:"misses,omitempty"`      // declared budget m̄
+	Window      int `json:"window,omitempty"`      // declared window K̄
+	WorstMisses int `json:"worstMisses,omitempty"` // worst observed window
+
+	// Replay handle: the replication exhibiting the worst behaviour (the
+	// worst window for weakly-hard, the lowest hit rate for soft), its
+	// PRNG seed, the run index its worst window starts at, and the
+	// window's miss pattern. Replaying sim.Runner.RunSeeded(runs,
+	// WorstSeed) under the same deployment and scenario reproduces the
+	// trace bit-exactly.
+	WorstRep         int    `json:"worstRep"`
+	WorstSeed        int64  `json:"worstSeed"`
+	WorstWindowStart int    `json:"worstWindowStart,omitempty"`
+	WorstWindow      string `json:"worstWindow,omitempty"`
+}
+
+// Report is a campaign certification.
+type Report struct {
+	Mode         string       `json:"mode"`
+	Confidence   float64      `json:"confidence"`
+	Replications int          `json:"replications"`
+	Runs         int          `json:"runs"`
+	Seed         int64        `json:"seed"`
+	Scenario     string       `json:"scenario,omitempty"`
+	Tasks        []TaskReport `json:"tasks"`
+	Violations   int          `json:"violations"`
+	Marginals    int          `json:"marginals"`
+
+	BeaconCaptureRate float64 `json:"beaconCaptureRate"`
+	DesyncRate        float64 `json:"desyncRate"`
+}
+
+// DefaultConfidence is the certifier's confidence level when none is
+// given.
+const DefaultConfidence = 0.95
+
+// Certify checks every constraint of p against the campaign's empirical
+// traces. confidence in (0,1) sets the Wilson interval level for soft
+// constraints (zero selects DefaultConfidence). Task reports are sorted
+// by task name, so the report is deterministic.
+func Certify(p *core.Problem, res *Result, confidence float64) (*Report, error) {
+	if p == nil || res == nil {
+		return nil, errors.New("campaign: Certify requires a problem and a campaign result")
+	}
+	if confidence == 0 {
+		confidence = DefaultConfidence
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, fmt.Errorf("campaign: confidence %v outside (0,1)", confidence)
+	}
+	rep := &Report{
+		Mode:              p.Mode.String(),
+		Confidence:        confidence,
+		Replications:      res.Cfg.Replications,
+		Runs:              res.Cfg.Runs,
+		Seed:              res.Cfg.Seed,
+		Tasks:             []TaskReport{},
+		BeaconCaptureRate: res.MeanBeaconCapture(),
+		DesyncRate:        res.MeanDesyncRate(),
+	}
+	if res.Cfg.Scenario != nil {
+		rep.Scenario = res.Cfg.Scenario.Name
+	}
+	switch p.Mode {
+	case core.Soft:
+		for id, target := range p.SoftCons {
+			tr, err := certifySoft(p.App.Task(id).Name, target, id, res, confidence)
+			if err != nil {
+				return nil, err
+			}
+			rep.Tasks = append(rep.Tasks, tr)
+		}
+	case core.WeaklyHard:
+		for id, c := range p.WHCons {
+			tr, err := certifyWH(p.App.Task(id).Name, c, id, res)
+			if err != nil {
+				return nil, err
+			}
+			rep.Tasks = append(rep.Tasks, tr)
+		}
+	default:
+		return nil, fmt.Errorf("campaign: unknown mode %v", p.Mode)
+	}
+	sort.Slice(rep.Tasks, func(i, j int) bool { return rep.Tasks[i].Task < rep.Tasks[j].Task })
+	for _, t := range rep.Tasks {
+		switch t.Status {
+		case Violation:
+			rep.Violations++
+		case Marginal:
+			rep.Marginals++
+		}
+	}
+	return rep, nil
+}
+
+func certifySoft(name string, target float64, id dag.TaskID, res *Result, confidence float64) (TaskReport, error) {
+	hits, trials := 0, 0
+	worstRep, worstRate := 0, 2.0
+	for i := range res.Reps {
+		q, ok := res.Reps[i].TaskSeqs[id]
+		if !ok {
+			return TaskReport{}, fmt.Errorf("campaign: task %q missing from replication %d", name, i)
+		}
+		hits += q.Hits()
+		trials += len(q)
+		if r := q.HitRate(); r < worstRate {
+			worstRate, worstRep = r, i
+		}
+	}
+	if trials == 0 {
+		return TaskReport{}, fmt.Errorf("campaign: task %q has no trials", name)
+	}
+	lo, hi, err := stats.WilsonInterval(hits, trials, confidence)
+	if err != nil {
+		return TaskReport{}, err
+	}
+	tr := TaskReport{
+		Task:      name,
+		Target:    target,
+		HitRate:   float64(hits) / float64(trials),
+		WilsonLo:  lo,
+		WilsonHi:  hi,
+		Trials:    trials,
+		WorstRep:  worstRep,
+		WorstSeed: res.Reps[worstRep].Seed,
+	}
+	switch {
+	case hi < target:
+		// Even the optimistic end of the interval misses the target: the
+		// deployment certifiably violates F_s at this confidence.
+		tr.Status = Violation
+	case lo >= target:
+		tr.Status = Pass
+	case tr.HitRate < target:
+		tr.Status = Marginal
+	default:
+		// Point estimate meets the target but the lower bound does not:
+		// consistent with the constraint, certified pass not yet earned —
+		// report it as marginal rather than overclaim.
+		tr.Status = Marginal
+	}
+	return tr, nil
+}
+
+func certifyWH(name string, c wh.MissConstraint, id dag.TaskID, res *Result) (TaskReport, error) {
+	if res.Cfg.Runs < c.Window {
+		return TaskReport{}, fmt.Errorf(
+			"campaign: %d runs per replication cannot exercise task %q's window %d (certification would be vacuous)",
+			res.Cfg.Runs, name, c.Window)
+	}
+	tr := TaskReport{
+		Task:        name,
+		Misses:      c.Misses,
+		Window:      c.Window,
+		WorstMisses: -1,
+	}
+	for i := range res.Reps {
+		q, ok := res.Reps[i].TaskSeqs[id]
+		if !ok {
+			return TaskReport{}, fmt.Errorf("campaign: task %q missing from replication %d", name, i)
+		}
+		misses, start := q.MaxWindowMisses(c.Window)
+		if start < 0 {
+			continue
+		}
+		if misses > tr.WorstMisses {
+			tr.WorstMisses = misses
+			tr.WorstRep = i
+			tr.WorstSeed = res.Reps[i].Seed
+			tr.WorstWindowStart = start
+			tr.WorstWindow = q[start : start+c.Window].String()
+		}
+	}
+	if tr.WorstMisses < 0 {
+		return TaskReport{}, fmt.Errorf("campaign: no full window of length %d observed for task %q", c.Window, name)
+	}
+	if tr.WorstMisses > c.Misses {
+		tr.Status = Violation
+	} else {
+		tr.Status = Pass
+	}
+	return tr, nil
+}

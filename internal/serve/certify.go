@@ -1,0 +1,202 @@
+package serve
+
+// POST /v1/certify: solve a spec, deploy it onto a simulated topology,
+// run a deterministic fault-injection campaign against it and answer
+// with the certification report (campaign.Report). The endpoint is the
+// service-shaped twin of `netdag-sim -campaign -certify`: same campaign
+// engine, same certifier, with the server's admission control and
+// deadline plumbing wrapped around it.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/netdag/netdag/internal/campaign"
+	"github.com/netdag/netdag/internal/lwb"
+	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/sim"
+	"github.com/netdag/netdag/internal/spec"
+)
+
+// certifyRequest is the POST /v1/certify body: a problem spec plus
+// campaign parameters. Zero-valued knobs get defaults; the topology is a
+// clique over the app's nodes at the given PRR.
+type certifyRequest struct {
+	Spec         spec.File     `json:"spec"`
+	Replications int           `json:"replications,omitempty"` // default 100
+	Runs         int           `json:"runs,omitempty"`         // default: max(100, largest WH window)
+	Seed         int64         `json:"seed,omitempty"`
+	PRR          float64       `json:"prr,omitempty"` // default 0.9
+	Scenario     *sim.Scenario `json:"scenario,omitempty"`
+	Confidence   float64       `json:"confidence,omitempty"` // default campaign.DefaultConfidence
+}
+
+// Campaign work is bounded so one request cannot monopolize the server:
+// replications × runs is the number of simulated schedule periods.
+const (
+	maxReplications     = 5000
+	maxRunsPerRep       = 50000
+	maxSimulatedPeriods = 2_000_000
+)
+
+// handleCertify is POST /v1/certify.
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.certifyRequests.Add(1)
+
+	var req certifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid certify request: %v", err))
+		return
+	}
+	key, err := spec.Fingerprint(&req.Spec)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set(fingerprintHdr, key)
+	p, err := spec.Build(&req.Spec)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cfg.SolveWorkers > 0 {
+		p.Workers = s.cfg.SolveWorkers
+	}
+	if req.Replications == 0 {
+		req.Replications = 100
+	}
+	if req.Runs == 0 {
+		req.Runs = 100
+		for _, c := range p.WHCons {
+			if c.Window > req.Runs {
+				req.Runs = c.Window
+			}
+		}
+	}
+	if req.PRR == 0 {
+		req.PRR = 0.9
+	}
+	switch {
+	case req.Replications < 0 || req.Replications > maxReplications:
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("replications %d outside [1,%d]", req.Replications, maxReplications))
+		return
+	case req.Runs < 0 || req.Runs > maxRunsPerRep:
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("runs %d outside [1,%d]", req.Runs, maxRunsPerRep))
+		return
+	case req.Replications*req.Runs > maxSimulatedPeriods:
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("replications × runs %d exceeds budget %d", req.Replications*req.Runs, maxSimulatedPeriods))
+		return
+	case req.PRR < 0 || req.PRR > 1:
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("prr %v outside [0,1]", req.PRR))
+		return
+	}
+
+	deadline, err := s.requestDeadline(r)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := s.baseCtx
+	cancel := func() {}
+	if deadline > 0 {
+		ctx, cancel = context.WithDeadline(s.baseCtx, start.Add(deadline))
+	}
+	defer cancel()
+
+	// Admission: a certification occupies one worker slot end to end
+	// (solve + campaign), sharing the solve budget and queue bounds.
+	if res, ok := s.admit(ctx); !ok {
+		relayResult(w, res, "")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	s.metrics.inflightCampaigns.Add(1)
+	defer s.metrics.inflightCampaigns.Add(-1)
+
+	sched, err := s.solve(ctx, p)
+	if err != nil {
+		// Unlike /v1/solve, a deadline-interrupted incumbent is not
+		// acceptable here: certifying a non-final schedule would pin the
+		// report to a schedule the solver would not actually emit.
+		s.metrics.solveErrors.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	topo := network.Clique(len(p.App.Nodes()), req.PRR)
+	d, err := lwb.NewDeployment(p.App, sched, topo, p.Params)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := campaign.RunContext(ctx, d, campaign.Config{
+		Replications: req.Replications,
+		Runs:         req.Runs,
+		Seed:         req.Seed,
+		Workers:      s.cfg.SolveWorkers,
+		Scenario:     req.Scenario,
+		Clocks:       sim.DefaultClockConfig(),
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			s.metrics.deadlineExpired.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "deadline expired during the campaign")
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.metrics.campaignReplications.Add(int64(req.Replications))
+	rep, err := campaign.Certify(p, res, req.Confidence)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.metrics.certifyViolations.Add(int64(rep.Violations))
+	body, err := json.Marshal(rep)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, body, "")
+}
+
+// admit takes a worker slot, or queues for one within the server's
+// bounds. On failure it returns the result to relay (429 or 504) and
+// false; on success the caller owns one sem slot.
+func (s *Server) admit(ctx context.Context) (solveResult, bool) {
+	select {
+	case s.sem <- struct{}{}:
+		return solveResult{}, true
+	default:
+	}
+	if q := s.metrics.queued.Add(1); q > int64(s.cfg.QueueDepth) {
+		s.metrics.queued.Add(-1)
+		s.metrics.admissionRejected.Add(1)
+		return solveResult{status: http.StatusTooManyRequests,
+			body: errorBody("solve queue full; retry later")}, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.queued.Add(-1)
+		return solveResult{}, true
+	case <-ctx.Done():
+		s.metrics.queued.Add(-1)
+		s.metrics.deadlineExpired.Add(1)
+		return errorResult(http.StatusGatewayTimeout, "deadline expired while queued"), false
+	}
+}

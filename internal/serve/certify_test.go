@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/campaign"
+)
+
+func postCertify(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/certify", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func certifyBody(extra string) string {
+	return fmt.Sprintf(`{"spec": %s, "replications": 10, "runs": 40, "seed": 7%s}`,
+		pipelineSpec(3), extra)
+}
+
+func TestCertifyEndpointCleanSpec(t *testing.T) {
+	s := New(Config{})
+	r := postCertify(t, s, certifyBody(""))
+	if r.Code != http.StatusOK {
+		t.Fatalf("certify: status %d, body %s", r.Code, r.Body)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(r.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("response is not a campaign.Report: %v", err)
+	}
+	if rep.Violations != 0 {
+		t.Errorf("clean spec reported %d violations: %+v", rep.Violations, rep.Tasks)
+	}
+	if rep.Replications != 10 || rep.Runs != 40 || len(rep.Tasks) != 1 {
+		t.Errorf("report shape off: %+v", rep)
+	}
+	if r.Header().Get(fingerprintHdr) == "" {
+		t.Error("certify response missing the spec fingerprint header")
+	}
+	// The responses are deterministic: same request, same report.
+	r2 := postCertify(t, s, certifyBody(""))
+	if r2.Code != http.StatusOK || r2.Body.String() != r.Body.String() {
+		t.Error("identical certify requests produced different reports")
+	}
+}
+
+func TestCertifyEndpointFlagsScenario(t *testing.T) {
+	s := New(Config{})
+	r := postCertify(t, s, certifyBody(`, "scenario": {"name": "blackout", "blackouts": [{"fromUS": 0, "toUS": 1000000000000}]}`))
+	if r.Code != http.StatusOK {
+		t.Fatalf("certify: status %d, body %s", r.Code, r.Body)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(r.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("blackout scenario certified clean: %+v", rep.Tasks)
+	}
+	if rep.Scenario != "blackout" {
+		t.Errorf("scenario name %q not in the report", rep.Scenario)
+	}
+	if rep.Tasks[0].WorstSeed == 0 && rep.Tasks[0].WorstRep == 0 && rep.Tasks[0].WorstWindow == "" {
+		t.Error("violation carries no replay handle")
+	}
+}
+
+func TestCertifyEndpointRejects(t *testing.T) {
+	s := New(Config{})
+	for name, body := range map[string]string{
+		"not json":            "{",
+		"unknown field":       `{"spec": {"mode": "soft"}, "bogus": 1}`,
+		"replications capped": fmt.Sprintf(`{"spec": %s, "replications": 999999}`, pipelineSpec(3)),
+		"budget exceeded":     fmt.Sprintf(`{"spec": %s, "replications": 5000, "runs": 50000}`, pipelineSpec(3)),
+		"bad prr":             fmt.Sprintf(`{"spec": %s, "replications": 2, "runs": 40, "prr": 1.5}`, pipelineSpec(3)),
+		"vacuous runs":        fmt.Sprintf(`{"spec": %s, "replications": 2, "runs": 10}`, pipelineSpec(3)),
+	} {
+		r := postCertify(t, s, body)
+		if name == "vacuous runs" {
+			// Too few runs for the declared window is caught by the
+			// certifier, not request validation.
+			if r.Code != http.StatusUnprocessableEntity {
+				t.Errorf("%s: status %d, want 422; body %s", name, r.Code, r.Body)
+			}
+			continue
+		}
+		if r.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400; body %s", name, r.Code, r.Body)
+		}
+	}
+}
+
+func TestCertifyMetrics(t *testing.T) {
+	s := New(Config{})
+	if r := postCertify(t, s, certifyBody("")); r.Code != http.StatusOK {
+		t.Fatalf("certify: %d", r.Code)
+	}
+	postCertify(t, s, certifyBody(`, "scenario": {"blackouts": [{"fromUS": 0, "toUS": 1000000000000}]}`))
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	text := rec.Body.String()
+	for _, want := range []string{
+		"netdag_certify_requests_total 2",
+		"netdag_certify_violations_total 1",
+		"netdag_campaign_replications_total 20",
+		"netdag_inflight_campaigns 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -25,8 +25,13 @@ type metrics struct {
 	badRequests       atomic.Int64 // 400: malformed specs
 	incomplete        atomic.Int64 // 200 with a non-optimal incumbent
 
-	inflight atomic.Int64 // solves currently running
-	queued   atomic.Int64 // solves waiting for a worker slot
+	certifyRequests      atomic.Int64 // POST /v1/certify requests received
+	certifyViolations    atomic.Int64 // constraints flagged as violated across reports
+	campaignReplications atomic.Int64 // cumulative campaign replications simulated
+
+	inflight          atomic.Int64 // solves currently running
+	queued            atomic.Int64 // solves waiting for a worker slot
+	inflightCampaigns atomic.Int64 // certification campaigns currently running
 
 	exploredAssignments atomic.Int64 // cumulative Schedule.Explored
 	solverNodes         atomic.Int64 // cumulative Schedule.SolverNodes
@@ -69,7 +74,11 @@ func (m *metrics) writeProm(w io.Writer, cacheLen int) {
 	counter("netdag_solves_incomplete_total", "Solves that returned a non-optimal incumbent at the deadline.", m.incomplete.Load())
 	counter("netdag_explored_assignments_total", "Cumulative round assignments examined across solves.", m.exploredAssignments.Load())
 	counter("netdag_solver_nodes_total", "Cumulative branch-and-bound nodes spent on winning placements.", m.solverNodes.Load())
+	counter("netdag_certify_requests_total", "Certification requests received.", m.certifyRequests.Load())
+	counter("netdag_certify_violations_total", "Constraints flagged as empirically violated across certification reports.", m.certifyViolations.Load())
+	counter("netdag_campaign_replications_total", "Cumulative fault-campaign replications simulated.", m.campaignReplications.Load())
 	gauge("netdag_inflight_solves", "Solves currently running.", m.inflight.Load())
+	gauge("netdag_inflight_campaigns", "Certification campaigns currently running.", m.inflightCampaigns.Load())
 	gauge("netdag_queue_depth", "Solves waiting for a worker slot.", m.queued.Load())
 	gauge("netdag_cache_entries", "Entries resident in the solution cache.", int64(cacheLen))
 

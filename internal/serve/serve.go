@@ -76,16 +76,16 @@ type Config struct {
 // Server is the scheduling service. Create with New; it implements
 // http.Handler.
 type Server struct {
-	cfg     Config
-	log     *slog.Logger
-	baseCtx context.Context
-	cache   *lruCache
-	sem     chan struct{} // worker budget; acquired per solve
+	cfg      Config
+	log      *slog.Logger
+	baseCtx  context.Context
+	cache    *lruCache
+	sem      chan struct{} // worker budget; acquired per solve
 	flights  flightGroup
 	metrics  metrics
 	draining atomic.Bool
-	solve   func(ctx context.Context, p *core.Problem) (*core.Schedule, error)
-	mux     *http.ServeMux
+	solve    func(ctx context.Context, p *core.Problem) (*core.Schedule, error)
+	mux      *http.ServeMux
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -122,6 +122,7 @@ func New(cfg Config) *Server {
 	s.flights.m = make(map[string]*flight)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -305,23 +306,8 @@ func (s *Server) runFlight(r *http.Request, f *spec.File, key string, start time
 	defer cancel()
 
 	// Admission: take a worker slot, or queue for one within bounds.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		if q := s.metrics.queued.Add(1); q > int64(s.cfg.QueueDepth) {
-			s.metrics.queued.Add(-1)
-			s.metrics.admissionRejected.Add(1)
-			return solveResult{status: http.StatusTooManyRequests,
-				body: errorBody("solve queue full; retry later")}
-		}
-		select {
-		case s.sem <- struct{}{}:
-			s.metrics.queued.Add(-1)
-		case <-ctx.Done():
-			s.metrics.queued.Add(-1)
-			s.metrics.deadlineExpired.Add(1)
-			return errorResult(http.StatusGatewayTimeout, "deadline expired while queued")
-		}
+	if res, ok := s.admit(ctx); !ok {
+		return res
 	}
 	defer func() { <-s.sem }()
 

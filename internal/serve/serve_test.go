@@ -287,11 +287,11 @@ func TestAdmissionControl(t *testing.T) {
 func TestBadSpecIs400(t *testing.T) {
 	s := New(Config{})
 	for name, body := range map[string]string{
-		"not json":        "{",
-		"unknown field":   `{"mode": "soft", "bogus": 1}`,
-		"no tasks":        `{"mode": "soft", "diameter": 3, "softStatistic": {"type": "bernoulli", "perTX": 0.9}}`,
-		"duplicate task":  `{"mode": "weakly-hard", "diameter": 3, "tasks": [{"name": "a", "node": "n", "wcet": 1}, {"name": "a", "node": "n", "wcet": 2}], "whStatistic": {"type": "synthetic"}}`,
-		"duplicate edge":  `{"mode": "weakly-hard", "diameter": 3, "tasks": [{"name": "a", "node": "n0", "wcet": 1}, {"name": "b", "node": "n1", "wcet": 2}], "edges": [{"from": "a", "to": "b", "width": 4}, {"from": "a", "to": "b", "width": 8}], "whStatistic": {"type": "synthetic"}}`,
+		"not json":         "{",
+		"unknown field":    `{"mode": "soft", "bogus": 1}`,
+		"no tasks":         `{"mode": "soft", "diameter": 3, "softStatistic": {"type": "bernoulli", "perTX": 0.9}}`,
+		"duplicate task":   `{"mode": "weakly-hard", "diameter": 3, "tasks": [{"name": "a", "node": "n", "wcet": 1}, {"name": "a", "node": "n", "wcet": 2}], "whStatistic": {"type": "synthetic"}}`,
+		"duplicate edge":   `{"mode": "weakly-hard", "diameter": 3, "tasks": [{"name": "a", "node": "n0", "wcet": 1}, {"name": "b", "node": "n1", "wcet": 2}], "edges": [{"from": "a", "to": "b", "width": 4}, {"from": "a", "to": "b", "width": 8}], "whStatistic": {"type": "synthetic"}}`,
 		"invalid deadline": pipelineSpec(3),
 	} {
 		query := ""

@@ -1,0 +1,263 @@
+package sim
+
+// This file is the deterministic fault-injection layer: scenario
+// primitives composing the correlated failure modes that actually break
+// weakly-hard (m,K) guarantees in deployed LWB networks — bursty link
+// fades (a Gilbert–Elliott two-state chain), node crash with
+// rejoin-after-beacon, host-side beacon blackouts, and wideband
+// interference bursts pinned to wall-clock intervals. TTW (Jacob et al.)
+// validates time-triggered schedules against exactly these runtime
+// effects; here they are injected into the Runner's flood path so the
+// campaign engine (internal/campaign) can certify empirical miss streams
+// against the constraints the solver promised.
+//
+// Everything is seeded and fully deterministic: given the same scenario,
+// topology, schedule and PRNG seed, a run produces a bit-identical
+// hit/miss trace — which is what makes certifier findings replayable
+// from the reported seed alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"github.com/netdag/netdag/internal/network"
+)
+
+// Scenario composes fault primitives. The zero value injects nothing.
+// Scenarios are read-only during simulation and safe to share across
+// concurrently running replications; all mutable state lives in the
+// per-run injector.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Fades are Gilbert–Elliott burst-loss processes on links.
+	Fades []LinkFade `json:"fades,omitempty"`
+	// Crashes take nodes down over wall-clock windows; a recovered node
+	// has lost synchronization and rejoins only by capturing a beacon.
+	Crashes []NodeCrash `json:"crashes,omitempty"`
+	// Blackouts suppress entire beacon floods over wall-clock windows
+	// (host-side jamming or failure: nobody resynchronizes).
+	Blackouts []Blackout `json:"blackouts,omitempty"`
+	// Bursts scale every link's PRR over wall-clock windows (wideband
+	// interference).
+	Bursts []InterferenceBurst `json:"bursts,omitempty"`
+}
+
+// LinkFade is a correlated burst-loss process following the classic
+// Gilbert–Elliott model: a two-state (good/bad) Markov chain advanced
+// once per communication round. While the chain is bad, the PRR of every
+// covered link is multiplied by BadScale — a window of correlated deep
+// fade rather than independent per-packet loss, which is the failure
+// shape that defeats (m,K) reasoning based on independent floods.
+type LinkFade struct {
+	// A, B are topology node indices naming one link; A = B = -1 covers
+	// every link (one shared chain: fully correlated network-wide fade).
+	A int `json:"a"`
+	B int `json:"b"`
+	// PGoodBad and PBadGood are the per-round transition probabilities.
+	// Their ratio sets the fade duty cycle; PBadGood sets mean burst
+	// length (1/PBadGood rounds).
+	PGoodBad float64 `json:"pGoodBad"`
+	PBadGood float64 `json:"pBadGood"`
+	// BadScale in [0, 1) multiplies covered link PRRs while bad
+	// (0 = total fade).
+	BadScale float64 `json:"badScale"`
+}
+
+// NodeCrash takes one node down for [FromUS, ToUS) of the replication's
+// global timeline. A down node's radio is silent: it relays nothing,
+// receives nothing, and misses beacons. Recovery does not restore
+// synchronization — the node rejoins like any desynchronized LWB node,
+// by capturing a beacon flood.
+type NodeCrash struct {
+	Node   int   `json:"node"`
+	FromUS int64 `json:"fromUS"`
+	ToUS   int64 `json:"toUS"`
+}
+
+// Blackout suppresses beacon floods whose round starts in [FromUS, ToUS):
+// no node captures the beacon, so no slot in the round is usable and no
+// clock resynchronizes.
+type Blackout struct {
+	FromUS int64 `json:"fromUS"`
+	ToUS   int64 `json:"toUS"`
+}
+
+// InterferenceBurst scales every link's PRR by Scale for rounds starting
+// in [FromUS, ToUS) — an external interferer pinned to wall-clock time.
+type InterferenceBurst struct {
+	FromUS int64   `json:"fromUS"`
+	ToUS   int64   `json:"toUS"`
+	Scale  float64 `json:"scale"`
+}
+
+// LoadScenario parses a scenario from JSON, rejecting unknown fields.
+// Structural validation against a concrete topology happens in Validate
+// (called by the Runner), since node counts are not known here.
+func LoadScenario(r io.Reader) (*Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("sim: parsing fault scenario: %w", err)
+	}
+	return &sc, nil
+}
+
+// Validate checks the scenario against an n-node topology.
+func (sc *Scenario) Validate(n int) error {
+	for i, f := range sc.Fades {
+		wild := f.A == -1 && f.B == -1
+		if !wild && (f.A < 0 || f.A >= n || f.B < 0 || f.B >= n || f.A == f.B) {
+			return fmt.Errorf("sim: fade %d names invalid link %d-%d in %d-node topology", i, f.A, f.B, n)
+		}
+		if f.PGoodBad < 0 || f.PGoodBad > 1 || f.PBadGood < 0 || f.PBadGood > 1 {
+			return fmt.Errorf("sim: fade %d transition probabilities (%v, %v) outside [0,1]", i, f.PGoodBad, f.PBadGood)
+		}
+		if f.BadScale < 0 || f.BadScale >= 1 {
+			return fmt.Errorf("sim: fade %d badScale %v outside [0,1)", i, f.BadScale)
+		}
+	}
+	for i, c := range sc.Crashes {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("sim: crash %d names node %d outside [0,%d)", i, c.Node, n)
+		}
+		if c.FromUS < 0 || c.ToUS <= c.FromUS {
+			return fmt.Errorf("sim: crash %d window [%d,%d) is empty or negative", i, c.FromUS, c.ToUS)
+		}
+	}
+	for i, b := range sc.Blackouts {
+		if b.FromUS < 0 || b.ToUS <= b.FromUS {
+			return fmt.Errorf("sim: blackout %d window [%d,%d) is empty or negative", i, b.FromUS, b.ToUS)
+		}
+	}
+	for i, b := range sc.Bursts {
+		if b.FromUS < 0 || b.ToUS <= b.FromUS {
+			return fmt.Errorf("sim: burst %d window [%d,%d) is empty or negative", i, b.FromUS, b.ToUS)
+		}
+		if b.Scale < 0 || b.Scale >= 1 {
+			return fmt.Errorf("sim: burst %d scale %v outside [0,1)", i, b.Scale)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the scenario injects nothing.
+func (sc *Scenario) Empty() bool {
+	return sc == nil || (len(sc.Fades) == 0 && len(sc.Crashes) == 0 &&
+		len(sc.Blackouts) == 0 && len(sc.Bursts) == 0)
+}
+
+// injector is the per-run mutable fault state. It owns no PRNG of its
+// own: it draws from the run's PRNG in a fixed order (one draw per fade
+// per round, unconditionally), so the consumption pattern — and hence
+// every downstream flood outcome — is a pure function of the seed.
+type injector struct {
+	sc  *Scenario
+	bad []bool // Gilbert–Elliott state per fade entry
+}
+
+func newInjector(sc *Scenario) *injector {
+	return &injector{sc: sc, bad: make([]bool, len(sc.Fades))}
+}
+
+// roundStart advances every fade chain one step. Exactly one uniform
+// draw per fade keeps the PRNG stream aligned regardless of chain state.
+func (in *injector) roundStart(rng *rand.Rand) {
+	for i, f := range in.sc.Fades {
+		u := rng.Float64()
+		if in.bad[i] {
+			in.bad[i] = u >= f.PBadGood
+		} else {
+			in.bad[i] = u < f.PGoodBad
+		}
+	}
+}
+
+// nodeDown reports whether v is crashed at global time t.
+func (in *injector) nodeDown(v int, t int64) bool {
+	for _, c := range in.sc.Crashes {
+		if c.Node == v && t >= c.FromUS && t < c.ToUS {
+			return true
+		}
+	}
+	return false
+}
+
+// blackout reports whether a beacon flood starting at t is suppressed.
+func (in *injector) blackout(t int64) bool {
+	for _, b := range in.sc.Blackouts {
+		if t >= b.FromUS && t < b.ToUS {
+			return true
+		}
+	}
+	return false
+}
+
+// linkScale returns the PRR multiplier for link a-b at global time t:
+// the product of every bad fade chain covering the link and every active
+// interference burst.
+func (in *injector) linkScale(a, b int, t int64) float64 {
+	s := 1.0
+	for i, f := range in.sc.Fades {
+		if !in.bad[i] {
+			continue
+		}
+		if (f.A == -1 && f.B == -1) || (f.A == a && f.B == b) || (f.A == b && f.B == a) {
+			s *= f.BadScale
+		}
+	}
+	for _, bu := range in.sc.Bursts {
+		if t >= bu.FromUS && t < bu.ToUS {
+			s *= bu.Scale
+		}
+	}
+	return s
+}
+
+// faultedTopology returns topo restricted to active nodes with each
+// surviving link's PRR scaled by scale(a, b); links whose scaled PRR
+// drops to zero disappear. A nil active mask keeps every node; a nil
+// scale keeps every PRR.
+func faultedTopology(topo *network.Topology, active []bool, scale func(a, b int) float64) *network.Topology {
+	n := topo.NumNodes()
+	out := network.NewTopology(n)
+	for i := 0; i < n; i++ {
+		if active != nil && !active[i] {
+			continue
+		}
+		for _, j := range topo.Neighbors(i) {
+			if j <= i || (active != nil && !active[j]) {
+				continue
+			}
+			prr := topo.PRR(i, j)
+			if scale != nil {
+				prr *= scale(i, j)
+			}
+			if prr <= 0 {
+				continue
+			}
+			if prr > 1 {
+				prr = 1
+			}
+			if err := out.AddLink(i, j, prr); err != nil {
+				panic(err) // endpoints validated, PRR clamped to (0,1]
+			}
+		}
+	}
+	return out
+}
+
+// ReplicationSeed derives the PRNG seed of replication rep of a campaign
+// with the given master seed, via a SplitMix64 mix. Each replication
+// gets an independently seeded PRNG — replications never share a PRNG,
+// so parallel campaigns neither race nor perturb determinism, and any
+// single replication can be replayed in isolation from (seed, rep).
+func ReplicationSeed(seed int64, rep int) int64 {
+	z := uint64(seed) + uint64(rep+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

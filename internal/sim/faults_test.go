@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/network"
+)
+
+func TestLoadScenario(t *testing.T) {
+	sc, err := LoadScenario(strings.NewReader(`{
+		"name": "mixed",
+		"fades": [{"a": -1, "b": -1, "pGoodBad": 0.1, "pBadGood": 0.5, "badScale": 0.2}],
+		"crashes": [{"node": 1, "fromUS": 100, "toUS": 200}],
+		"blackouts": [{"fromUS": 0, "toUS": 50}],
+		"bursts": [{"fromUS": 10, "toUS": 20, "scale": 0.5}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "mixed" || len(sc.Fades) != 1 || len(sc.Crashes) != 1 || len(sc.Blackouts) != 1 || len(sc.Bursts) != 1 {
+		t.Errorf("scenario not fully parsed: %+v", sc)
+	}
+	if sc.Empty() {
+		t.Error("parsed scenario reported empty")
+	}
+	if err := sc.Validate(3); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	if _, err := LoadScenario(strings.NewReader(`{"fades": [{"a": 0, "b": 1, "pGoodBad": 0.1, "pBadGood": 0.5, "badScale": 0, "bogus": 1}]}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	bad := []Scenario{
+		{Fades: []LinkFade{{A: 0, B: 3, PBadGood: 1}}},                // link outside topology
+		{Fades: []LinkFade{{A: 1, B: 1, PBadGood: 1}}},                // self-link
+		{Fades: []LinkFade{{A: 0, B: 1, PGoodBad: 1.5, PBadGood: 1}}}, // probability > 1
+		{Fades: []LinkFade{{A: 0, B: 1, PBadGood: 1, BadScale: 1}}},   // badScale must be < 1
+		{Crashes: []NodeCrash{{Node: 5, FromUS: 0, ToUS: 10}}},        // node outside topology
+		{Crashes: []NodeCrash{{Node: 0, FromUS: 10, ToUS: 10}}},       // empty window
+		{Blackouts: []Blackout{{FromUS: -1, ToUS: 10}}},               // negative start
+		{Bursts: []InterferenceBurst{{FromUS: 0, ToUS: 5, Scale: 2}}}, // scale must be < 1
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(3); err == nil {
+			t.Errorf("case %d: invalid scenario accepted: %+v", i, sc)
+		}
+	}
+	ok := Scenario{Fades: []LinkFade{{A: -1, B: -1, PGoodBad: 0.2, PBadGood: 0.3, BadScale: 0}}}
+	if err := ok.Validate(3); err != nil {
+		t.Errorf("wildcard fade rejected: %v", err)
+	}
+	var nilSc *Scenario
+	if !nilSc.Empty() {
+		t.Error("nil scenario not empty")
+	}
+}
+
+func TestBlackoutSuppressesEverything(t *testing.T) {
+	d := deploy(t, 0.95)
+	r, err := NewRunner(d, DefaultClockConfig(), d.Sched.Makespan+10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Faults = &Scenario{Blackouts: []Blackout{{FromUS: 0, ToUS: 1 << 60}}}
+	res, err := r.RunSeeded(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BeaconCaptureRate != 0 {
+		t.Errorf("beacon capture %v under a total blackout", res.BeaconCaptureRate)
+	}
+	for id, q := range res.TaskSeqs {
+		// Source tasks with no networked predecessors still "run"; any
+		// task consuming a message must always miss.
+		if len(d.App.Preds(id)) > 0 && q.Hits() != 0 {
+			t.Errorf("task %v scored %d hits under a total blackout", id, q.Hits())
+		}
+	}
+}
+
+func TestCrashDegradesAndRecovers(t *testing.T) {
+	d := deploy(t, 0.95)
+	period := d.Sched.Makespan + 10_000
+	r, err := NewRunner(d, DefaultClockConfig(), period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 200
+	// Crash the middle relay of the 3-node line for the first half of
+	// the timeline; it must rejoin afterwards by capturing a beacon.
+	r.Faults = &Scenario{Crashes: []NodeCrash{{Node: 1, FromUS: 0, ToUS: int64(runs/2) * period}}}
+	res, err := r.RunSeeded(runs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := d.App.TaskByName("stage2")
+	q := res.TaskSeqs[last.ID]
+	crashed, after := q[:runs/2], q[runs/2:]
+	if hr := crashed.HitRate(); hr > 0.05 {
+		t.Errorf("end task hit rate %v while its relay is down", hr)
+	}
+	if hr := after.HitRate(); hr < 0.7 {
+		t.Errorf("end task hit rate %v after the relay rejoined", hr)
+	}
+}
+
+func TestFadeBreaksWeaklyHardWindows(t *testing.T) {
+	d := deploy(t, 0.95)
+	r, err := NewRunner(d, DefaultClockConfig(), d.Sched.Makespan+10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A network-wide chain that is bad a third of the time in ~20-round
+	// bursts, fading every link completely.
+	r.Faults = &Scenario{Fades: []LinkFade{{A: -1, B: -1, PGoodBad: 0.1, PBadGood: 0.05, BadScale: 0}}}
+	res, err := r.RunSeeded(400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := d.App.TaskByName("stage2")
+	q := res.TaskSeqs[last.ID]
+	worst, _ := q.MaxWindowMisses(20)
+	// Correlated bursts average 20 rounds: some window of 20 must be
+	// nearly all misses — the failure shape independent-loss analysis
+	// never predicts at these hit rates.
+	if worst < 15 {
+		t.Errorf("worst 20-window misses %d; expected a deep correlated burst", worst)
+	}
+	if q.HitRate() > 0.85 {
+		t.Errorf("hit rate %v despite a 1/3 duty-cycle total fade", q.HitRate())
+	}
+}
+
+func TestFaultedTopology(t *testing.T) {
+	topo := network.Line(3, 0.8)
+	// Nil masks: identical links and PRRs.
+	out := faultedTopology(topo, nil, nil)
+	for i := 0; i < 3; i++ {
+		for _, j := range topo.Neighbors(i) {
+			if out.PRR(i, j) != topo.PRR(i, j) {
+				t.Errorf("PRR(%d,%d) = %v, want %v", i, j, out.PRR(i, j), topo.PRR(i, j))
+			}
+		}
+	}
+	// Deactivating the middle node removes both its links.
+	out = faultedTopology(topo, []bool{true, false, true}, nil)
+	if len(out.Neighbors(0)) != 0 || len(out.Neighbors(2)) != 0 {
+		t.Errorf("links to a deactivated node survived: %v / %v", out.Neighbors(0), out.Neighbors(2))
+	}
+	// Zero scale removes links; scale above 1 clamps.
+	out = faultedTopology(topo, nil, func(a, b int) float64 { return 0 })
+	if len(out.Neighbors(1)) != 0 {
+		t.Error("fully faded links survived")
+	}
+	out = faultedTopology(topo, nil, func(a, b int) float64 { return 10 })
+	if got := out.PRR(0, 1); got != 1 {
+		t.Errorf("scaled PRR %v not clamped to 1", got)
+	}
+}
+
+func TestReplicationSeedsDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for rep := 0; rep < 1000; rep++ {
+		s := ReplicationSeed(42, rep)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("replications %d and %d share seed %d", prev, rep, s)
+		}
+		seen[s] = rep
+	}
+	if ReplicationSeed(1, 0) == ReplicationSeed(2, 0) {
+		t.Error("different master seeds produced the same replication seed")
+	}
+}

@@ -29,6 +29,12 @@ type Runner struct {
 	// PeriodUS is the schedule repetition period; it must cover the
 	// makespan.
 	PeriodUS int64
+	// Faults optionally injects the deterministic fault scenario into
+	// every flood (see faults.go). Nil injects nothing, and the
+	// simulation is then draw-for-draw identical to the pre-fault
+	// runner. The scenario is read-only during Run and may be shared
+	// across concurrently running replications.
+	Faults *Scenario
 }
 
 // NewRunner validates and builds a timing-aware runner.
@@ -57,7 +63,18 @@ type Result struct {
 	DesyncRate float64
 }
 
-// Run executes the schedule `runs` times back to back.
+// RunSeeded executes the schedule `runs` times on a fresh PRNG seeded
+// with seed. Two RunSeeded calls with equal seeds produce bit-identical
+// results; this is the entry point campaign replications use so that no
+// PRNG is ever shared between replications.
+func (r *Runner) RunSeeded(runs int, seed int64) (*Result, error) {
+	return r.Run(runs, rand.New(rand.NewSource(seed)))
+}
+
+// Run executes the schedule `runs` times back to back. The rng must not
+// be shared with concurrent work: all draws for clocks, floods and fault
+// processes come from it in a fixed order, which is what makes the
+// result a pure function of the seed.
 func (r *Runner) Run(runs int, rng *rand.Rand) (*Result, error) {
 	if rng == nil {
 		return nil, errors.New("sim: Run requires a non-nil rng")
@@ -70,6 +87,13 @@ func (r *Runner) Run(runs int, rng *rand.Rand) (*Result, error) {
 	diam, err := d.Topo.Diameter()
 	if err != nil {
 		return nil, err
+	}
+	var inj *injector
+	if !r.Faults.Empty() {
+		if err := r.Faults.Validate(n); err != nil {
+			return nil, err
+		}
+		inj = newInjector(r.Faults)
 	}
 	clocks := make([]*clock, n)
 	for i := range clocks {
@@ -92,6 +116,26 @@ func (r *Runner) Run(runs int, rng *rand.Rand) (*Result, error) {
 		msgDelivered := make(map[dag.MsgID][]bool)
 		for ri, round := range d.Sched.Rounds {
 			t := base + round.Start
+			// Fault environment for this round: advance the burst-loss
+			// chains, resolve crashed nodes and PRR scaling. A node that
+			// is down loses its synchronization state — after the crash
+			// window it rejoins the way any desynchronized LWB node does,
+			// by capturing a beacon.
+			var up []bool                    // nil: everyone up
+			var scale func(a, b int) float64 // nil: no PRR scaling
+			blackout := false
+			if inj != nil {
+				inj.roundStart(rng)
+				up = make([]bool, n)
+				for v := range up {
+					up[v] = !inj.nodeDown(v, t)
+					if !up[v] {
+						clocks[v].synced = false
+					}
+				}
+				scale = func(a, b int) float64 { return inj.linkScale(a, b, t) }
+				blackout = inj.blackout(t) || !up[d.Host]
+			}
 			inGuard := make([]bool, n)
 			for v, c := range clocks {
 				c.advance(t)
@@ -100,23 +144,35 @@ func (r *Runner) Run(runs int, rng *rand.Rand) (*Result, error) {
 					desyncPairs++
 				}
 			}
-			// Beacon flood: receivable by everyone (rejoin path).
-			maxSlots := int(d.Params.HopSlots(round.BeaconNTX, diam))
-			fr, err := glossy.SimulateFlood(d.Topo, d.Host, round.BeaconNTX, maxSlots, rng)
-			if err != nil {
-				return nil, err
-			}
-			beaconHeard[ri] = fr.Received
+			// Beacon flood: receivable by everyone still powered (the
+			// rejoin path) — unless the beacon is blacked out or the host
+			// itself is down, in which case nobody hears the round layout.
 			beaconPairs += n
-			for v, got := range fr.Received {
-				if got {
-					capturedPairs++
-					clocks[v].resync(t, rng)
-					inGuard[v] = clocks[v].inGuard()
+			if blackout {
+				beaconHeard[ri] = make([]bool, n)
+			} else {
+				btopo := d.Topo
+				if inj != nil {
+					btopo = faultedTopology(d.Topo, up, scale)
+				}
+				maxSlots := int(d.Params.HopSlots(round.BeaconNTX, diam))
+				fr, err := glossy.SimulateFlood(btopo, d.Host, round.BeaconNTX, maxSlots, rng)
+				if err != nil {
+					return nil, err
+				}
+				beaconHeard[ri] = fr.Received
+				for v, got := range fr.Received {
+					if got && (up == nil || up[v]) {
+						capturedPairs++
+						clocks[v].resync(t, rng)
+						inGuard[v] = clocks[v].inGuard()
+					}
 				}
 			}
-			// Slot floods over the guard-masked topology.
-			masked := maskTopology(d.Topo, inGuard)
+			// Slot floods over the guard-masked topology. Crashed nodes
+			// are never in guard (their sync state was wiped above), so
+			// the guard mask subsumes the crash mask here.
+			masked := maskTopology(d.Topo, inGuard, scale)
 			for _, slot := range round.Slots {
 				m := d.App.Message(slot.Msg)
 				src := d.NodeIndex[d.App.Task(m.Source).Node]
@@ -176,22 +232,7 @@ func (r *Runner) Run(runs int, rng *rand.Rand) (*Result, error) {
 }
 
 // maskTopology returns a copy of topo keeping only links between nodes
-// in guard.
-func maskTopology(topo *network.Topology, inGuard []bool) *network.Topology {
-	n := topo.NumNodes()
-	out := network.NewTopology(n)
-	for i := 0; i < n; i++ {
-		if !inGuard[i] {
-			continue
-		}
-		for _, j := range topo.Neighbors(i) {
-			if j > i && inGuard[j] {
-				// PRR returns the original quality.
-				if err := out.AddLink(i, j, topo.PRR(i, j)); err != nil {
-					panic(err) // both endpoints validated above
-				}
-			}
-		}
-	}
-	return out
+// in guard, with link PRRs optionally scaled by the fault environment.
+func maskTopology(topo *network.Topology, inGuard []bool, scale func(a, b int) float64) *network.Topology {
+	return faultedTopology(topo, inGuard, scale)
 }

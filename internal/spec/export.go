@@ -15,9 +15,9 @@ import (
 // ScheduleOut is the machine-readable rendering of a NETDAG schedule —
 // what a deployment tool would flash onto the LWB host.
 type ScheduleOut struct {
-	Mode       string     `json:"mode"`
-	MakespanUS int64      `json:"makespanUS"`
-	BusTimeUS  int64      `json:"busTimeUS"`
+	Mode       string `json:"mode"`
+	MakespanUS int64  `json:"makespanUS"`
+	BusTimeUS  int64  `json:"busTimeUS"`
 	// Optimal records whether the search proved makespan optimality;
 	// deadline-interrupted solves (core.SolveContext) export their
 	// incumbent with Optimal = false.

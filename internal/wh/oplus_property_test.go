@@ -1,0 +1,107 @@
+package wh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOplusSoundnessProperty is a randomized property test of the ⊕
+// soundness lemma (paper eq. 8) on window sizes the exhaustive tests
+// cannot reach: for random (m,K) pairs, brute-force the satisfaction
+// sets and check every conjunction of satisfying sequences still
+// satisfies x ⊕ y. The rand source is seeded, so a failure reproduces.
+func TestOplusSoundnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0b175))
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	for trial := 0; trial < trials; trial++ {
+		x := randMissConstraint(rng, 6)
+		y := randMissConstraint(rng, 6)
+		z := Oplus(x, y)
+		// The sequence length must cover the larger input window —
+		// shorter sequences satisfy wide constraints vacuously — plus
+		// slack so window alignment effects are exercised. maxW keeps
+		// the 2^n enumeration tractable.
+		n := x.Window
+		if y.Window > n {
+			n = y.Window
+		}
+		n += 1 + rng.Intn(3)
+		ls := EnumerateSatisfying(x.Hit(), n)
+		rs := EnumerateSatisfying(y.Hit(), n)
+		for _, ql := range ls {
+			for _, qr := range rs {
+				if !ql.And(qr).SatisfiesMiss(z) {
+					t.Fatalf("trial %d: soundness violated: %v ⊢ %v, %v ⊢ %v, but %v ⊬ %v = %v ⊕ %v",
+						trial, ql, x, qr, y, ql.And(qr), z, x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestOplusNeverUnderApproximates checks the direction of the
+// approximation for random pairs: the ⊕ bound must be at least the
+// exact worst-case conjunction misses (over-approximation is allowed —
+// that is what makes ⊕ an abstraction — under-approximation would make
+// the scheduler accept infeasible placements).
+func TestOplusNeverUnderApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x0b175 + 1))
+	trials := 500
+	if testing.Short() {
+		trials = 100
+	}
+	for trial := 0; trial < trials; trial++ {
+		x := randMissConstraint(rng, 9)
+		y := randMissConstraint(rng, 9)
+		z := Oplus(x, y)
+		worst := MaxConjMisses(x, y, z.Window)
+		if worst > z.Misses {
+			t.Fatalf("trial %d: ⊕ under-approximates %v ⊕ %v = %v: exact worst-case misses %d",
+				trial, x, y, z, worst)
+		}
+	}
+}
+
+// TestHitMissPolarityRegression pins the eq. (10) polarity conversion
+// between hit form (m,K) — "at least m hits per K" — and miss form
+// (m̄,K̄)~ — "at most m̄ misses per K̄". The two forms count opposite
+// events over the same window: m̄ = K − m. This is a regression case for
+// the conversion both ways, including the degenerate ends.
+func TestHitMissPolarityRegression(t *testing.T) {
+	cases := []struct {
+		hit  Constraint
+		miss MissConstraint
+	}{
+		{Constraint{M: 30, K: 40}, MissConstraint{Misses: 10, Window: 40}},
+		{Constraint{M: 1, K: 1}, MissConstraint{Misses: 0, Window: 1}}, // hard
+		{Constraint{M: 0, K: 5}, MissConstraint{Misses: 5, Window: 5}}, // trivial
+		{Constraint{M: 5, K: 5}, MissConstraint{Misses: 0, Window: 5}}, // hard, wider
+		{Constraint{M: 1, K: 100}, MissConstraint{Misses: 99, Window: 100}},
+	}
+	for _, tc := range cases {
+		if got := tc.hit.Miss(); got != tc.miss {
+			t.Errorf("%v.Miss() = %v, want %v", tc.hit, got, tc.miss)
+		}
+		if got := tc.miss.Hit(); got != tc.hit {
+			t.Errorf("%v.Hit() = %v, want %v", tc.miss, got, tc.hit)
+		}
+	}
+	// A sequence's verdict must be identical under either polarity —
+	// the forms describe one constraint, not two.
+	q := Seq{true, false, true, true, false, true, true, true}
+	for _, c := range allMissConstraints(len(q)) {
+		if q.SatisfiesMiss(c) != q.Satisfies(c.Hit()) {
+			t.Fatalf("polarity mismatch on %v: SatisfiesMiss(%v) != Satisfies(%v)", q, c, c.Hit())
+		}
+	}
+}
+
+// randMissConstraint draws a uniformly random valid miss-form
+// constraint with Window in [1, maxW].
+func randMissConstraint(rng *rand.Rand, maxW int) MissConstraint {
+	w := 1 + rng.Intn(maxW)
+	return MissConstraint{Misses: rng.Intn(w + 1), Window: w}
+}
