@@ -18,8 +18,10 @@ import (
 func main() {
 	deadline := flag.Int64("deadline", 0, "if positive, report the minimum power meeting this latency (µs)")
 	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
+	portfolio := flag.Bool("portfolio", false, "race the solver portfolio per placement; deterministic and exact")
 	flag.Parse()
 	figures.Workers = *workers
+	figures.Portfolio = *portfolio
 
 	points, err := figures.Fig4()
 	if err != nil {

@@ -40,6 +40,7 @@ func main() {
 	maxSolves := flag.Int("solves", 0, "concurrent solve budget (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue", 64, "max solves queued for a worker slot before 429")
 	workers := flag.Int("workers", 0, "round-assignment search workers per solve (0 = GOMAXPROCS)")
+	portfolio := flag.Bool("portfolio", false, "race the solver portfolio per solve; deterministic and exact")
 	defDeadline := flag.Duration("deadline", 0, "default per-request solve deadline (0 = none)")
 	maxDeadline := flag.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
@@ -59,6 +60,7 @@ func main() {
 		MaxConcurrent:   *maxSolves,
 		QueueDepth:      *queueDepth,
 		SolveWorkers:    *workers,
+		Portfolio:       *portfolio,
 		DefaultDeadline: *defDeadline,
 		MaxDeadline:     *maxDeadline,
 		MaxBodyBytes:    *maxBody,

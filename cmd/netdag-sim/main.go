@@ -39,6 +39,7 @@ func main() {
 	period := flag.Int64("period", 0, "schedule period (µs, timed mode; 0 = makespan + 100 ms)")
 	seed := flag.Int64("seed", 1, "simulation seed (campaign master seed with -campaign)")
 	workers := flag.Int("workers", 0, "parallel workers for the schedule search and campaign (0 = GOMAXPROCS, 1 = sequential)")
+	portfolio := flag.Bool("portfolio", false, "race the solver portfolio for the schedule search; deterministic and exact")
 	deadline := flag.Duration("deadline", 0, "abort the schedule search after this wall-clock budget and simulate the best schedule found so far (0 = no limit)")
 	faultsFile := flag.String("faults", "", "JSON fault scenario (sim.Scenario); implies -timed")
 	campaignN := flag.Int("campaign", 0, "run a deterministic campaign of this many seeded replications (implies -timed)")
@@ -78,6 +79,7 @@ func main() {
 		fatal(err)
 	}
 	p.Workers = *workers
+	p.Portfolio = *portfolio
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc

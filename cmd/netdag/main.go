@@ -49,6 +49,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the schedule as JSON instead of a timeline")
 	smtOut := flag.Bool("smt", false, "emit the SMT-LIB 2 encoding (ASAP round assignment) and exit")
 	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
+	portfolio := flag.Bool("portfolio", false, "race the solver portfolio (exact, greedy-seeded, restart orderings) per placement; deterministic and exact")
 	deadline := flag.Duration("deadline", 0, "abort the search after this wall-clock budget and print the best schedule found so far (0 = no limit)")
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		fatal(err)
 	}
 	p.Workers = *workers
+	p.Portfolio = *portfolio
 	if *smtOut {
 		lg, err := dag.NewLineGraph(p.App)
 		if err != nil {

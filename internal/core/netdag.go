@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync/atomic"
 
 	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/portfolio"
 	"github.com/netdag/netdag/internal/solver"
 	"github.com/netdag/netdag/internal/wh"
 )
@@ -79,7 +81,11 @@ func SolveContext(ctx context.Context, p *Problem) (*Schedule, error) {
 	} else {
 		best, explored, firstErr = s.runParallel(workers)
 	}
-	canceled := ctx.Err() != nil
+	// A solve is canceled only if the expiry actually cut the search short
+	// (s.interrupted). Re-polling ctx here would misreport a search that
+	// ran to completion just before its deadline as canceled — demoting a
+	// proven-optimal schedule to a non-cacheable incumbent.
+	canceled := s.interrupted.Load()
 	if best == nil {
 		if canceled {
 			return nil, ErrCanceled
@@ -107,6 +113,11 @@ type search struct {
 	lg        *dag.LineGraph
 	maxRounds int
 	cpWCET    int64
+	// interrupted records that the context's expiry was actually observed
+	// at a poll point — the enumeration or a timing search was cut short.
+	// A search that ran to completion stays uninterrupted even if the
+	// context expires at the finish line.
+	interrupted atomic.Bool
 	// chiFloor[m] is a lower bound on χ for message m's slot in any
 	// feasible schedule. In weakly-hard mode it comes from the per-flood
 	// guarantee-window requirements (minNTXForWindow over every
@@ -215,6 +226,7 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 	var firstErr *searchErr
 	s.lg.EnumerateAssignments(s.maxRounds, func(l []int) bool {
 		if s.ctx.Err() != nil {
+			s.interrupted.Store(true)
 			return false // canceled: stop enumerating, keep the incumbent
 		}
 		idx := explored
@@ -229,10 +241,17 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 		assign := append([]int(nil), l...)
 		sched, err := s.p.scheduleForAssignment(s.ctx, assign, bound)
 		if err != nil {
+			if errors.Is(err, solver.ErrCanceled) {
+				s.interrupted.Store(true)
+			}
 			if !skippableSearchErr(err) && firstErr == nil {
 				firstErr = &searchErr{idx: idx, err: err}
 			}
 			return true
+		}
+		if !sched.Optimal && s.ctx.Err() != nil {
+			// The timing search kept an incumbent but was cut short.
+			s.interrupted.Store(true)
 		}
 		if best == nil || sched.Makespan < best.sched.Makespan {
 			best = &candidate{sched: sched, idx: idx}
@@ -267,13 +286,19 @@ func predFloods(app *dag.Graph, assign []int, nMsgs int, id dag.TaskID) []int {
 // must never surface to Solve's caller.
 var errBoundPruned = errors.New("core: assignment pruned by the incumbent makespan bound")
 
+// errDominated reports that the assignment is a symmetry duplicate of an
+// earlier-enumerated one (see dominatedAssignment). Like errBoundPruned
+// it is a pruning outcome internal to the search.
+var errDominated = errors.New("core: assignment dominated under flood-slot interchange")
+
 // skippableSearchErr reports whether a per-assignment error must not be
-// recorded as the search's first error: bound prunes are normal search
-// outcomes, and a cancellation that struck before the assignment yielded
-// any schedule is reported once at the SolveContext level, not per
-// assignment (its position in the enumeration is timing-dependent).
+// recorded as the search's first error: bound prunes and symmetry skips
+// are normal search outcomes, and a cancellation that struck before the
+// assignment yielded any schedule is reported once at the SolveContext
+// level, not per assignment (its position in the enumeration is
+// timing-dependent).
 func skippableSearchErr(err error) bool {
-	return err == errBoundPruned || errors.Is(err, solver.ErrCanceled)
+	return err == errBoundPruned || err == errDominated || errors.Is(err, solver.ErrCanceled)
 }
 
 // scheduleForAssignment runs steps 2 and 3 for one round assignment.
@@ -387,6 +412,10 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 		return nil, err
 	}
 
+	if len(p.iclasses) > 0 && p.dominatedAssignment(assign, chi) {
+		return nil, errDominated
+	}
+
 	return p.place(ctx, assign, chi, rounds, bound)
 }
 
@@ -483,7 +512,22 @@ func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, boun
 			return nil, errBoundPruned
 		}
 	} else {
-		res, err = prob.MinimizeContext(ctx, p.SolverNodes)
+		if p.Portfolio {
+			// Race the strategy portfolio instead of the single canonical
+			// search. The rounds form the blackout chain the path-based
+			// bound reasons over, and the deterministic reconstruction
+			// inside portfolio.Minimize keeps the result — including
+			// Starts and Nodes — bit-identical to MinimizeContext's, so
+			// everything downstream (error mapping, redo-without-bound,
+			// schedule assembly) is shared with the single-strategy path.
+			prob.SetBlackoutChain(roundAct)
+			res, _, err = portfolio.Minimize(ctx, prob, p.SolverNodes, portfolio.Options{
+				Seed:      p.PortfolioSeed,
+				PathBound: true,
+			})
+		} else {
+			res, err = prob.MinimizeContext(ctx, p.SolverNodes)
+		}
 		canceled := errors.Is(err, solver.ErrCanceled)
 		if canceled && res.Makespan >= 0 {
 			// Cancellation struck after a feasible placement was found:

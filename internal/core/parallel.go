@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
+
+	"github.com/netdag/netdag/internal/solver"
 )
 
 // This file is the parallel outer search over round assignments. A
@@ -57,6 +60,7 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 		next := 0
 		s.lg.EnumerateBatches(s.maxRounds, assignmentBatchSize, func(batch [][]int) bool {
 			if s.ctx.Err() != nil {
+				s.interrupted.Store(true)
 				return false // canceled: stop producing, workers drain out
 			}
 			bjobs := make([]job, len(batch))
@@ -68,6 +72,7 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 			case jobs <- bjobs:
 				return true
 			case <-s.ctx.Done():
+				s.interrupted.Store(true)
 				return false
 			case <-done:
 				return false
@@ -104,6 +109,7 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 			defer wg.Done()
 			for batch := range jobs {
 				if s.ctx.Err() != nil {
+					s.interrupted.Store(true)
 					return // canceled: stop scheduling, keep the local best
 				}
 				for _, j := range batch {
@@ -117,10 +123,16 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 					}
 					sched, err := s.p.scheduleForAssignment(s.ctx, j.assign, bound)
 					if err != nil {
+						if errors.Is(err, solver.ErrCanceled) {
+							s.interrupted.Store(true)
+						}
 						if !skippableSearchErr(err) && (out.firstErr == nil || j.idx < out.firstErr.idx) {
 							out.firstErr = &searchErr{idx: j.idx, err: err}
 						}
 						continue
+					}
+					if !sched.Optimal && s.ctx.Err() != nil {
+						s.interrupted.Store(true)
 					}
 					publish(sched.Makespan, j.idx)
 					if out.best == nil || sched.Makespan < out.best.sched.Makespan ||

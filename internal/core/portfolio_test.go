@@ -1,0 +1,292 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// portfolioCorpus builds the differential corpus: the examples-style
+// applications under both modes, mirroring what examples/ and the
+// figures drive.
+func portfolioCorpus(t *testing.T) map[string]*Problem {
+	t.Helper()
+	corpus := make(map[string]*Problem)
+
+	mimo, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	whCons := make(map[dag.TaskID]wh.MissConstraint)
+	for _, a := range apps.Actuators(mimo) {
+		whCons[a] = wh.MissConstraint{Misses: 24, Window: 40}
+	}
+	corpus["mimo-wh"] = &Problem{
+		App: mimo, Params: glossy.DefaultParams(), Diameter: 4,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{}, WHCons: whCons,
+	}
+
+	pipe, err := apps.Pipeline(4, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["pipeline-soft"] = &Problem{
+		App: pipe, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:     Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: map[dag.TaskID]float64{pipe.Sinks()[0]: 0.9},
+	}
+
+	// Switched control: the sensors are interchangeable floods (equal
+	// WCET, identical destination sets), so this instance exercises the
+	// symmetry skip.
+	sw, err := apps.Switched(apps.DefaultSwitched())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus["switched-soft"] = &Problem{
+		App: sw, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:     Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: map[dag.TaskID]float64{sw.Sinks()[0]: 0.85},
+	}
+
+	rl, err := apps.RandomLayered(3, 3, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := make(map[dag.TaskID]float64)
+	for _, s := range rl.Sinks() {
+		soft[s] = 0.9
+	}
+	corpus["layered-soft"] = &Problem{
+		App: rl, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:     Soft,
+		SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons: soft,
+	}
+	return corpus
+}
+
+func clearedCopy(p *Problem) *Problem {
+	q := *p
+	q.iclasses = nil
+	return &q
+}
+
+// TestPortfolioMatchesSingleStrategy is the differential exactness test:
+// on every corpus instance the portfolio must return the same schedule
+// the single-strategy exact search does — makespan, bus time, round
+// assignment, and the placement itself. Only SolverNodes may differ (the
+// portfolio reports its deterministic reconstruction pass).
+func TestPortfolioMatchesSingleStrategy(t *testing.T) {
+	for name, p := range portfolioCorpus(t) {
+		single := clearedCopy(p)
+		sSingle, err := Solve(single)
+		if err != nil {
+			t.Fatalf("%s: single-strategy solve: %v", name, err)
+		}
+		port := clearedCopy(p)
+		port.Portfolio = true
+		port.PortfolioSeed = 42
+		sPort, err := Solve(port)
+		if err != nil {
+			t.Fatalf("%s: portfolio solve: %v", name, err)
+		}
+		if sPort.Makespan != sSingle.Makespan {
+			t.Errorf("%s: portfolio makespan %d != single-strategy %d",
+				name, sPort.Makespan, sSingle.Makespan)
+		}
+		if sPort.BusTime != sSingle.BusTime || sPort.Optimal != sSingle.Optimal {
+			t.Errorf("%s: bustime/optimal (%d,%v) != (%d,%v)",
+				name, sPort.BusTime, sPort.Optimal, sSingle.BusTime, sSingle.Optimal)
+		}
+		if !reflect.DeepEqual(sPort.Assign, sSingle.Assign) {
+			t.Errorf("%s: winning assignment %v != %v", name, sPort.Assign, sSingle.Assign)
+		}
+		if !reflect.DeepEqual(sPort.Tasks, sSingle.Tasks) {
+			t.Errorf("%s: task placement diverged:\n%v\n%v", name, sPort.Tasks, sSingle.Tasks)
+		}
+		if !reflect.DeepEqual(sPort.Rounds, sSingle.Rounds) {
+			t.Errorf("%s: round placement diverged:\n%v\n%v", name, sPort.Rounds, sSingle.Rounds)
+		}
+		if sPort.Explored != sSingle.Explored {
+			// Dominated assignments are still enumerated and counted, so
+			// the explored count is part of the determinism contract.
+			t.Errorf("%s: explored %d != %d", name, sPort.Explored, sSingle.Explored)
+		}
+	}
+}
+
+// TestPortfolioDeterministicAcrossWorkers: with a fixed seed the
+// portfolio's schedule is bit-identical across runs and worker counts,
+// including SolverNodes (the reconstruction pass) and Explored.
+func TestPortfolioDeterministicAcrossWorkers(t *testing.T) {
+	for name, p := range portfolioCorpus(t) {
+		var ref *Schedule
+		for _, workers := range []int{1, 2, 4, 1} {
+			q := clearedCopy(p)
+			q.Portfolio = true
+			q.PortfolioSeed = 7
+			q.Workers = workers
+			s, err := Solve(q)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if ref == nil {
+				ref = s
+				continue
+			}
+			if !reflect.DeepEqual(s, ref) {
+				t.Errorf("%s workers=%d: schedule differs from the workers=1 reference:\n%+v\n%+v",
+					name, workers, s, ref)
+			}
+		}
+	}
+}
+
+// TestPortfolioCanceledContext: an expired outer context surfaces as
+// core.ErrCanceled, exactly like the single-strategy path — never as a
+// bounded/unsat artifact of the internal race cancellation.
+func TestPortfolioCanceledContext(t *testing.T) {
+	p := portfolioCorpus(t)["mimo-wh"]
+	q := clearedCopy(p)
+	q.Portfolio = true
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := SolveContext(ctx, q)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if s != nil && s.Optimal {
+		t.Error("canceled solve claims optimality")
+	}
+}
+
+// countdownCtx reports a live context for its first flipAfter Err()
+// polls and a canceled one afterwards, pinning exactly *when* during a
+// solve the expiry becomes observable.
+type countdownCtx struct {
+	context.Context
+	calls     atomic.Int64
+	flipAfter int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) > c.flipAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestFinishLineExpiryKeepsOptimality is the finish-line regression: a
+// search that ran to completion must stay optimal (and cacheable) even
+// when the context expires the instant it finishes. The old SolveContext
+// re-polled ctx after the search and demoted the proven schedule to a
+// canceled incumbent.
+func TestFinishLineExpiryKeepsOptimality(t *testing.T) {
+	base := portfolioCorpus(t)["pipeline-soft"]
+	for _, usePortfolio := range []bool{false, true} {
+		p := clearedCopy(base)
+		p.Portfolio = usePortfolio
+		// First pass: count how many times a successful solve polls the
+		// context. The sequential path is deterministic, so the count is too.
+		counter := &countdownCtx{Context: context.Background(), flipAfter: math.MaxInt64}
+		ref, err := SolveContext(counter, p)
+		if err != nil || !ref.Optimal {
+			t.Fatalf("portfolio=%v: reference solve: optimal=%v err=%v", usePortfolio, ref != nil && ref.Optimal, err)
+		}
+		polls := counter.calls.Load()
+
+		// Second pass: the context dies exactly after the search's last
+		// poll — every in-search poll saw it alive, so nothing was cut
+		// short and the result must remain a proven optimum.
+		q := clearedCopy(base)
+		q.Portfolio = usePortfolio
+		late := &countdownCtx{Context: context.Background(), flipAfter: polls}
+		s, err := SolveContext(late, q)
+		if err != nil {
+			t.Fatalf("portfolio=%v: finish-line expiry misreported a completed search: %v", usePortfolio, err)
+		}
+		if !s.Optimal || s.Makespan != ref.Makespan {
+			t.Errorf("portfolio=%v: optimal=%v makespan=%d, want true, %d",
+				usePortfolio, s.Optimal, s.Makespan, ref.Makespan)
+		}
+	}
+}
+
+// TestInterchangeClasses pins the symmetry detection on the switched
+// app: the sensors form one interchange class; the controller messages
+// (distinct WCETs upstream, distinct destination sets) form none.
+func TestInterchangeClasses(t *testing.T) {
+	sw, err := apps.Switched(apps.DefaultSwitched())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		App: sw, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:      Soft,
+		SoftStat:  glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons:  map[dag.TaskID]float64{sw.Sinks()[0]: 0.85},
+		Portfolio: true,
+	}
+	if err := p.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.iclasses) != 1 {
+		t.Fatalf("iclasses = %v, want exactly one class (the sensors)", p.iclasses)
+	}
+	cls := p.iclasses[0]
+	if len(cls) != 2 {
+		t.Fatalf("sensor class = %v, want 2 members", cls)
+	}
+	for _, m := range cls {
+		src := sw.Task(sw.Message(m).Source)
+		if src.WCET != 500 {
+			t.Errorf("class member %d sourced by %q (wcet %d), want a sensor", m, src.Name, src.WCET)
+		}
+	}
+
+	// Descending rounds with equal chi: dominated. Unequal chi: not.
+	assign := make([]int, sw.NumMessages())
+	chi := make([]int, sw.NumMessages()+2)
+	for i := range chi {
+		chi[i] = 2
+	}
+	assign[cls[0]], assign[cls[1]] = 1, 0
+	if !p.dominatedAssignment(assign, chi) {
+		t.Error("descending class rounds with equal chi not flagged as dominated")
+	}
+	chi[cls[0]] = 3
+	if p.dominatedAssignment(assign, chi) {
+		t.Error("asymmetric chi tie-break must disable the symmetry skip")
+	}
+	assign[cls[0]], assign[cls[1]] = 0, 1
+	if p.dominatedAssignment(assign, chi) {
+		t.Error("ascending class rounds flagged as dominated")
+	}
+
+	// A release time on one sensor breaks the interchangeability.
+	p2 := &Problem{
+		App: sw, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode:         Soft,
+		SoftStat:     glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons:     map[dag.TaskID]float64{sw.Sinks()[0]: 0.85},
+		ReleaseTimes: map[dag.TaskID]int64{sw.Message(cls[0]).Source: 100},
+		Portfolio:    true,
+	}
+	if err := p2.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.iclasses) != 0 {
+		t.Errorf("iclasses = %v despite a release time distinguishing the sensors", p2.iclasses)
+	}
+}

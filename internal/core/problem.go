@@ -113,6 +113,27 @@ type Problem struct {
 	// with the polynomial chronological-dispatch heuristic (the A3
 	// ablation measures the optimality gap this costs).
 	GreedyPlacement bool
+	// Portfolio races heterogeneous exact strategies per timing search
+	// (internal/portfolio): canonical branch-and-bound, a greedy-seeded
+	// variant, and restart variants with different disjunction orderings,
+	// all sharing one atomic incumbent, plus the path-based makespan
+	// lower bound over the round blackout chain and symmetry breaking
+	// over interchangeable floods in the outer enumeration. The returned
+	// schedule is bit-identical to the single-strategy search: a
+	// deterministic reconstruction pass replays the canonical order under
+	// the proven optimum, so Portfolio changes solve time, never results.
+	// Ignored when GreedyPlacement is set (there is no exact search to
+	// race).
+	Portfolio bool
+	// PortfolioSeed seeds the portfolio's randomized restart strategy.
+	// The result does not depend on it (see Portfolio); it only shifts
+	// which subtrees the randomized strategy explores first.
+	PortfolioSeed int64
+
+	// iclasses are the interchange classes of messages (equal width,
+	// identical destination sets, interchangeable sources) computed by
+	// normalize when Portfolio is set; see interchangeClasses.
+	iclasses [][]dag.MsgID
 }
 
 // Defaults for optional Problem knobs.
@@ -171,6 +192,11 @@ func (p *Problem) normalize() error {
 			return fmt.Errorf("%w: task %q release time %d negative",
 				ErrBadConstraint, p.App.Task(id).Name, r)
 		}
+	}
+	if p.Portfolio && !p.GreedyPlacement {
+		p.iclasses = p.interchangeClasses()
+	} else {
+		p.iclasses = nil
 	}
 	switch p.Mode {
 	case Soft:

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netdag/netdag/internal/dag"
+)
+
+// Symmetry breaking over interchangeable floods (cf. TTW's symmetry
+// constraints, Jacob et al., DATE 2018): two messages are interchangeable
+// when swapping their round assignments yields a scheduling instance
+// isomorphic to the original — same χ optimization, same placement
+// optimum. The enumeration then only needs one representative per orbit:
+// the lexicographic enumeration emits the member with ascending rounds
+// (in MsgID order) first, so any assignment where a class's rounds
+// descend is a later, never-better duplicate.
+//
+// Interchangeability is structural: equal width, identical destination
+// sets, and sources that are mutually indistinguishable (equal WCET, no
+// predecessors, no extra successors, no deadlines/releases, identical
+// task-level constraints). Under these conditions the χ instance —
+// costs, defect columns, covering constraints, window floors — is
+// literally identical across the orbit, so the χ solver returns the same
+// vector for every image. The placement instances of two images are
+// isomorphic under relabeling the sources *only if* the class members'
+// χ values coincide (otherwise the images put different slot durations
+// into the rounds); the skip therefore verifies χ equality at runtime
+// and explores the image normally when the solver broke the tie
+// asymmetrically. This keeps the pruning unconditionally exact.
+
+// interchangeClasses groups messages into interchange classes (size >= 2,
+// members in ascending MsgID order). Only called when Portfolio is set
+// and the placement is exact: the duplicate-makespan argument relies on
+// the placement optimum, which the greedy dispatcher does not compute.
+func (p *Problem) interchangeClasses() [][]dag.MsgID {
+	app := p.App
+	preds := make([]int, app.NumTasks())
+	for _, t := range app.Tasks() {
+		for _, s := range app.Succs(t.ID) {
+			preds[s]++
+		}
+	}
+	groups := make(map[string][]dag.MsgID)
+	for _, m := range app.Messages() {
+		src := app.Task(m.Source)
+		// The source must be indistinguishable from another class member's:
+		// a pure producer whose only successors are the message's
+		// destinations, with no timing constraints of its own.
+		if preds[m.Source] != 0 || len(app.Succs(m.Source)) != len(m.Dests) {
+			continue
+		}
+		if _, ok := p.Deadlines[m.Source]; ok {
+			continue
+		}
+		if _, ok := p.ReleaseTimes[m.Source]; ok {
+			continue
+		}
+		dests := make([]int, len(m.Dests))
+		for i, d := range m.Dests {
+			dests[i] = int(d)
+		}
+		sort.Ints(dests)
+		soft, hasSoft := p.SoftCons[m.Source]
+		whc, hasWH := p.WHCons[m.Source]
+		key := fmt.Sprintf("w%d|c%d|%v|s%v,%t|h%v,%t",
+			m.Width, src.WCET, dests, soft, hasSoft, whc, hasWH)
+		groups[key] = append(groups[key], m.ID)
+	}
+	keys := make([]string, 0, len(groups))
+	for k, ms := range groups {
+		if len(ms) < 2 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	classes := make([][]dag.MsgID, 0, len(keys))
+	for _, k := range keys {
+		ms := groups[k]
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		classes = append(classes, ms)
+	}
+	return classes
+}
+
+// dominatedAssignment reports whether assign is a provable duplicate of
+// an earlier-enumerated image: some interchange class's rounds descend
+// and the solved χ values of that class's members coincide. Sorting just
+// that class's rounds ascending yields a lexicographically earlier
+// assignment (class members share line-graph depth 0, so their
+// enumeration positions are in MsgID order) whose placement instance is
+// isomorphic — identical round durations, sources relabeled — and whose
+// exact optimum is therefore the same makespan. By induction down the
+// lexicographic order, an undominated equal-makespan representative is
+// always enumerated earlier, so it wins the (makespan, idx) total order
+// and the skip is exact. A class whose χ tie the solver broke
+// asymmetrically never triggers a skip: those images put different slot
+// durations into the rounds and must be explored.
+func (p *Problem) dominatedAssignment(assign []int, chi []int) bool {
+	for _, cls := range p.iclasses {
+		descends := false
+		for k := 1; k < len(cls); k++ {
+			if assign[cls[k-1]] > assign[cls[k]] {
+				descends = true
+				break
+			}
+		}
+		if !descends {
+			continue
+		}
+		equal := true
+		for k := 1; k < len(cls); k++ {
+			if chi[cls[k-1]] != chi[cls[k]] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return true
+		}
+	}
+	return false
+}

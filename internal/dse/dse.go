@@ -31,7 +31,8 @@ type Config struct {
 	Speed       float64 // random-waypoint speed per step
 	Qs          []float64
 	Seed        int64
-	Workers     int // scheduler worker count (core.Problem.Workers)
+	Workers     int  // scheduler worker count (core.Problem.Workers)
+	Portfolio   bool // racing solver portfolio (core.Problem.Portfolio)
 }
 
 // DefaultConfig explores ten power settings over a 10-node mobile
@@ -106,6 +107,7 @@ func Explore(cfg Config) ([]Point, error) {
 			MaxNTX:    cfg.MaxNTX,
 			GreedyChi: true, // DSE sweeps many settings; speed over the last µs
 			Workers:   cfg.Workers,
+			Portfolio: cfg.Portfolio,
 		}
 		sched, err := core.Solve(prob)
 		if err != nil {

@@ -40,9 +40,17 @@ import (
 // their -workers flag.
 var Workers int
 
-// solve runs core.Solve with the package-wide Workers setting applied.
+// Portfolio enables the racing solver portfolio (core.Problem.Portfolio)
+// on every scheduling problem the experiments build. The experiment
+// binaries expose it as their -portfolio flag; results are unchanged —
+// the portfolio is deterministic and exact.
+var Portfolio bool
+
+// solve runs core.Solve with the package-wide Workers and Portfolio
+// settings applied.
 func solve(p *core.Problem) (*core.Schedule, error) {
 	p.Workers = Workers
+	p.Portfolio = Portfolio
 	return core.Solve(p)
 }
 
@@ -107,6 +115,7 @@ func Fig2() ([]Fig2Point, error) {
 				return nil, err
 			}
 			p.Workers = Workers
+			p.Portfolio = Portfolio
 			m, err := core.MinMakespan(p)
 			if err != nil {
 				return nil, fmt.Errorf("figures: fig2 level %v, %d actuators: %w", level, k, err)
@@ -152,6 +161,7 @@ func Fig4() ([]dse.Point, error) {
 	cfg := dse.DefaultConfig(g, cons)
 	cfg.MobileNodes = 13 // one mobile node per task
 	cfg.Workers = Workers
+	cfg.Portfolio = Portfolio
 	return dse.Explore(cfg)
 }
 

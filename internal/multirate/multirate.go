@@ -127,9 +127,13 @@ func Unroll(s Spec) (*Result, error) {
 }
 
 // serializeNodes chains, per physical node, all instances in phase order
-// with order-only edges. Phase of instance i of a rate-r task is i/r;
-// ties are broken by the original dependency order (producers first),
-// then task ID, which matches any legal single-rate schedule.
+// with order-only edges. Phase of instance i of a rate-r task is the
+// rational i/r, compared exactly by cross-multiplication — never through
+// float64, whose rounding can declare two distinct rationals equal (or
+// tie-break two equal ones inconsistently) and hand the ordering to the
+// topological tie-break in cases that are not ties. Real ties are broken
+// by the original dependency order (producers first), then instance
+// index, which matches any legal single-rate schedule.
 func serializeNodes(s Spec, res *Result, rate func(dag.TaskID) int) error {
 	order, err := s.App.TopoOrder()
 	if err != nil {
@@ -140,30 +144,33 @@ func serializeNodes(s Spec, res *Result, rate func(dag.TaskID) int) error {
 		topoPos[id] = i
 	}
 	type inst struct {
-		id    dag.TaskID // instance ID in the unrolled graph
-		orig  dag.TaskID
-		phase float64
-		idx   int
+		id   dag.TaskID // instance ID in the unrolled graph
+		orig dag.TaskID
+		idx  int
+		rate int
 	}
 	byNode := make(map[string][]inst)
 	for _, t := range s.App.Tasks() {
 		r := rate(t.ID)
 		for i, id := range res.Instances[t.ID] {
 			byNode[t.Node] = append(byNode[t.Node], inst{
-				id: id, orig: t.ID, phase: float64(i) / float64(r), idx: i,
+				id: id, orig: t.ID, idx: i, rate: r,
 			})
 		}
 	}
 	for _, insts := range byNode {
 		// Sorting by (phase, topological position, instance index) is a
 		// total order consistent with every data edge: a producer
-		// instance's phase never exceeds its consumer's (see Unroll),
-		// and within equal phases topological position puts producers
-		// first.
+		// instance's phase never exceeds its consumer's (the freshest
+		// producer ⌊j·r(τ)/r(μ)⌋ has ⌊j·r(τ)/r(μ)⌋/r(τ) ≤ j/r(μ) by the
+		// floor), and within equal phases topological position puts
+		// producers first.
 		sort.Slice(insts, func(a, b int) bool {
 			ia, ib := insts[a], insts[b]
-			if ia.phase != ib.phase {
-				return ia.phase < ib.phase
+			// ia.idx/ia.rate vs ib.idx/ib.rate, exactly.
+			pa, pb := int64(ia.idx)*int64(ib.rate), int64(ib.idx)*int64(ia.rate)
+			if pa != pb {
+				return pa < pb
 			}
 			if topoPos[ia.orig] != topoPos[ib.orig] {
 				return topoPos[ia.orig] < topoPos[ib.orig]

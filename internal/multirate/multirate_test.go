@@ -195,6 +195,89 @@ func TestUnrollMIMOWithMixedRates(t *testing.T) {
 	}
 }
 
+// TestUnrollRates235FreshestProducer is the shared-node regression for
+// the rate-transition rule: with rates {2,3,5} in both the over- and
+// undersampling direction, the freshest producer instance ⌊j·r(τ)/r(μ)⌋
+// must always be serialized before the consumer instance that reads it —
+// a violation would either invert a sample (consumer runs first on the
+// shared node) or cycle the unrolled graph and fail validation.
+func TestUnrollRates235FreshestProducer(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		rT, rM  int // producer τ, consumer μ
+		rM2, rN int // producer μ, consumer ν
+	}{
+		{"oversampling", 2, 3, 3, 5},
+		{"undersampling", 5, 3, 3, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := dag.New()
+			tau := g.MustAddTask("tau", "shared", 100)
+			mu := g.MustAddTask("mu", "shared", 100)
+			nu := g.MustAddTask("nu", "shared", 100)
+			g.MustConnectOrder(tau, mu)
+			g.MustConnectOrder(mu, nu)
+			res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{
+				tau: tc.rT, mu: tc.rM, nu: tc.rN,
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(prod, cons dag.TaskID, rProd, rCons int) {
+				t.Helper()
+				for j := 0; j < rCons; j++ {
+					i := j * rProd / rCons
+					p, c := res.Instances[prod][i], res.Instances[cons][j]
+					if !res.Graph.Reaches(p, c) {
+						t.Errorf("freshest producer %s#%d not serialized before consumer %s#%d",
+							g.Task(prod).Name, i, g.Task(cons).Name, j)
+					}
+				}
+			}
+			check(tau, mu, tc.rT, tc.rM)
+			check(mu, nu, tc.rM2, tc.rN)
+		})
+	}
+}
+
+// TestSerializationPhaseOrder235 pins the exact rational phase order on
+// a node hosting three tasks at rates 2, 3 and 5: the serialization
+// chain must interleave their instances by i/r compared as rationals
+// (0, 0, 0, 1/5, 1/3, 2/5, 1/2, 3/5, 2/3, 4/5), with phase-0 ties
+// broken by dependency order. The a -> b -> c order edges satisfy the
+// base graph's same-node validation without adding bus traffic.
+func TestSerializationPhaseOrder235(t *testing.T) {
+	g := dag.New()
+	a := g.MustAddTask("a", "shared", 100)
+	b := g.MustAddTask("b", "shared", 100)
+	c := g.MustAddTask("c", "shared", 100)
+	g.MustConnectOrder(a, b)
+	g.MustConnectOrder(b, c)
+	res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{a: 2, b: 3, c: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ai, bi, ci := res.Instances[a], res.Instances[b], res.Instances[c]
+	want := []dag.TaskID{
+		ai[0], bi[0], ci[0], // phase 0 (topological tie-break)
+		ci[1], // 1/5
+		bi[1], // 1/3
+		ci[2], // 2/5
+		ai[1], // 1/2
+		ci[3], // 3/5
+		bi[2], // 2/3
+		ci[4], // 4/5
+	}
+	for k := 1; k < len(want); k++ {
+		if !res.Graph.Reaches(want[k-1], want[k]) {
+			t.Errorf("position %d: instance %d not serialized before %d", k, want[k-1], want[k])
+		}
+		if res.Graph.Reaches(want[k], want[k-1]) {
+			t.Errorf("position %d: serialization order inverted", k)
+		}
+	}
+}
+
 func TestInstanceName(t *testing.T) {
 	if InstanceName("ctrl", 3) != "ctrl#3" {
 		t.Errorf("InstanceName = %q", InstanceName("ctrl", 3))

@@ -1,0 +1,54 @@
+package portfolio
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkPortfolioLWBLikeHeavy is the portfolio counterpart of the
+// solver's BenchmarkMinimizeLWBLikeHeavy: the same (14 tasks, 4 rounds)
+// instance, solved to a proven optimum by the race plus the
+// deterministic reconstruction pass. The ns/node metric is *effective*
+// node throughput — wall time per solve divided by the canonical
+// single-strategy tree size — so it is directly comparable to the
+// single-strategy ns/node: it measures how fast the proven-optimal
+// answer is delivered relative to the work the canonical search would
+// have to do, crediting the portfolio's pruning (path bound,
+// most-constrained branching, shared incumbents) and charging its
+// overhead (clones, losers, reconstruction).
+func BenchmarkPortfolioLWBLikeHeavy(b *testing.B) {
+	canon, err := lwbLikeInstance(14, 4).Minimize(100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := lwbLikeInstance(14, 4)
+		res, _, err := Minimize(context.Background(), p, 100000, Options{PathBound: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Optimal || res.Makespan != canon.Makespan {
+			b.Fatalf("portfolio returned makespan %d optimal %v, want %d", res.Makespan, res.Optimal, canon.Makespan)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(canon.Nodes), "ns/node")
+}
+
+// BenchmarkPortfolioStrategyNodes reports the raw per-strategy node
+// counts of one race (not wall time), for visibility into where the
+// pruning comes from.
+func BenchmarkPortfolioStrategyNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := lwbLikeInstance(14, 4)
+		_, stats, err := Minimize(context.Background(), p, 100000, Options{PathBound: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(stats.TotalNodes), "total-nodes")
+			b.ReportMetric(float64(stats.ReconNodes), "recon-nodes")
+		}
+	}
+}

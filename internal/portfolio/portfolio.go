@@ -1,0 +1,271 @@
+// Package portfolio races heterogeneous exact strategies over one
+// disjunctive scheduling instance: canonical cyclic branch-and-bound, a
+// greedy-seeded variant that starts from the heuristic's makespan as an
+// upper bound, a most-constrained-first restart, and seeded random
+// restarts. All strategies publish feasible makespans to — and prune
+// strictly against — one shared atomic incumbent, and the first strategy
+// to complete its search proves the optimum and cancels the rest through
+// the solver's MinimizeContext plumbing.
+//
+// Determinism contract: the race itself is timing-nondeterministic (who
+// wins, how many nodes each loser burns), but the *returned schedule* is
+// not. Once any strategy proves the optimal makespan m*, a fresh clone
+// replays the canonical cyclic search under MakespanBound(m*) and stops
+// at the first feasible leaf; because a makespan bound never perturbs
+// the STN's earliest times while the network stays consistent, that
+// reconstruction visits a prefix of the canonical search's nodes and
+// lands on the *same first optimal leaf* the single-strategy search
+// would return — without re-paying for the optimality proof the race
+// already delivered. Result.Starts, Makespan, and
+// Nodes are therefore bit-identical across runs, worker counts, and
+// strategy subsets — the (makespan, enumeration index) total order of
+// the outer search is untouched. Only an outer-context cancellation
+// forfeits determinism: the best incumbent found so far rides back with
+// ErrCanceled, exactly as in the single-strategy path.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/netdag/netdag/internal/solver"
+)
+
+// Strategy describes one racing search.
+type Strategy struct {
+	Name string
+	// Order is the violated-disjunction ordering of the underlying B&B.
+	Order solver.Order
+	// Seed drives solver.OrderRandom.
+	Seed int64
+	// GreedySeed runs solver.Greedy first and, when it succeeds, publishes
+	// its makespan and imposes it as the strategy's MakespanBound. A failed
+	// greedy run (the heuristic is incomplete and can dead-end on feasible
+	// instances) publishes nothing and falls back to the unseeded search,
+	// so it can never poison exactness.
+	GreedySeed bool
+}
+
+// DefaultStrategies is the portfolio raced when Options.Strategies is
+// nil: most-constrained branching, the greedy-seeded search, the
+// canonical search, and a seeded random restart. The order is a static
+// priority: on LWB-like instances most-constrained branching with the
+// path bound prunes hardest, and greedy seeding publishes a tight shared
+// bound early — so they lead. Minimize runs the first strategy inline on
+// the calling goroutine, so on a single-P runtime this priority order
+// *is* the sequential execution order; the returned schedule is
+// order-independent either way (see the determinism contract above).
+func DefaultStrategies(seed int64) []Strategy {
+	return []Strategy{
+		{Name: "most-constrained", Order: solver.OrderMostConstrained},
+		{Name: "greedy-seeded", Order: solver.OrderCyclic, GreedySeed: true},
+		{Name: "exact", Order: solver.OrderCyclic},
+		{Name: "random", Order: solver.OrderRandom, Seed: seed},
+	}
+}
+
+// Options configures a portfolio run.
+type Options struct {
+	// Strategies to race; nil means DefaultStrategies(Seed).
+	Strategies []Strategy
+	// Seed is the seed for DefaultStrategies' random-order strategy.
+	Seed int64
+	// PathBound enables the path-based lower bound in every strategy and
+	// in the reconstruction pass. It only takes effect when the problem
+	// declared a blackout chain via SetBlackoutChain.
+	PathBound bool
+}
+
+// StrategyOutcome records how one racing strategy ended, for Stats.
+type StrategyOutcome struct {
+	Name     string
+	Nodes    int
+	Makespan int64 // local best (-1 when none)
+	Proved   bool  // completed its search (optimality or infeasibility proof)
+	Err      error
+}
+
+// Stats reports the work done by a portfolio run.
+type Stats struct {
+	Outcomes   []StrategyOutcome
+	Winner     string // first strategy to prove; "" when none did
+	ReconNodes int    // nodes of the deterministic reconstruction pass
+	TotalNodes int    // all strategy nodes plus reconstruction
+	Fallback   bool   // no proof in the race; plain canonical search ran
+}
+
+// proved reports whether a strategy outcome constitutes a completed
+// proof. Greedy-seeded strategies are excluded from *infeasibility*
+// proofs: their self-imposed bound makes ErrBounded meaningless to the
+// outer problem, and per the exactness contract a greedy artifact must
+// never masquerade as proof.
+func proved(st Strategy, res solver.Result, err error) bool {
+	if err == nil {
+		return res.Optimal
+	}
+	if st.GreedySeed {
+		return false
+	}
+	return errors.Is(err, solver.ErrInfeasible) || errors.Is(err, solver.ErrBounded)
+}
+
+// Minimize races the portfolio on p and returns the deterministic
+// optimal schedule. Error semantics mirror solver.MinimizeContext
+// exactly: ErrInfeasible / ErrBounded only from completed proofs on the
+// original instance, ErrBudget when no strategy found a schedule within
+// the node budget, ErrCanceled (with the best incumbent attached) only
+// when ctx itself expired — never because a losing strategy was
+// canceled by the winner. maxNodes bounds each strategy individually.
+func Minimize(ctx context.Context, p *solver.Problem, maxNodes int, opts Options) (solver.Result, Stats, error) {
+	strategies := opts.Strategies
+	if strategies == nil {
+		strategies = DefaultStrategies(opts.Seed)
+	}
+	stats := Stats{Outcomes: make([]StrategyOutcome, len(strategies))}
+	if len(strategies) == 0 {
+		res, err := p.Clone().MinimizeContext(ctx, maxNodes)
+		stats.Fallback = true
+		stats.ReconNodes = res.Nodes
+		stats.TotalNodes = res.Nodes
+		return res, stats, err
+	}
+
+	shared := solver.NewIncumbent()
+	raceCtx, cancelRace := context.WithCancel(ctx)
+	defer cancelRace()
+
+	type outcome struct {
+		res solver.Result
+		err error
+	}
+	outs := make([]outcome, len(strategies))
+	var winner atomic.Int32
+	winner.Store(-1)
+	run := func(k int, st Strategy) {
+		if raceCtx.Err() != nil {
+			// The race is already over (a rival proved, or the outer
+			// context expired) — skip the clone and the greedy warm-up;
+			// this is what MinimizeRace would return at its first poll.
+			outs[k] = outcome{solver.Result{Makespan: -1}, solver.ErrCanceled}
+			return
+		}
+		q := p.Clone()
+		if st.GreedySeed {
+			if g, gerr := q.Greedy(); gerr == nil && g.Makespan >= 0 {
+				shared.Publish(g.Makespan)
+				q.MakespanBound(g.Makespan)
+			}
+		}
+		res, err := q.MinimizeRace(raceCtx, maxNodes, solver.RaceOpts{
+			Order:     st.Order,
+			Seed:      st.Seed,
+			Shared:    shared,
+			PathBound: opts.PathBound,
+		})
+		outs[k] = outcome{res, err}
+		if proved(st, res, err) && winner.CompareAndSwap(-1, int32(k)) {
+			cancelRace() // first proof wins; stop the losers
+		}
+	}
+	// The highest-priority strategy runs inline on this goroutine, the
+	// rest on their own. The caller holds its P until it blocks, so a
+	// single-P runtime executes the priority order sequentially — the
+	// lead strategy finishes (and cancels the race) before any rival
+	// burns nodes — while multi-P runtimes race all strategies at once.
+	var wg sync.WaitGroup
+	for k := 1; k < len(strategies); k++ {
+		wg.Add(1)
+		go func(k int, st Strategy) {
+			defer wg.Done()
+			run(k, st)
+		}(k, strategies[k])
+	}
+	run(0, strategies[0])
+	wg.Wait()
+
+	for k, st := range strategies {
+		stats.Outcomes[k] = StrategyOutcome{
+			Name:     st.Name,
+			Nodes:    outs[k].res.Nodes,
+			Makespan: outs[k].res.Makespan,
+			Proved:   proved(st, outs[k].res, outs[k].err),
+			Err:      outs[k].err,
+		}
+		stats.TotalNodes += outs[k].res.Nodes
+	}
+
+	w := int(winner.Load())
+	if w < 0 {
+		if ctx.Err() != nil {
+			// The outer context expired before any proof: surface the best
+			// incumbent across strategies, as the single-strategy path does.
+			best := solver.Result{Makespan: -1}
+			for _, o := range outs {
+				if o.res.Makespan >= 0 && (best.Makespan < 0 || o.res.Makespan < best.Makespan) {
+					best = o.res
+				}
+			}
+			best.Optimal = false
+			best.Nodes = stats.TotalNodes
+			return best, stats, solver.ErrCanceled
+		}
+		// Every strategy exhausted its budget without a proof. Fall back to
+		// the plain canonical search so the budget-truncation contract —
+		// and the result itself — stays deterministic.
+		stats.Fallback = true
+		res, err := p.Clone().MinimizeContext(ctx, maxNodes)
+		stats.ReconNodes = res.Nodes
+		stats.TotalNodes += res.Nodes
+		return res, stats, err
+	}
+	stats.Winner = strategies[w].Name
+	if err := outs[w].err; err != nil {
+		// A completed proof of infeasibility on the original instance:
+		// ErrBounded iff the instance carried an external MakespanBound,
+		// exactly as MinimizeContext reports it.
+		return outs[w].res, stats, err
+	}
+
+	// Optimal makespan: the winner's local best capped by anything a rival
+	// published. Every published value is a feasible makespan and the
+	// winner's completed search proves nothing below min(local, shared)
+	// exists, so mstar is *the* optimum.
+	mstar := outs[w].res.Makespan
+	if s := shared.Load(); s < mstar {
+		mstar = s
+	}
+
+	// Deterministic reconstruction: canonical order under the proven
+	// bound, stopping at the first feasible leaf. Under MakespanBound(m*)
+	// every feasible leaf achieves exactly m*, and the bound only removes
+	// subtrees the canonical search would visit *after* that leaf's
+	// ancestors, so the dive lands on the same schedule the single-strategy
+	// search returns — at a fraction of its node count, since the
+	// optimality proof already happened in the race.
+	rq := p.Clone()
+	rq.MakespanBound(mstar)
+	res, err := rq.MinimizeRace(ctx, maxNodes, solver.RaceOpts{
+		PathBound:     opts.PathBound,
+		FirstFeasible: true,
+	})
+	stats.ReconNodes = res.Nodes
+	stats.TotalNodes += res.Nodes
+	if err == nil && res.Makespan == mstar {
+		res.Optimal = true // proven by the race, not by this truncated dive
+	}
+	if err != nil || !res.Optimal || res.Makespan != mstar {
+		if errors.Is(err, solver.ErrCanceled) {
+			return res, stats, err
+		}
+		// Reconstruction under a proven-feasible bound cannot legitimately
+		// fail; treat any disagreement as a budget artifact and fall back
+		// to the deterministic canonical search.
+		stats.Fallback = true
+		res, err = p.Clone().MinimizeContext(ctx, maxNodes)
+		stats.TotalNodes += res.Nodes
+		return res, stats, err
+	}
+	return res, stats, nil
+}

@@ -1,0 +1,213 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/netdag/netdag/internal/solver"
+)
+
+// lwbLikeInstance mirrors the structure core generates: a layered task
+// DAG plus a chain of round blackouts, every task disjoint from every
+// round (same construction as the solver benchmarks).
+func lwbLikeInstance(tasks, rounds int) *solver.Problem {
+	p := solver.NewProblem(1)
+	rng := rand.New(rand.NewSource(3))
+	taskIDs := make([]solver.ActID, tasks)
+	for i := range taskIDs {
+		taskIDs[i] = p.AddActivity("t", int64(rng.Intn(1000)+100))
+		if i > 0 && rng.Float64() < 0.5 {
+			p.Precede(taskIDs[rng.Intn(i)], taskIDs[i])
+		}
+	}
+	roundIDs := make([]solver.ActID, rounds)
+	for r := range roundIDs {
+		roundIDs[r] = p.AddActivity("round", int64(5000+1000*r))
+		if r > 0 {
+			p.Precede(roundIDs[r-1], roundIDs[r])
+		}
+	}
+	for _, t := range taskIDs {
+		for _, r := range roundIDs {
+			p.Disjoint(t, r)
+		}
+	}
+	p.SetBlackoutChain(roundIDs)
+	return p
+}
+
+// greedyTrapInstance is feasible, but the chronological-dispatch
+// heuristic dead-ends on it: greedy orders A (earliest start 0) before B,
+// pushing B past its deadline, while the exact search backtracks to the
+// B-before-A order. Optimal makespan: B at 1..3, A at 4..14.
+func greedyTrapInstance() *solver.Problem {
+	p := solver.NewProblem(1)
+	a := p.AddActivity("A", 10)
+	b := p.AddActivity("B", 2)
+	p.Release(b, 1)
+	p.Deadline(b, 12)
+	p.Disjoint(a, b)
+	return p
+}
+
+func TestGreedyTrapIsATrap(t *testing.T) {
+	p := greedyTrapInstance()
+	if _, err := p.Greedy(); !errors.Is(err, solver.ErrInfeasible) {
+		t.Fatalf("greedy err = %v, want ErrInfeasible (the instance must trap the heuristic)", err)
+	}
+	res, err := p.Clone().Minimize(0)
+	if err != nil || res.Makespan != 14 {
+		t.Fatalf("exact search: makespan %d err %v, want 14, nil", res.Makespan, err)
+	}
+}
+
+// TestGreedyFailureDoesNotPoisonExactness is the warm-start regression:
+// a failed Greedy must publish nothing and the portfolio must still
+// return the exact optimum with no error — including when only the
+// greedy-seeded strategy runs.
+func TestGreedyFailureDoesNotPoisonExactness(t *testing.T) {
+	for _, strategies := range [][]Strategy{
+		nil, // full default portfolio
+		{{Name: "greedy-seeded", Order: solver.OrderCyclic, GreedySeed: true}},
+	} {
+		p := greedyTrapInstance()
+		res, stats, err := Minimize(context.Background(), p, 0, Options{Strategies: strategies})
+		if err != nil {
+			t.Fatalf("strategies=%v: err = %v (greedy failure leaked)", strategies, err)
+		}
+		if res.Makespan != 14 || !res.Optimal {
+			t.Errorf("strategies=%v: makespan=%d optimal=%v, want 14, true (stats %+v)",
+				strategies, res.Makespan, res.Optimal, stats)
+		}
+	}
+}
+
+// TestErrorContract: infeasibility and boundedness must be distinguished
+// exactly as in the single-strategy path.
+func TestErrorContract(t *testing.T) {
+	// Unbounded infeasible: two disjoint activities whose deadlines cannot
+	// both be met.
+	p := solver.NewProblem(1)
+	a := p.AddActivity("A", 5)
+	b := p.AddActivity("B", 5)
+	p.Deadline(a, 6)
+	p.Deadline(b, 6)
+	p.Disjoint(a, b)
+	if _, _, err := Minimize(context.Background(), p, 0, Options{}); !errors.Is(err, solver.ErrInfeasible) {
+		t.Errorf("infeasible instance: err = %v, want ErrInfeasible", err)
+	}
+
+	// Bounded infeasible: the trap instance is feasible at 14 but bounded
+	// at 5, so the portfolio must report ErrBounded, not ErrInfeasible.
+	q := greedyTrapInstance()
+	q.MakespanBound(5)
+	if _, _, err := Minimize(context.Background(), q, 0, Options{}); !errors.Is(err, solver.ErrBounded) {
+		t.Errorf("bounded instance: err = %v, want ErrBounded", err)
+	}
+
+	// Canceled outer context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := Minimize(ctx, lwbLikeInstance(10, 3), 0, Options{}); !errors.Is(err, solver.ErrCanceled) {
+		t.Errorf("canceled context: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestDeterministicAcrossStrategySubsets: the reconstruction pass makes
+// the result — Starts, Makespan, Nodes — a function of the proven
+// optimum only, so every strategy subset returns the identical Result.
+func TestDeterministicAcrossStrategySubsets(t *testing.T) {
+	subsets := [][]Strategy{
+		nil,
+		{{Name: "exact", Order: solver.OrderCyclic}},
+		{{Name: "most-constrained", Order: solver.OrderMostConstrained}},
+		{{Name: "random", Order: solver.OrderRandom, Seed: 99}},
+		{
+			{Name: "greedy-seeded", Order: solver.OrderCyclic, GreedySeed: true},
+			{Name: "random", Order: solver.OrderRandom, Seed: 5},
+		},
+	}
+	var ref solver.Result
+	for i, strategies := range subsets {
+		for run := 0; run < 3; run++ {
+			p := lwbLikeInstance(10, 3)
+			res, _, err := Minimize(context.Background(), p, 0, Options{Strategies: strategies, PathBound: true})
+			if err != nil {
+				t.Fatalf("subset %d run %d: %v", i, run, err)
+			}
+			if i == 0 && run == 0 {
+				ref = res
+				continue
+			}
+			if !reflect.DeepEqual(res, ref) {
+				t.Errorf("subset %d run %d: result %+v differs from reference %+v", i, run, res, ref)
+			}
+		}
+	}
+	// And the reference must match the plain single-strategy optimum.
+	single, err := lwbLikeInstance(10, 3).Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Makespan != ref.Makespan || !reflect.DeepEqual(single.Starts, ref.Starts) {
+		t.Errorf("portfolio result (makespan %d) != single-strategy (makespan %d)",
+			ref.Makespan, single.Makespan)
+	}
+}
+
+// TestBudgetFallbackDeterministic: when no strategy can prove within the
+// node budget, the deterministic canonical fallback runs and the budget
+// contract (ErrBudget with no schedule, truncated incumbent otherwise)
+// is preserved.
+func TestBudgetFallbackDeterministic(t *testing.T) {
+	var ref solver.Result
+	for run := 0; run < 3; run++ {
+		p := lwbLikeInstance(14, 4)
+		res, stats, err := Minimize(context.Background(), p, 50, Options{})
+		if err != nil && !errors.Is(err, solver.ErrBudget) {
+			t.Fatalf("run %d: err = %v", run, err)
+		}
+		if res.Optimal {
+			t.Fatalf("run %d: 50-node budget cannot prove optimality", run)
+		}
+		if !stats.Fallback {
+			t.Fatalf("run %d: expected the canonical fallback to run", run)
+		}
+		if run == 0 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Errorf("run %d: truncated result %+v differs from %+v", run, res, ref)
+		}
+	}
+}
+
+// TestGreedySeedRespectsExternalBound: with an externally imposed bound
+// tighter than anything greedy could produce on its own, the seeded
+// strategy must not relax or poison it — the portfolio returns the exact
+// optimum within the bound.
+func TestGreedySeedRespectsExternalBound(t *testing.T) {
+	p := lwbLikeInstance(10, 3)
+	opt, err := p.Clone().Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.MakespanBound(opt.Makespan) // exactly the optimum: still feasible
+	res, _, err := Minimize(context.Background(), p, 0, Options{})
+	if err != nil {
+		t.Fatalf("bounded-at-optimum: %v", err)
+	}
+	if res.Makespan != opt.Makespan || !res.Optimal {
+		t.Errorf("makespan=%d optimal=%v, want %d, true", res.Makespan, res.Optimal, opt.Makespan)
+	}
+
+	q := lwbLikeInstance(10, 3)
+	q.MakespanBound(opt.Makespan - 1) // just below: provably bounded-out
+	if _, _, err := Minimize(context.Background(), q, 0, Options{}); !errors.Is(err, solver.ErrBounded) {
+		t.Errorf("bounded-below-optimum: err = %v, want ErrBounded", err)
+	}
+}

@@ -54,6 +54,12 @@ type Config struct {
 	// SolveWorkers is Problem.Workers for each solve (default 0 =
 	// GOMAXPROCS inside the solver).
 	SolveWorkers int
+	// Portfolio enables the racing solver portfolio for every solve
+	// (core.Problem.Portfolio). The portfolio is deterministic, so cached
+	// bodies stay reproducible; PortfolioSeed feeds its seeded restart
+	// strategy without affecting the result.
+	Portfolio     bool
+	PortfolioSeed int64
 	// DefaultDeadline applies to requests that name no deadline; zero
 	// means solve without a deadline.
 	DefaultDeadline time.Duration
@@ -292,6 +298,10 @@ func (s *Server) runFlight(r *http.Request, f *spec.File, key string, start time
 	}
 	if s.cfg.SolveWorkers > 0 {
 		p.Workers = s.cfg.SolveWorkers
+	}
+	if s.cfg.Portfolio {
+		p.Portfolio = true
+		p.PortfolioSeed = s.cfg.PortfolioSeed
 	}
 
 	// The solve's context: the server's lifetime (drain interrupts all

@@ -1,0 +1,169 @@
+package solver
+
+import "math"
+
+// Path-based makespan lower bound ("Longer Is Shorter", He et al.): on
+// NETDAG instances the communication rounds form a chain of bus blackout
+// slots that every task is declared Disjoint from. At a search node, pick
+// any activity a outside the chain; its start is at least est(a) and a
+// longest duration path (its "tail") must still run after it, none of
+// which can overlap any chain slot. A measure argument over the interval
+// [S(a), makespan] then gives
+//
+//	makespan >= est(a) + tail(a) + Σ_c max(0, min(dur_c, est_c+dur_c-est(a)))
+//
+// where c ranges over the chain. Monotonicity in S(a) >= est(a) holds
+// because the chain members' execution windows (est_c, est_c+dur_c) are
+// pairwise disjoint — guaranteed by the chain's internal precedences,
+// which the STN propagates at every node. The STN's own critical path
+// cannot see this bound: it only learns that a task excludes a round
+// once the search imposes that specific ordering.
+
+// pathBoundState is the per-search static part of the path bound.
+type pathBoundState struct {
+	chain []ActID // the declared blackout chain
+	q     []ActID // activities disjoint from every chain member
+	tail  []int64 // indexed by ActID: longest duration path within q
+	cap   int64   // tightest imposed MakespanBound, or -1
+}
+
+// SetBlackoutChain declares chain as a sequence of blackout activities:
+// consecutive members must already be ordered by Precede. The chain
+// enables the path-based lower bound for searches run with
+// RaceOpts.PathBound; activities not Disjoint from every chain member
+// are simply ignored by the bound. An unqualified chain (missing
+// precedences) silently disables the bound — it is an optimization, not
+// a constraint.
+func (p *Problem) SetBlackoutChain(chain []ActID) {
+	for _, c := range chain {
+		p.check(c)
+	}
+	p.chain = append([]ActID(nil), chain...)
+}
+
+// buildPathBound derives the static bound state, or nil when the chain
+// is absent or does not qualify.
+func (p *Problem) buildPathBound() *pathBoundState {
+	n := len(p.start)
+	if len(p.chain) == 0 || len(p.chain) >= n {
+		return nil
+	}
+	// Consecutive chain members must be precedence-ordered, otherwise the
+	// disjoint-windows argument above is unsound.
+	direct := make(map[[2]ActID]bool, len(p.ops))
+	for _, o := range p.ops {
+		if o.kind == opPrec {
+			direct[[2]ActID{o.a, o.b}] = true
+		}
+	}
+	inChain := make([]bool, n)
+	for i, c := range p.chain {
+		if inChain[c] {
+			return nil // duplicate chain member
+		}
+		inChain[c] = true
+		if i > 0 && !direct[[2]ActID{p.chain[i-1], c}] {
+			return nil
+		}
+	}
+	// Qualifying set: activities with a Disjoint pair against every chain
+	// member (count distinct chain partners per activity).
+	seen := make(map[[2]ActID]bool, len(p.disj))
+	cnt := make([]int, n)
+	for _, d := range p.disj {
+		a, b := d[0], d[1]
+		if inChain[a] == inChain[b] {
+			continue
+		}
+		if inChain[a] {
+			a, b = b, a
+		}
+		if k := [2]ActID{a, b}; !seen[k] {
+			seen[k] = true
+			cnt[a]++
+		}
+	}
+	pb := &pathBoundState{chain: p.chain, tail: make([]int64, n), cap: -1}
+	inQ := make([]bool, n)
+	for a := 0; a < n; a++ {
+		if !inChain[a] && cnt[a] == len(p.chain) {
+			inQ[a] = true
+			pb.q = append(pb.q, ActID(a))
+		}
+	}
+	if len(pb.q) == 0 {
+		return nil
+	}
+	for _, o := range p.ops {
+		if o.kind == opMSB && (pb.cap < 0 || o.t < pb.cap) {
+			pb.cap = o.t
+		}
+	}
+	// tail[a] = longest sum of durations over base-precedence paths from a
+	// staying within the qualifying set (duration-only: the gaps between
+	// path activities are idle time a chain slot could in principle use,
+	// so they must not be counted against the chain's occupancy).
+	succ := make([][]ActID, n)
+	for _, o := range p.ops {
+		if o.kind == opPrec && inQ[o.a] && inQ[o.b] {
+			succ[o.a] = append(succ[o.a], o.b)
+		}
+	}
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	var cyclic bool
+	var dfs func(a ActID) int64
+	dfs = func(a ActID) int64 {
+		switch state[a] {
+		case 1:
+			cyclic = true
+			return 0
+		case 2:
+			return pb.tail[a]
+		}
+		state[a] = 1
+		var best int64
+		for _, b := range succ[a] {
+			if t := dfs(b); t > best {
+				best = t
+			}
+		}
+		state[a] = 2
+		pb.tail[a] = p.dur[a] + best
+		return pb.tail[a]
+	}
+	for _, a := range pb.q {
+		dfs(a)
+		if cyclic {
+			return nil // degenerate instance; bound disabled
+		}
+	}
+	return pb
+}
+
+// pathLB evaluates the bound at the current STN state: O(|q| + |chain|)
+// with zero allocations, cheap enough for every prune point.
+func (p *Problem) pathLB(pb *pathBoundState) int64 {
+	net := p.net
+	bestA := ActID(-1)
+	bestV := int64(math.MinInt64)
+	for _, a := range pb.q {
+		if v := net.Dist(p.start[a]) + pb.tail[a]; v > bestV {
+			bestV, bestA = v, a
+		}
+	}
+	if bestA < 0 {
+		return math.MinInt64
+	}
+	t0 := net.Dist(p.start[bestA])
+	lb := bestV
+	for _, c := range pb.chain {
+		e := net.Dist(p.start[c])
+		d := p.dur[c]
+		if e >= t0 {
+			lb += d
+		} else if e+d > t0 {
+			lb += e + d - t0
+		}
+	}
+	return lb
+}

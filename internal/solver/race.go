@@ -1,0 +1,107 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Order selects the violated-disjunction ordering strategy of a search.
+// All orders are exact — they change which disjunction is branched on
+// first, not which subtrees are provably prunable — so racing several of
+// them against a shared incumbent keeps the portfolio's result optimal.
+type Order int
+
+const (
+	// OrderCyclic is the canonical order: scan from the disjunction
+	// branched on last, wrapping around. This is the order MinimizeContext
+	// uses and the one the deterministic reconstruction pass replays.
+	OrderCyclic Order = iota
+	// OrderMostConstrained branches on the violated disjunction with the
+	// largest pairwise overlap under the earliest schedule.
+	OrderMostConstrained
+	// OrderRandom walks a seeded random permutation of the disjunctions
+	// cyclically. Distinct seeds give distinct (deterministic) restarts.
+	OrderRandom
+)
+
+// RaceOpts configures one strategy run of a shared-incumbent race.
+type RaceOpts struct {
+	Order Order
+	// Seed drives OrderRandom's permutation; ignored by the other orders.
+	Seed int64
+	// Shared, when non-nil, is the incumbent the strategy publishes
+	// feasible makespans to and prunes against (strictly: only subtrees
+	// that cannot even match the shared bound are cut, so completing the
+	// search still proves optimality of min(local best, shared bound)).
+	Shared *Incumbent
+	// PathBound enables the path-based lower bound; it takes effect only
+	// when SetBlackoutChain declared a qualifying chain.
+	PathBound bool
+	// FirstFeasible stops the search at the first feasible leaf instead of
+	// continuing to prove optimality; the Result carries Optimal = false.
+	// Its intended use is reconstruction: under a MakespanBound equal to a
+	// makespan already proven optimal elsewhere, every feasible leaf
+	// achieves exactly that makespan, so the first one reached in the
+	// canonical order *is* the schedule the full canonical search would
+	// return — without re-paying for the optimality proof.
+	FirstFeasible bool
+}
+
+// raceConfig is the resolved, internal form of RaceOpts.
+type raceConfig struct {
+	order         Order
+	perm          []int
+	shared        *Incumbent
+	pathBound     *pathBoundState
+	firstFeasible bool
+}
+
+// MinimizeRace is MinimizeContext parameterized for portfolio racing: a
+// branching order, an optional shared incumbent, and the optional
+// path-based bound. With a zero RaceOpts it is exactly MinimizeContext.
+// Error semantics are unchanged: ErrBounded still means "nothing within
+// the imposed MakespanBound", never "another strategy won the race".
+func (p *Problem) MinimizeRace(ctx context.Context, maxNodes int, o RaceOpts) (Result, error) {
+	cfg := raceConfig{order: o.Order, shared: o.Shared, firstFeasible: o.FirstFeasible}
+	if o.Order == OrderRandom {
+		cfg.perm = rand.New(rand.NewSource(o.Seed)).Perm(len(p.disj))
+	}
+	if o.PathBound {
+		cfg.pathBound = p.buildPathBound()
+	}
+	return p.minimize(ctx, maxNodes, cfg)
+}
+
+// Incumbent is a makespan upper bound shared between racing searches.
+// Strategies publish every feasible makespan they reach and prune
+// subtrees whose lower bound strictly exceeds the published minimum.
+type Incumbent struct {
+	v atomic.Int64
+}
+
+// NewIncumbent returns an empty incumbent (no bound yet).
+func NewIncumbent() *Incumbent {
+	inc := &Incumbent{}
+	inc.v.Store(math.MaxInt64)
+	return inc
+}
+
+// Load returns the current bound, or math.MaxInt64 when none was
+// published yet.
+func (inc *Incumbent) Load() int64 { return inc.v.Load() }
+
+// Publish lowers the bound to m if m improves it and reports whether it
+// did. Lock-free CAS-min: concurrent publishers converge on the minimum.
+func (inc *Incumbent) Publish(m int64) bool {
+	for {
+		cur := inc.v.Load()
+		if m >= cur {
+			return false
+		}
+		if inc.v.CompareAndSwap(cur, m) {
+			return true
+		}
+	}
+}

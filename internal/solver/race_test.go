@@ -1,0 +1,224 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// chainInstance builds the benchmark's LWB-like shape with the blackout
+// chain declared, so the path bound qualifies.
+func chainInstance(tasks, rounds int) (*Problem, []ActID) {
+	p := lwbLikeInstance(tasks, rounds)
+	var chain []ActID
+	for a := ActID(0); int(a) < p.NumActivities(); a++ {
+		if p.Name(a) == "round" {
+			chain = append(chain, a)
+		}
+	}
+	p.SetBlackoutChain(chain)
+	return p, chain
+}
+
+func TestCloneEquivalence(t *testing.T) {
+	p, _ := chainInstance(10, 3)
+	p.Release(2, 50)
+	p.Deadline(3, 40000)
+	q := p.Clone()
+
+	r1, err1 := p.Minimize(0)
+	r2, err2 := q.Minimize(0)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("clone result %+v != original %+v", r2, r1)
+	}
+
+	// A clone taken *after* a search still reproduces the instance: the
+	// branch orderings the search imposed must not leak into the replay
+	// log (they go through the unlogged precede).
+	r3, err3 := p.Clone().Minimize(0)
+	if err3 != nil || !reflect.DeepEqual(r1, r3) {
+		t.Errorf("post-search clone: %+v, %v; want %+v, nil", r3, err3, r1)
+	}
+}
+
+func TestCloneCarriesBound(t *testing.T) {
+	p := NewProblem(1)
+	a := p.AddActivity("a", 5)
+	b := p.AddActivity("b", 5)
+	p.Disjoint(a, b)
+	p.MakespanBound(7) // serializing 5+1+5 = 11 > 7: bounded-infeasible
+	if _, err := p.Clone().Minimize(0); err != ErrBounded {
+		t.Errorf("cloned bounded instance: err = %v, want ErrBounded", err)
+	}
+}
+
+// TestPathBoundExactness: the path bound is a pruning aid, never a
+// constraint — enabling it must not change the optimum, and the
+// canonical order with the bound returns the identical schedule (the
+// bound only removes subtrees that provably cannot contain the first
+// optimal leaf).
+func TestPathBoundExactness(t *testing.T) {
+	p1, _ := chainInstance(12, 4)
+	base, err := p1.MinimizeContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := chainInstance(12, 4)
+	pb, err := p2.MinimizeRace(context.Background(), 0, RaceOpts{PathBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Makespan != base.Makespan || !pb.Optimal {
+		t.Fatalf("path bound changed the optimum: %d vs %d", pb.Makespan, base.Makespan)
+	}
+	if !reflect.DeepEqual(pb.Starts, base.Starts) {
+		t.Errorf("path bound changed the returned schedule:\n%v\n%v", pb.Starts, base.Starts)
+	}
+	if pb.Nodes > base.Nodes {
+		t.Errorf("path bound explored more nodes (%d) than the plain search (%d)", pb.Nodes, base.Nodes)
+	}
+}
+
+// TestPathBoundPrunes: on the LWB-like shape the bound must actually cut
+// the tree, not just break even — this pins the benchmark's mechanism.
+func TestPathBoundPrunes(t *testing.T) {
+	p1, _ := chainInstance(14, 4)
+	base, err := p1.Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := chainInstance(14, 4)
+	pb, err := p2.MinimizeRace(context.Background(), 0, RaceOpts{PathBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Nodes >= base.Nodes {
+		t.Errorf("path bound did not prune: %d nodes vs %d", pb.Nodes, base.Nodes)
+	}
+}
+
+// TestPathBoundRequiresOrderedChain: a chain without internal precedences
+// must disable the bound (its soundness argument needs disjoint blackout
+// windows), not corrupt the search.
+func TestPathBoundRequiresOrderedChain(t *testing.T) {
+	p := NewProblem(1)
+	a := p.AddActivity("a", 10)
+	r1 := p.AddActivity("round", 5)
+	r2 := p.AddActivity("round", 5) // not ordered against r1
+	p.Disjoint(a, r1)
+	p.Disjoint(a, r2)
+	p.SetBlackoutChain([]ActID{r1, r2})
+	if pb := p.buildPathBound(); pb != nil {
+		t.Fatal("unordered chain must not qualify for the path bound")
+	}
+	res, err := p.MinimizeRace(context.Background(), 0, RaceOpts{PathBound: true})
+	if err != nil || !res.Optimal {
+		t.Fatalf("search with disabled bound: %+v, %v", res, err)
+	}
+}
+
+// TestOrdersAreExact: every ordering strategy proves the same optimal
+// makespan; OrderCyclic with zero extras is bit-identical to
+// MinimizeContext.
+func TestOrdersAreExact(t *testing.T) {
+	ref, err := lwbLikeInstance(10, 3).Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []RaceOpts{
+		{},
+		{Order: OrderMostConstrained},
+		{Order: OrderRandom, Seed: 1},
+		{Order: OrderRandom, Seed: 2},
+	} {
+		res, err := lwbLikeInstance(10, 3).MinimizeRace(context.Background(), 0, o)
+		if err != nil {
+			t.Fatalf("order %v seed %d: %v", o.Order, o.Seed, err)
+		}
+		if !res.Optimal || res.Makespan != ref.Makespan {
+			t.Errorf("order %v seed %d: makespan %d optimal %v, want %d, true",
+				o.Order, o.Seed, res.Makespan, res.Optimal, ref.Makespan)
+		}
+		if o == (RaceOpts{}) && !reflect.DeepEqual(res, ref) {
+			t.Errorf("zero RaceOpts diverged from MinimizeContext: %+v vs %+v", res, ref)
+		}
+	}
+}
+
+// TestFirstFeasibleReconstruction: under a MakespanBound equal to the
+// optimum, the first feasible leaf of the canonical bounded walk is the
+// schedule the full canonical search returns — in far fewer nodes. This
+// is the portfolio's reconstruction pass.
+func TestFirstFeasibleReconstruction(t *testing.T) {
+	full, err := chainFirst(14, 4).MinimizeContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := chainFirst(14, 4)
+	p.MakespanBound(full.Makespan)
+	dive, err := p.MinimizeRace(context.Background(), 0, RaceOpts{FirstFeasible: true, PathBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dive.Optimal {
+		t.Error("a first-feasible dive must not claim an optimality proof")
+	}
+	if dive.Makespan != full.Makespan || !reflect.DeepEqual(dive.Starts, full.Starts) {
+		t.Errorf("dive schedule (makespan %d) != canonical optimum (makespan %d)",
+			dive.Makespan, full.Makespan)
+	}
+	if dive.Nodes >= full.Nodes {
+		t.Errorf("dive explored %d nodes, full search %d — reconstruction saved nothing",
+			dive.Nodes, full.Nodes)
+	}
+}
+
+func chainFirst(tasks, rounds int) *Problem {
+	p, _ := chainInstance(tasks, rounds)
+	return p
+}
+
+func TestIncumbentPublish(t *testing.T) {
+	inc := NewIncumbent()
+	if inc.Load() != math.MaxInt64 {
+		t.Fatalf("fresh incumbent holds %d", inc.Load())
+	}
+	if !inc.Publish(100) || inc.Load() != 100 {
+		t.Error("publish 100 failed")
+	}
+	if inc.Publish(100) || inc.Publish(150) {
+		t.Error("non-improving publish reported an improvement")
+	}
+	if !inc.Publish(40) || inc.Load() != 40 {
+		t.Error("improving publish failed")
+	}
+}
+
+// TestSharedIncumbentPreservesOptimality: a search running against a
+// pre-published shared bound equal to the optimum must still find and
+// prove the optimum (strict pruning), and a bound below the optimum
+// turns the search into a proof that nothing better exists — without
+// touching the instance's own error semantics.
+func TestSharedIncumbentPreservesOptimality(t *testing.T) {
+	ref, err := lwbLikeInstance(10, 3).Minimize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncumbent()
+	inc.Publish(ref.Makespan)
+	res, err := lwbLikeInstance(10, 3).MinimizeRace(context.Background(), 0, RaceOpts{Shared: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != ref.Makespan || !res.Optimal {
+		t.Errorf("shared-bound search: makespan %d optimal %v, want %d, true",
+			res.Makespan, res.Optimal, ref.Makespan)
+	}
+	if res.Nodes > ref.Nodes {
+		t.Errorf("shared bound increased the tree: %d vs %d nodes", res.Nodes, ref.Nodes)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"github.com/netdag/netdag/internal/stn"
 )
@@ -32,7 +33,30 @@ type Problem struct {
 	disj    [][2]ActID
 	gap     int64
 	bounded bool // a MakespanBound was imposed externally
+
+	// ops replays the base constraints (precedences, releases, deadlines,
+	// makespan bounds) so Clone can rebuild an identical instance. Search
+	// branching bypasses the log via precede, so the log only ever holds
+	// the instance itself, never transient branch orderings.
+	ops []baseOp
+	// chain is the declared blackout chain (see SetBlackoutChain), used by
+	// the optional path-based lower bound.
+	chain []ActID
 }
+
+// baseOp is one replayable base constraint.
+type baseOp struct {
+	kind uint8
+	a, b ActID
+	t    int64
+}
+
+const (
+	opPrec uint8 = iota
+	opRel
+	opDL
+	opMSB
+)
 
 // Result is a schedule: start times per activity and the achieved
 // makespan.
@@ -108,18 +132,28 @@ func (p *Problem) Name(a ActID) string { return p.name[a] }
 func (p *Problem) Precede(a, b ActID) {
 	p.check(a)
 	p.check(b)
+	p.ops = append(p.ops, baseOp{kind: opPrec, a: a, b: b})
+	p.precede(a, b)
+}
+
+// precede is Precede without the replay log: the branch-and-bound search
+// and the greedy dispatcher impose transient orderings through it, so
+// Clone never observes half-explored branches.
+func (p *Problem) precede(a, b ActID) {
 	p.net.AddMin(p.start[b], p.start[a], p.dur[a]+p.gap)
 }
 
 // Release imposes start(a) >= t.
 func (p *Problem) Release(a ActID, t int64) {
 	p.check(a)
+	p.ops = append(p.ops, baseOp{kind: opRel, a: a, t: t})
 	p.net.AddMin(p.start[a], stn.Zero, t)
 }
 
 // Deadline imposes start(a) + dur(a) <= t.
 func (p *Problem) Deadline(a ActID, t int64) {
 	p.check(a)
+	p.ops = append(p.ops, baseOp{kind: opDL, a: a, t: t})
 	p.net.AddMax(p.start[a], stn.Zero, t-p.dur[a])
 }
 
@@ -128,7 +162,36 @@ func (p *Problem) Deadline(a ActID, t int64) {
 // than ErrInfeasible, since it may be an artifact of the bound.
 func (p *Problem) MakespanBound(t int64) {
 	p.bounded = true
+	p.ops = append(p.ops, baseOp{kind: opMSB, t: t})
 	p.net.AddMax(p.end, stn.Zero, t)
+}
+
+// Clone returns an independent copy of the instance: same activities,
+// base constraints, disjunctions, and blackout chain, with a fresh STN in
+// its initial (pre-search) state. Activity IDs and the Starts layout of
+// results carry over unchanged. Clone only reads the receiver, so any
+// number of clones may be taken concurrently — the racing portfolio takes
+// one per strategy.
+func (p *Problem) Clone() *Problem {
+	q := NewProblem(p.gap)
+	for i := range p.start {
+		q.AddActivity(p.name[i], p.dur[i])
+	}
+	for _, o := range p.ops {
+		switch o.kind {
+		case opPrec:
+			q.Precede(o.a, o.b)
+		case opRel:
+			q.Release(o.a, o.t)
+		case opDL:
+			q.Deadline(o.a, o.t)
+		case opMSB:
+			q.MakespanBound(o.t)
+		}
+	}
+	q.disj = append([][2]ActID(nil), p.disj...)
+	q.chain = append([]ActID(nil), p.chain...)
+	return q
 }
 
 // Disjoint declares that a and b must not overlap in time (in either
@@ -175,6 +238,15 @@ func (p *Problem) Minimize(maxNodes int) (Result, error) {
 // Optimal = false) or Makespan = -1 when cancellation struck before any
 // feasible schedule was reached.
 func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, error) {
+	return p.minimize(ctx, maxNodes, raceConfig{})
+}
+
+// minimize is the branch-and-bound engine behind MinimizeContext and
+// MinimizeRace. With a zero raceConfig it is bit-identical to the
+// canonical search (same branch decisions, same node count); the config
+// hooks add a violated-disjunction ordering strategy, a shared incumbent
+// to publish to and prune against, and the path-based lower bound.
+func (p *Problem) minimize(ctx context.Context, maxNodes int, o raceConfig) (Result, error) {
 	res := Result{Makespan: -1}
 	nodes := 0
 	// truncated records that the budget actually cut the search short — a
@@ -182,11 +254,16 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 	// apart from a search that finished exactly on budget.
 	truncated := false
 	canceled := false
+	// settled is the FirstFeasible stop signal: the first feasible leaf
+	// was recorded, so the whole search unwinds without visiting (or
+	// counting) any further node.
+	settled := false
 	budget := func() bool { return maxNodes > 0 && nodes >= maxNodes }
 	net := p.net
+	pb := o.pathBound // nil unless enabled and a blackout chain qualifies
 	var rec func(from int)
 	rec = func(from int) {
-		if canceled {
+		if canceled || settled {
 			return
 		}
 		if nodes&cancelCheckMask == 0 && ctx.Err() != nil {
@@ -199,30 +276,101 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 		}
 		nodes++
 		if !net.Consistent() {
-			return // inconsistent branch (detected incrementally on Precede)
+			return // inconsistent branch (detected incrementally on precede)
 		}
 		lb := net.Dist(p.end)
 		if res.Makespan >= 0 && lb >= res.Makespan {
 			return // bound: cannot improve
 		}
-		// Find a violated disjunction under the earliest schedule. The scan
-		// resumes cyclically from the disjunction branched on last: the
-		// ordering just imposed rarely disturbs the disjunctions already
-		// passed over, so the next violation is usually a near neighbor —
-		// but a shifted schedule *can* re-violate an earlier pair, so the
-		// scan still wraps around and covers all of p.disj before the node
-		// may be declared feasible.
+		if o.shared != nil && lb > o.shared.Load() {
+			// Another racing strategy already holds a schedule at least as
+			// good as anything below this node. Strictly greater only: a
+			// subtree that could *match* the shared bound must survive so
+			// the race still proves optimality of the published makespan.
+			return
+		}
+		if pb != nil && (res.Makespan >= 0 || pb.cap >= 0 ||
+			(o.shared != nil && o.shared.Load() != math.MaxInt64)) {
+			// Second-chance prune: the path bound sees the blackout chain's
+			// global bus occupancy, which the STN's critical path cannot.
+			plb := p.pathLB(pb)
+			if plb > lb {
+				if res.Makespan >= 0 && plb >= res.Makespan {
+					return
+				}
+				if o.shared != nil && plb > o.shared.Load() {
+					return
+				}
+				if pb.cap >= 0 && plb > pb.cap {
+					return // cannot meet the imposed MakespanBound
+				}
+			}
+		}
+		// Find a violated disjunction under the earliest schedule. The
+		// default scan resumes cyclically from the disjunction branched on
+		// last: the ordering just imposed rarely disturbs the disjunctions
+		// already passed over, so the next violation is usually a near
+		// neighbor — but a shifted schedule *can* re-violate an earlier
+		// pair, so the scan still wraps around and covers all of p.disj
+		// before the node may be declared feasible. OrderRandom walks the
+		// same cycle through a seeded permutation; OrderMostConstrained
+		// scans everything and branches on the largest overlap.
 		nd := len(p.disj)
-		for k := 0; k < nd; k++ {
-			i := from + k
-			if i >= nd {
-				i -= nd
+		branch := -1 // disjunction index to branch on
+		next := 0    // the `from` passed down to child nodes
+		switch {
+		case o.order == OrderMostConstrained:
+			var worst int64
+			for i := 0; i < nd; i++ {
+				pair := p.disj[i]
+				a, b := pair[0], pair[1]
+				sa, sb := net.Dist(p.start[a]), net.Dist(p.start[b])
+				ea, eb := sa+p.dur[a]+p.gap, sb+p.dur[b]+p.gap
+				if ea <= sb || eb <= sa {
+					continue
+				}
+				ov := ea
+				if eb < ov {
+					ov = eb
+				}
+				if sa > sb {
+					ov -= sa
+				} else {
+					ov -= sb
+				}
+				if branch < 0 || ov > worst {
+					branch, worst = i, ov
+				}
 			}
-			pair := p.disj[i]
+		case o.order == OrderRandom:
+			for k := 0; k < nd; k++ {
+				pos := from + k
+				if pos >= nd {
+					pos -= nd
+				}
+				i := o.perm[pos]
+				pair := p.disj[i]
+				if p.overlapsNow(pair[0], pair[1]) {
+					branch, next = i, pos
+					break
+				}
+			}
+		default: // OrderCyclic
+			for k := 0; k < nd; k++ {
+				i := from + k
+				if i >= nd {
+					i -= nd
+				}
+				pair := p.disj[i]
+				if p.overlapsNow(pair[0], pair[1]) {
+					branch, next = i, i
+					break
+				}
+			}
+		}
+		if branch >= 0 {
+			pair := p.disj[branch]
 			a, b := pair[0], pair[1]
-			if !p.overlapsNow(a, b) {
-				continue
-			}
 			// Branch on the order of a and b. Try the order suggested by
 			// the earliest times first (better first incumbent).
 			first, second := a, b
@@ -230,10 +378,10 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 				first, second = b, a
 			}
 			mark := net.Mark()
-			p.Precede(first, second)
-			rec(i)
+			p.precede(first, second)
+			rec(next)
 			net.Reset(mark)
-			if canceled {
+			if canceled || settled {
 				return
 			}
 			if budget() {
@@ -241,8 +389,8 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 				return
 			}
 			mark = net.Mark()
-			p.Precede(second, first)
-			rec(i)
+			p.precede(second, first)
+			rec(next)
 			net.Reset(mark)
 			return
 		}
@@ -255,6 +403,12 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 				res.Starts[i] = net.Dist(v)
 			}
 			res.Makespan = lb
+			if o.shared != nil {
+				o.shared.Publish(lb)
+			}
+			if o.firstFeasible {
+				settled = true
+			}
 		}
 	}
 	rec(0)
@@ -273,7 +427,7 @@ func (p *Problem) MinimizeContext(ctx context.Context, maxNodes int) (Result, er
 		}
 		return res, ErrInfeasible
 	}
-	res.Optimal = !truncated
+	res.Optimal = !truncated && !settled
 	return res, nil
 }
 
@@ -325,6 +479,6 @@ func (p *Problem) Greedy() (Result, error) {
 		if sb < sa || (sb == sa && p.dur[b] < p.dur[a]) {
 			first, second = b, a
 		}
-		p.Precede(first, second)
+		p.precede(first, second)
 	}
 }
