@@ -7,12 +7,19 @@
 //
 //	netdag-serve [-addr :8080] [-cache 256] [-solves N] [-queue 64]
 //	             [-workers 0] [-deadline 0] [-max-deadline 0] [-drain 10s]
+//	             [-sessions 8] [-session-deadline 2s] [-session-attempts 3]
 //
 // Endpoints:
 //
-//	POST /v1/solve[?deadline=500ms]  spec.File in, spec.ScheduleOut out
-//	GET  /healthz                    200 serving | 503 draining
-//	GET  /metrics                    Prometheus text format
+//	POST   /v1/solve[?deadline=500ms]  spec.File in, spec.ScheduleOut out
+//	POST   /v1/session                 create a long-lived scheduler session
+//	GET    /v1/session/{id}            session status snapshot
+//	POST   /v1/session/{id}/events     apply one delta event
+//	GET    /v1/session/{id}/journal    replayable event journal (?since=N)
+//	GET    /v1/session/{id}/feed       streaming JSONL journal feed
+//	DELETE /v1/session/{id}            close; answers the final counters
+//	GET    /healthz                    200 serving | 503 draining
+//	GET    /metrics                    Prometheus text format
 //
 // SIGINT/SIGTERM drains gracefully: listeners close, in-flight requests
 // get -drain to finish (their solves are then canceled and respond with
@@ -45,6 +52,10 @@ func main() {
 	maxDeadline := flag.Duration("max-deadline", 0, "cap on per-request deadlines (0 = uncapped)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 	maxBody := flag.Int64("max-body", 1<<20, "request body limit (bytes)")
+	maxSessions := flag.Int("sessions", 8, "max live scheduler sessions")
+	sessDeadline := flag.Duration("session-deadline", 0, "per-attempt re-solve deadline inside a session (0 = library default)")
+	sessAttempts := flag.Int("session-attempts", 0, "re-solve attempts before a session degrades (0 = library default)")
+	retrySeed := flag.Int64("retry-seed", 0, "jitter seed for 429 Retry-After hints (0 = deterministic envelope)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -64,6 +75,10 @@ func main() {
 		DefaultDeadline: *defDeadline,
 		MaxDeadline:     *maxDeadline,
 		MaxBodyBytes:    *maxBody,
+		MaxSessions:     *maxSessions,
+		SessionDeadline: *sessDeadline,
+		SessionAttempts: *sessAttempts,
+		RetrySeed:       *retrySeed,
 		Logger:          logger,
 		BaseContext:     baseCtx,
 	})
@@ -95,7 +110,8 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Error("shutdown", "err", err)
 	}
-	cancelSolves() // interrupt anything still searching
+	srv.CloseSessions() // journals stop growing; feeds end cleanly
+	cancelSolves()      // interrupt anything still searching
 	logger.Info("stopped")
 	fmt.Fprintln(os.Stderr, "netdag-serve: drained")
 }

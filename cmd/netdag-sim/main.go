@@ -24,6 +24,7 @@ import (
 	"github.com/netdag/netdag/internal/expt"
 	"github.com/netdag/netdag/internal/lwb"
 	"github.com/netdag/netdag/internal/network"
+	"github.com/netdag/netdag/internal/session"
 	"github.com/netdag/netdag/internal/sim"
 	"github.com/netdag/netdag/internal/spec"
 	"github.com/netdag/netdag/internal/wh"
@@ -45,6 +46,10 @@ func main() {
 	campaignN := flag.Int("campaign", 0, "run a deterministic campaign of this many seeded replications (implies -timed)")
 	certify := flag.Bool("certify", false, "certify campaign traces against the spec's constraints; exit 1 on violation (requires -campaign)")
 	confidence := flag.Float64("confidence", campaign.DefaultConfidence, "Wilson confidence level for soft certification")
+	online := flag.Int("online", 0, "run an online scheduler session in a closed loop — fault campaigns certify the live schedule and feed link/diameter events back — until this many events are journaled")
+	journalPath := flag.String("journal", "", "write the session's replayable JSONL event journal here (online mode)")
+	mobility := flag.Bool("mobility", false, "drive diameter events from a random-waypoint mobility model (online mode)")
+	churn := flag.String("churn", "", "name of a task that periodically leaves and rejoins the application (online mode)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -74,7 +79,41 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	p, err := spec.Load(f)
+	fspec, err := spec.Decode(f)
+	if err != nil {
+		fatal(err)
+	}
+	clocksCfg := sim.ClockConfig{DriftPPM: *drift, SyncJitterUS: 2, GuardUS: *guard}
+
+	if *online > 0 {
+		// Per-iteration campaign sizing: -campaign and -runs apply if
+		// given; otherwise the loop's own (much smaller) defaults, since
+		// the batch default of 2000 runs per iteration would make every
+		// feedback step enormous.
+		set := map[string]bool{}
+		flag.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+		loopRuns := 0
+		if set["runs"] {
+			loopRuns = *runs
+		}
+		runOnline(fspec, session.LoopConfig{
+			Events:       *online,
+			Seed:         *seed,
+			Scenario:     scenario,
+			Replications: *campaignN,
+			Runs:         loopRuns,
+			Workers:      *workers,
+			Confidence:   *confidence,
+			PRR:          *prr,
+			Mobility:     *mobility,
+			Churn:        *churn,
+			Clocks:       clocksCfg,
+			PeriodUS:     *period,
+		}, *workers, *portfolio, *journalPath)
+		return
+	}
+
+	p, err := spec.Build(fspec)
 	if err != nil {
 		fatal(err)
 	}
@@ -115,7 +154,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	clocks := sim.ClockConfig{DriftPPM: *drift, SyncJitterUS: 2, GuardUS: *guard}
+	clocks := clocksCfg
 
 	if *campaignN > 0 {
 		runCampaign(p, d, campaign.Config{
@@ -178,6 +217,52 @@ func main() {
 		tab.Addf("%s\t%.4f\t%s", t.Name, taskSeqs[t.Name].HitRate(), target)
 	}
 	fmt.Print(tab.String())
+}
+
+// runOnline runs the closed loop: a long-lived scheduler session whose
+// event stream is generated by certifying the live schedule against
+// fault campaigns (and, optionally, a mobility model and task churn).
+// The journal is a deterministic function of the spec, the scenario and
+// the seed — bit-identical across worker counts and repeat runs.
+func runOnline(fspec *spec.File, cfg session.LoopConfig, workers int, portfolio bool, journalPath string) {
+	s, err := session.New(context.Background(), fspec, session.Config{
+		Workers:   workers,
+		Portfolio: portfolio,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := session.RunLoop(context.Background(), s, cfg)
+	if err != nil {
+		s.Close()
+		fatal(err)
+	}
+	if journalPath != "" {
+		jf, err := os.Create(journalPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.WriteJournal(jf); err != nil {
+			fatal(err)
+		}
+		if err := jf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	st := s.Close()
+	name := "fault-free"
+	if cfg.Scenario != nil && cfg.Scenario.Name != "" {
+		name = cfg.Scenario.Name
+	}
+	fmt.Printf("online session under %q: %d events over %d iterations (seed %d)\n",
+		name, res.Events, res.Iterations, cfg.Seed)
+	fmt.Printf("  applied %d (warm hits %d), rejected %d, violated iterations %d\n",
+		st.Applied, st.WarmHits, st.Rejected, res.ViolatedIterations)
+	fmt.Printf("  fallbacks %d, mode switches %d, recoveries %d, re-solves %d\n",
+		st.Fallbacks, st.ModeSwitches, st.Recoveries, st.Resolves)
+	if journalPath != "" {
+		fmt.Printf("  journal: %s\n", journalPath)
+	}
 }
 
 // runCampaign executes the campaign and, if asked, certifies it,

@@ -1,0 +1,88 @@
+// Package backoff implements the jittered exponential backoff policy
+// shared by the serving layer's overload hints (the 429 Retry-After
+// header) and the session re-solve retry loop: delays grow geometrically
+// from Base to Max, and a configurable fraction of each delay is
+// randomized so synchronized clients — or re-solve attempts racing the
+// same churn — spread out instead of retrying in lockstep.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Defaults substituted by Policy for zero-valued fields.
+const (
+	DefaultBase   = 100 * time.Millisecond
+	DefaultMax    = 30 * time.Second
+	DefaultFactor = 2.0
+	DefaultJitter = 0.5
+)
+
+// Policy describes an exponential backoff schedule. The zero value is
+// usable and selects the defaults above.
+type Policy struct {
+	Base   time.Duration // delay envelope before the first retry
+	Max    time.Duration // cap on the grown envelope
+	Factor float64       // geometric growth per attempt (>= 1)
+	Jitter float64       // fraction of each delay re-drawn uniformly, in [0, 1]
+}
+
+// withDefaults resolves zero and out-of-range fields to usable values.
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = DefaultBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultMax
+	}
+	if p.Factor < 1 {
+		p.Factor = DefaultFactor
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	if p.Max < p.Base {
+		p.Max = p.Base
+	}
+	return p
+}
+
+// Delay returns the backoff before retry attempt (0-based): the envelope
+// min(Max, Base·Factor^attempt) with its Jitter fraction re-drawn
+// uniformly from rng, so the result lies in
+// [envelope·(1−Jitter), envelope]. A nil rng disables the jitter and
+// returns the full envelope — the deterministic worst case, which is
+// what the session journal's reproducibility across runs relies on.
+func (p Policy) Delay(attempt int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			break
+		}
+	}
+	if d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d = d*(1-p.Jitter) + rng.Float64()*d*p.Jitter
+	}
+	return time.Duration(d)
+}
+
+// HintSeconds converts the delay for attempt into a whole-second
+// Retry-After hint, rounding up and never below 1 — a 0-second hint
+// would invite an immediate retry, defeating the backoff.
+func (p Policy) HintSeconds(attempt int, rng *rand.Rand) int {
+	d := p.Delay(attempt, rng)
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

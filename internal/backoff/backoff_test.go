@@ -1,0 +1,86 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayEnvelopeGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second,
+		2 * time.Second,
+	}
+	for a, w := range want {
+		if got := p.Delay(a, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", a, got, w)
+		}
+	}
+	// The cap must hold even for attempts large enough to overflow a
+	// naive integer power.
+	if got := p.Delay(200, nil); got != 2*time.Second {
+		t.Errorf("Delay(200) = %v, want the 2s cap", got)
+	}
+}
+
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	for a := 0; a < 8; a++ {
+		env := p.Delay(a, nil)
+		varied := false
+		var prev time.Duration = -1
+		for i := 0; i < 64; i++ {
+			d := p.Delay(a, rng)
+			if d < env/2 || d > env {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", a, d, env/2, env)
+			}
+			if prev >= 0 && d != prev {
+				varied = true
+			}
+			prev = d
+		}
+		if !varied {
+			t.Errorf("Delay(%d) never varied under jitter", a)
+		}
+	}
+}
+
+func TestNilRngIsDeterministicEnvelope(t *testing.T) {
+	p := Policy{Jitter: 1}
+	for a := 0; a < 5; a++ {
+		if p.Delay(a, nil) != p.Delay(a, nil) {
+			t.Fatalf("nil-rng delay not deterministic at attempt %d", a)
+		}
+	}
+}
+
+func TestZeroPolicyUsesDefaults(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0, nil); got != DefaultBase {
+		t.Errorf("zero policy Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(1000, nil); got != DefaultMax {
+		t.Errorf("zero policy Delay(1000) = %v, want the %v cap", got, DefaultMax)
+	}
+}
+
+func TestHintSecondsRoundsUpAndFloorsAtOne(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0}
+	if got := p.HintSeconds(0, nil); got != 1 {
+		t.Errorf("HintSeconds(0) = %d, want 1 (sub-second delays floor at 1)", got)
+	}
+	// 100ms * 2^4 = 1.6s rounds up to 2.
+	if got := p.HintSeconds(4, nil); got != 2 {
+		t.Errorf("HintSeconds(4) = %d, want 2", got)
+	}
+	if got := p.HintSeconds(100, nil); got != 10 {
+		t.Errorf("HintSeconds(100) = %d, want the 10s cap", got)
+	}
+}

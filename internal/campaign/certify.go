@@ -235,3 +235,18 @@ func certifyWH(name string, c wh.MissConstraint, id dag.TaskID, res *Result) (Ta
 	}
 	return tr, nil
 }
+
+// Violated returns the names of the tasks whose constraints the campaign
+// empirically broke, in the report's deterministic (name-sorted) order.
+// It is the feedback signal of the online session loop: a non-empty list
+// means the deployed schedule's link-quality assumptions no longer hold
+// and the session should raise its retransmission floor.
+func (r *Report) Violated() []string {
+	var out []string
+	for _, t := range r.Tasks {
+		if t.Status == Violation {
+			out = append(out, t.Task)
+		}
+	}
+	return out
+}

@@ -86,6 +86,21 @@ func SolveContext(ctx context.Context, p *Problem) (*Schedule, error) {
 	// ran to completion just before its deadline as canceled — demoting a
 	// proven-optimal schedule to a non-cacheable incumbent.
 	canceled := s.interrupted.Load()
+	if best == nil && !canceled && p.WarmMakespan > 0 {
+		// The warm hint excluded every assignment: either the delta'd
+		// optimum regressed past the previous makespan, or the instance is
+		// infeasible. The answer (schedule or error) must not depend on the
+		// hint, so redo the whole search cold — WarmMakespan is an
+		// optimization, never a constraint.
+		s = newSearch(ctx, p, lg, maxRounds)
+		s.warm = 0
+		if workers <= 1 {
+			best, explored, firstErr = s.runSequential()
+		} else {
+			best, explored, firstErr = s.runParallel(workers)
+		}
+		canceled = s.interrupted.Load()
+	}
 	if best == nil {
 		if canceled {
 			return nil, ErrCanceled
@@ -126,6 +141,10 @@ type search struct {
 	// slotFloor is the assignment-independent part of the bus-time lower
 	// bound: every message slot at its χ floor.
 	slotFloor int64
+	// warm is Problem.WarmMakespan: a virtual incumbent (warm, idx +∞)
+	// active until the first real schedule is found. SolveContext clears
+	// it for the cold redo when the hint excluded every assignment.
+	warm int64
 }
 
 // candidate is a schedule paired with its position in the deterministic
@@ -150,9 +169,10 @@ func newSearch(ctx context.Context, p *Problem, lg *dag.LineGraph, maxRounds int
 		maxRounds: maxRounds,
 		cpWCET:    p.App.CriticalPathWCET(),
 		chiFloor:  make([]int, p.App.NumMessages()),
+		warm:      p.WarmMakespan,
 	}
 	for m := range s.chiFloor {
-		s.chiFloor[m] = 1
+		s.chiFloor[m] = p.MinNTX
 	}
 	if p.Mode == WeaklyHard {
 		for _, t := range p.App.Tasks() {
@@ -201,8 +221,8 @@ func (s *search) lowerBound(assign []int) int64 {
 	}
 	for r := 0; r < rounds; r++ {
 		n := beacon[r]
-		if n < 1 {
-			n = 1
+		if n < s.p.MinNTX {
+			n = s.p.MinNTX
 		}
 		lb += s.p.Params.BeaconDuration(n, s.p.Diameter)
 	}
@@ -237,6 +257,18 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 				return true
 			}
 			bound = best.sched.Makespan
+		} else if s.warm > 0 {
+			// Virtual incumbent (warm, +∞): prune exactly what a real
+			// incumbent at the warm makespan would (the index tie-break
+			// never fires against +∞), and cap the timing search likewise.
+			// Everything pruned here has optimum > warm ≥ the previous
+			// schedule, so it cannot win a cold search whose optimum is
+			// ≤ warm; when no assignment survives, SolveContext redoes the
+			// search cold.
+			if prunable(s.lowerBound(l), idx, s.warm, math.MaxInt) {
+				return true
+			}
+			bound = s.warm
 		}
 		assign := append([]int(nil), l...)
 		sched, err := s.p.scheduleForAssignment(s.ctx, assign, bound)
@@ -325,7 +357,7 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 		cost:  make([][]int64, nFloods),
 	}
 	for f := 0; f < nFloods; f++ {
-		ci.lower[f] = 1
+		ci.lower[f] = p.MinNTX
 		ci.def[f] = make([]float64, p.MaxNTX)
 		ci.cost[f] = make([]int64, p.MaxNTX)
 		width := p.Params.BeaconWidth

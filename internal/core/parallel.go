@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -81,6 +82,13 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 	}()
 
 	var inc atomic.Pointer[incumbentRec]
+	if s.warm > 0 {
+		// Warm start: a virtual incumbent at the previous schedule's
+		// makespan with an infinite enumeration index, so it prunes and
+		// bounds exactly as the sequential warm path does and loses every
+		// tie-break to a real schedule. See Problem.WarmMakespan.
+		inc.Store(&incumbentRec{makespan: s.warm, idx: math.MaxInt})
+	}
 	// publish installs (makespan, idx) as the incumbent unless a better
 	// one (under the total order) is already in place.
 	publish := func(makespan int64, idx int) {

@@ -84,8 +84,16 @@ type Problem struct {
 	ReleaseTimes map[dag.TaskID]int64
 
 	// MaxNTX bounds the retransmission parameter per flood (χ domain is
-	// 1..MaxNTX). Zero selects DefaultMaxNTX.
+	// MinNTX..MaxNTX). Zero selects DefaultMaxNTX.
 	MaxNTX int
+	// MinNTX raises the χ domain floor for every flood, beacons included.
+	// It is the uniform degraded-link response of the online session
+	// layer: when empirical certification reports a link worse than the
+	// design statistic assumed, forcing extra retransmissions everywhere
+	// restores margin without re-profiling the statistic. Zero and 1 both
+	// mean the unconstrained floor; MinNTX > MaxNTX leaves no χ domain
+	// and solves fail with ErrUnsat.
+	MinNTX int
 	// MaxRounds bounds the round assignments explored. Zero selects the
 	// line graph's minimum plus DefaultExtraRounds.
 	MaxRounds int
@@ -129,6 +137,19 @@ type Problem struct {
 	// The result does not depend on it (see Portfolio); it only shifts
 	// which subtrees the randomized strategy explores first.
 	PortfolioSeed int64
+
+	// WarmMakespan warm-starts the outer search with the makespan of a
+	// previously solved, closely related instance (the online session's
+	// re-solve path): it acts as a virtual incumbent — assignments whose
+	// lower bound exceeds it are skipped and timing searches are capped
+	// by it — so a re-solve whose optimum is no worse than the previous
+	// schedule proves it at a fraction of the cold node count. The value
+	// is a hint, never a constraint: when the bound excludes every
+	// assignment (the delta'd optimum regressed past it), the search
+	// transparently re-runs cold, so the returned schedule is always
+	// bit-identical to an unhinted solve of the same problem — only
+	// SolverNodes (work accounting) may differ. Zero disables it.
+	WarmMakespan int64
 
 	// iclasses are the interchange classes of messages (equal width,
 	// identical destination sets, interchangeable sources) computed by
@@ -174,6 +195,22 @@ func (p *Problem) normalize() error {
 	}
 	if p.MaxNTX < 1 {
 		return fmt.Errorf("core: MaxNTX must be >= 1, got %d", p.MaxNTX)
+	}
+	if p.MinNTX == 0 {
+		p.MinNTX = 1
+	}
+	if p.MinNTX < 1 {
+		return fmt.Errorf("core: MinNTX must be >= 0, got %d", p.MinNTX)
+	}
+	if p.MinNTX > p.MaxNTX {
+		// ErrUnsat, not a config error: the session layer raises MinNTX in
+		// response to degraded links and treats an empty χ domain as a
+		// failed re-solve (falling back to safe mode), not as a bug.
+		return fmt.Errorf("%w: MinNTX %d exceeds MaxNTX %d (empty χ domain)",
+			ErrUnsat, p.MinNTX, p.MaxNTX)
+	}
+	if p.WarmMakespan < 0 {
+		return fmt.Errorf("core: WarmMakespan must be >= 0, got %d", p.WarmMakespan)
 	}
 	if p.SolverNodes == 0 {
 		p.SolverNodes = DefaultSolverNodes

@@ -91,7 +91,10 @@ func Explore(cfg Config) ([]Point, error) {
 		if q <= 0 || q > 1 {
 			return nil, fmt.Errorf("dse: power setting %v outside (0,1]", q)
 		}
-		prof := network.Profile(trace, q)
+		prof, err := network.Profile(trace, q)
+		if err != nil {
+			return nil, err
+		}
 		pt := Point{Q: q, WorstFSS: prof.WorstFSS, Diameter: prof.Diameter, Usable: prof.AlwaysOK}
 		if !prof.AlwaysOK || prof.Diameter < 1 {
 			out = append(out, pt) // setting unusable: no latency query

@@ -84,11 +84,22 @@ type PowerProfile struct {
 	AlwaysOK bool    // true when every snapshot was connected
 }
 
+// ErrEmptyTrace reports a profiling request over zero mobility
+// snapshots. It is a named error rather than a zero-valued profile
+// because a 0-hop "worst-case diameter" is not conservative — fed into
+// the scheduler it silently legalizes round lengths no real network
+// could meet.
+var ErrEmptyTrace = errors.New("network: mobility trace has no snapshots")
+
 // Profile computes the worst-case mean fSS and diameter over a trace for
 // one power setting. Disconnected snapshots clear AlwaysOK and are skipped
 // for the diameter maximum (the paper's designer would reject such a
-// power setting; callers inspect AlwaysOK).
-func Profile(trace []Placement, q float64) PowerProfile {
+// power setting; callers inspect AlwaysOK). An empty trace returns
+// ErrEmptyTrace: there is no worst case to report.
+func Profile(trace []Placement, q float64) (PowerProfile, error) {
+	if len(trace) == 0 {
+		return PowerProfile{}, fmt.Errorf("%w (power setting %v)", ErrEmptyTrace, q)
+	}
 	p := PowerProfile{Q: q, AlwaysOK: true}
 	first := true
 	for _, pts := range trace {
@@ -107,15 +118,20 @@ func Profile(trace []Placement, q float64) PowerProfile {
 			p.Diameter = d
 		}
 	}
-	return p
+	return p, nil
 }
 
 // ProfileSweep profiles a trace across several power settings, the left
-// two panels of fig. 4.
-func ProfileSweep(trace []Placement, qs []float64) []PowerProfile {
+// two panels of fig. 4. Like Profile it rejects an empty trace with
+// ErrEmptyTrace.
+func ProfileSweep(trace []Placement, qs []float64) ([]PowerProfile, error) {
 	out := make([]PowerProfile, len(qs))
 	for i, q := range qs {
-		out[i] = Profile(trace, q)
+		p, err := Profile(trace, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
 	}
-	return out
+	return out, nil
 }

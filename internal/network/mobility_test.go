@@ -1,6 +1,7 @@
 package network
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -58,12 +59,32 @@ func TestRandomWaypointStaysInSquareAndMoves(t *testing.T) {
 	}
 }
 
+func TestProfileEmptyTraceIsNamedError(t *testing.T) {
+	if _, err := Profile(nil, 0.5); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Profile(nil) err = %v, want ErrEmptyTrace", err)
+	}
+	if _, err := Profile([]Placement{}, 0.5); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("Profile(empty) err = %v, want ErrEmptyTrace", err)
+	}
+	if _, err := ProfileSweep(nil, []float64{0.5}); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("ProfileSweep(nil) err = %v, want ErrEmptyTrace", err)
+	}
+	// Zero power settings over a real trace is fine — there is simply
+	// nothing to profile.
+	if out, err := ProfileSweep([]Placement{{{0.1, 0.1}}}, nil); err != nil || len(out) != 0 {
+		t.Errorf("ProfileSweep(trace, nil) = %v, %v; want empty, nil", out, err)
+	}
+}
+
 func TestProfileWorstCaseSemantics(t *testing.T) {
 	// A hand-built 2-snapshot trace: nodes close together, then spread.
 	near := Placement{{0.1, 0.1}, {0.2, 0.1}, {0.15, 0.2}}
 	far := Placement{{0, 0}, {0.5, 0.5}, {1, 1}}
 	trace := []Placement{near, far}
-	p := Profile(trace, 0.3)
+	p, err := Profile(trace, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Worst fSS must equal the spread snapshot's mean.
 	if want := MeanFSS(far, 0.3); p.WorstFSS != want {
 		t.Errorf("WorstFSS = %v, want %v (the worse snapshot)", p.WorstFSS, want)
@@ -97,7 +118,10 @@ func TestProfileSweepShapes(t *testing.T) {
 	}
 	trace := w.Walk(50)
 	qs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
-	profiles := ProfileSweep(trace, qs)
+	profiles, err := ProfileSweep(trace, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i < len(profiles); i++ {
 		if profiles[i].WorstFSS < profiles[i-1].WorstFSS-1e-12 {
 			t.Errorf("WorstFSS decreased from Q=%v to Q=%v", qs[i-1], qs[i])

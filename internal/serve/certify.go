@@ -120,7 +120,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 	// Admission: a certification occupies one worker slot end to end
 	// (solve + campaign), sharing the solve budget and queue bounds.
 	if res, ok := s.admit(ctx); !ok {
-		relayResult(w, res, "")
+		s.relay(w, res, "")
 		return
 	}
 	defer func() { <-s.sem }()
@@ -181,6 +181,7 @@ func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) admit(ctx context.Context) (solveResult, bool) {
 	select {
 	case s.sem <- struct{}{}:
+		s.admitted()
 		return solveResult{}, true
 	default:
 	}
@@ -193,6 +194,7 @@ func (s *Server) admit(ctx context.Context) (solveResult, bool) {
 	select {
 	case s.sem <- struct{}{}:
 		s.metrics.queued.Add(-1)
+		s.admitted()
 		return solveResult{}, true
 	case <-ctx.Done():
 		s.metrics.queued.Add(-1)

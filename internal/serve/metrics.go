@@ -39,6 +39,12 @@ type metrics struct {
 	latencyCount atomic.Int64
 	latencySumUS atomic.Int64
 	latencyBkt   [len(latencyBuckets) + 1]atomic.Int64 // +Inf tail
+
+	// Session re-solve latencies (each solve attempt a live session runs,
+	// including safe-table precomputation), same bucket layout.
+	resolveCount atomic.Int64
+	resolveSumUS atomic.Int64
+	resolveBkt   [len(latencyBuckets) + 1]atomic.Int64
 }
 
 // observeSolve records one completed (or canceled) solve's wall time.
@@ -55,9 +61,24 @@ func (m *metrics) observeSolve(d time.Duration) {
 	m.latencyBkt[len(latencyBuckets)].Add(1)
 }
 
+// observeSessionResolve records one session re-solve attempt's wall
+// time (the session.Config.ObserveResolve hook).
+func (m *metrics) observeSessionResolve(d time.Duration) {
+	m.resolveCount.Add(1)
+	m.resolveSumUS.Add(d.Microseconds())
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.resolveBkt[i].Add(1)
+			return
+		}
+	}
+	m.resolveBkt[len(latencyBuckets)].Add(1)
+}
+
 // writeProm renders the metrics in Prometheus text exposition format.
-// cacheLen is sampled at scrape time.
-func (m *metrics) writeProm(w io.Writer, cacheLen int) {
+// cacheLen and sess are sampled at scrape time.
+func (m *metrics) writeProm(w io.Writer, cacheLen int, sess sessionAgg) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -77,10 +98,20 @@ func (m *metrics) writeProm(w io.Writer, cacheLen int) {
 	counter("netdag_certify_requests_total", "Certification requests received.", m.certifyRequests.Load())
 	counter("netdag_certify_violations_total", "Constraints flagged as empirically violated across certification reports.", m.certifyViolations.Load())
 	counter("netdag_campaign_replications_total", "Cumulative fault-campaign replications simulated.", m.campaignReplications.Load())
+	counter("netdag_session_events_total", "Events applied to scheduler sessions (all outcomes).", sess.stats.Events)
+	counter("netdag_session_applied_total", "Session events that committed with a proven replacement schedule.", sess.stats.Applied)
+	counter("netdag_session_rejected_total", "Session events rejected (malformed or unprovable workload changes).", sess.stats.Rejected)
+	counter("netdag_session_rejected_swaps_total", "Unproven incumbents a session refused to install.", sess.stats.RejectedSwaps)
+	counter("netdag_session_fallbacks_total", "Safe-mode installations after failed re-solves.", sess.stats.Fallbacks)
+	counter("netdag_session_mode_switches_total", "Transitions between active and degraded operation.", sess.stats.ModeSwitches)
+	counter("netdag_session_recoveries_total", "Re-solve successes that retired a degraded mode.", sess.stats.Recoveries)
+	counter("netdag_session_resolves_total", "Session re-solve attempts.", sess.stats.Resolves)
+	counter("netdag_session_warm_hits_total", "Re-solves whose warm-start bound admitted the new optimum.", sess.stats.WarmHits)
 	gauge("netdag_inflight_solves", "Solves currently running.", m.inflight.Load())
 	gauge("netdag_inflight_campaigns", "Certification campaigns currently running.", m.inflightCampaigns.Load())
 	gauge("netdag_queue_depth", "Solves waiting for a worker slot.", m.queued.Load())
 	gauge("netdag_cache_entries", "Entries resident in the solution cache.", int64(cacheLen))
+	gauge("netdag_sessions", "Live scheduler sessions.", sess.live)
 
 	fmt.Fprintf(w, "# HELP netdag_solve_seconds Wall time of solves (cache misses only).\n")
 	fmt.Fprintf(w, "# TYPE netdag_solve_seconds histogram\n")
@@ -93,6 +124,18 @@ func (m *metrics) writeProm(w io.Writer, cacheLen int) {
 	fmt.Fprintf(w, "netdag_solve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "netdag_solve_seconds_sum %g\n", float64(m.latencySumUS.Load())/1e6)
 	fmt.Fprintf(w, "netdag_solve_seconds_count %d\n", m.latencyCount.Load())
+
+	fmt.Fprintf(w, "# HELP netdag_session_resolve_seconds Wall time of session re-solve attempts.\n")
+	fmt.Fprintf(w, "# TYPE netdag_session_resolve_seconds histogram\n")
+	cum = 0
+	for i, ub := range latencyBuckets {
+		cum += m.resolveBkt[i].Load()
+		fmt.Fprintf(w, "netdag_session_resolve_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += m.resolveBkt[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "netdag_session_resolve_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "netdag_session_resolve_seconds_sum %g\n", float64(m.resolveSumUS.Load())/1e6)
+	fmt.Fprintf(w, "netdag_session_resolve_seconds_count %d\n", m.resolveCount.Load())
 }
 
 // trimFloat renders a bucket bound without trailing zeros ("0.05", "1").

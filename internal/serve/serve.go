@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -36,7 +37,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/netdag/netdag/internal/backoff"
 	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/session"
 	"github.com/netdag/netdag/internal/spec"
 )
 
@@ -70,6 +73,23 @@ type Config struct {
 	// Logger receives structured access and lifecycle logs (default: a
 	// JSON logger is NOT installed; logs are discarded).
 	Logger *slog.Logger
+	// MaxSessions bounds concurrently live scheduler sessions
+	// (default 8); creation beyond it answers 429.
+	MaxSessions int
+	// SessionDeadline bounds each session re-solve attempt (0 = none:
+	// deterministic single-attempt re-solves).
+	SessionDeadline time.Duration
+	// SessionAttempts bounds deadline-expired re-solve retries per
+	// session event (0 = the session default).
+	SessionAttempts int
+	// RetryPolicy shapes the jittered exponential Retry-After hint on
+	// 429 responses: consecutive rejections push the hint out, a
+	// successful admission resets it. The zero value selects
+	// {Base: 1s, Max: 30s}.
+	RetryPolicy backoff.Policy
+	// RetrySeed seeds the Retry-After jitter (0 = no jitter: hints are
+	// the deterministic envelope).
+	RetrySeed int64
 	// BaseContext is the server's lifetime: canceling it drains the
 	// server — running solves are interrupted, /healthz turns 503
 	// (default context.Background()).
@@ -92,6 +112,14 @@ type Server struct {
 	draining atomic.Bool
 	solve    func(ctx context.Context, p *core.Problem) (*core.Schedule, error)
 	mux      *http.ServeMux
+
+	sessions sessionRegistry
+
+	// Retry-After backoff state: consecutive 429s (any endpoint) widen
+	// the hint; a successful admission resets it.
+	retryMu  sync.Mutex
+	retryRng *rand.Rand // nil = deterministic envelope
+	rejected int        // consecutive 429s
 }
 
 // New builds a Server from cfg, applying defaults for zero fields.
@@ -114,6 +142,15 @@ func New(cfg Config) *Server {
 	if cfg.BaseContext == nil {
 		cfg.BaseContext = context.Background()
 	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 8
+	}
+	if cfg.RetryPolicy.Base <= 0 {
+		cfg.RetryPolicy.Base = time.Second
+	}
+	if cfg.RetryPolicy.Max <= 0 {
+		cfg.RetryPolicy.Max = 30 * time.Second
+	}
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
@@ -125,10 +162,20 @@ func New(cfg Config) *Server {
 	if s.solve == nil {
 		s.solve = core.SolveContext
 	}
+	if cfg.RetrySeed != 0 {
+		s.retryRng = rand.New(rand.NewSource(cfg.RetrySeed))
+	}
+	s.sessions.m = make(map[string]*session.Session)
 	s.flights.m = make(map[string]*flight)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("POST /v1/session/{id}/events", s.handleSessionEvent)
+	s.mux.HandleFunc("GET /v1/session/{id}/journal", s.handleSessionJournal)
+	s.mux.HandleFunc("GET /v1/session/{id}/feed", s.handleSessionFeed)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -167,6 +214,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += n
 	return n, err
+}
+
+// Flush forwards to the wrapped writer so streaming handlers (the
+// session event feed) can push entries through the access-log wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Response headers describing how the request was served.
@@ -265,7 +320,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.cacheMisses.Add(1)
 	res := s.runFlight(r, &f, key, start, deadline)
 	s.flights.finish(key, fl, res)
-	relayResult(w, res, "miss")
+	s.relay(w, res, "miss")
 }
 
 // awaitFlight relays an in-flight solve's result to a follower, giving
@@ -279,7 +334,7 @@ func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight,
 	}
 	select {
 	case <-fl.done:
-		relayResult(w, fl.res, "coalesced")
+		s.relay(w, fl.res, "coalesced")
 	case <-expired:
 		s.metrics.deadlineExpired.Add(1)
 		writeError(w, http.StatusGatewayTimeout, "deadline expired waiting for the coalesced solve")
@@ -398,14 +453,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleMetrics is GET /metrics in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeProm(w, s.cache.len())
+	s.metrics.writeProm(w, s.cache.len(), s.sessionAggregate())
 }
 
-// relayResult writes a flight's outcome, attaching admission hints and
+// relay writes a flight's outcome, attaching admission hints and
 // provenance headers.
-func relayResult(w http.ResponseWriter, res solveResult, cache string) {
+func (s *Server) relay(w http.ResponseWriter, res solveResult, cache string) {
 	if res.status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 	}
 	if res.incomplete {
 		w.Header().Set(incompleteHeader, "deadline")
@@ -413,10 +468,26 @@ func relayResult(w http.ResponseWriter, res solveResult, cache string) {
 	writeJSON(w, res.status, res.body, cache)
 }
 
-// retryAfterSeconds is the Retry-After hint on 429s: long enough for a
-// typical solve to drain a queue slot, short enough to keep tail latency
-// bounded under transient overload.
-const retryAfterSeconds = 1
+// retryAfterHint is the Retry-After value on 429s: a jittered
+// exponential backoff over consecutive rejections (internal/backoff,
+// the same policy shape the session re-solve retry loop uses), so that
+// under sustained overload, retrying clients spread out instead of
+// stampeding back in lockstep every fixed second. A successful
+// admission (admitted) resets the sequence.
+func (s *Server) retryAfterHint() int {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	h := s.cfg.RetryPolicy.HintSeconds(s.rejected, s.retryRng)
+	s.rejected++
+	return h
+}
+
+// admitted resets the Retry-After backoff: capacity exists again.
+func (s *Server) admitted() {
+	s.retryMu.Lock()
+	s.rejected = 0
+	s.retryMu.Unlock()
+}
 
 func errorResult(status int, msg string) solveResult {
 	return solveResult{status: status, body: errorBody(msg)}

@@ -1,0 +1,220 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+
+	"github.com/netdag/netdag/internal/spec"
+)
+
+// Kind names a session event.
+type Kind string
+
+const (
+	// KindInit is the synthetic first journal entry recording the
+	// session's initial certified schedule. It is never accepted by
+	// Apply.
+	KindInit Kind = "init"
+	// KindTaskJoin adds a task (with its incident edges and optional
+	// constraint) to the application — LWB's dynamic stream submission.
+	KindTaskJoin Kind = "task-join"
+	// KindTaskLeave removes a task, its incident edges and constraints.
+	KindTaskLeave Kind = "task-leave"
+	// KindPlacement moves a task to another node.
+	KindPlacement Kind = "placement"
+	// KindDiameter updates the worst-case network diameter, typically
+	// from a mobility profile (network.Profile).
+	KindDiameter Kind = "diameter"
+	// KindLink updates the retransmission floor MinNTX, the uniform
+	// response to degraded link quality reported by campaign
+	// certification. A floor beyond MaxNTX is accepted as a fact — the
+	// re-solve then fails and the session degrades to safe mode.
+	KindLink Kind = "link-quality"
+)
+
+// Event is one delta against the session's problem description.
+// Workload events (task-join, task-leave) admit or retire work and are
+// rejected when no replacement schedule can be proven; environment
+// events (placement, diameter, link-quality) report facts about the
+// world and always commit — when the re-solve fails, the session
+// degrades to a precomputed safe mode instead of refusing the fact.
+type Event struct {
+	Kind Kind `json:"kind"`
+
+	// Task names the subject of task-join / task-leave / placement.
+	Task string `json:"task,omitempty"`
+	// Node is the joining task's placement, or the placement event's new
+	// node.
+	Node string `json:"node,omitempty"`
+	// WCET is the joining task's worst-case execution time.
+	WCET int64 `json:"wcet,omitempty"`
+	// Edges are the joining task's incident dependency edges; each must
+	// reference the joining task on one end.
+	Edges []spec.EdgeSpec `json:"edges,omitempty"`
+	// Soft optionally constrains the joining task (soft mode).
+	Soft *float64 `json:"soft,omitempty"`
+	// WH optionally constrains the joining task (weakly-hard mode).
+	WH *spec.WHSpec `json:"wh,omitempty"`
+	// Rate optionally makes the joining task multi-rate.
+	Rate int `json:"rate,omitempty"`
+
+	// Diameter is the new worst-case hop diameter (diameter events).
+	Diameter int `json:"diameter,omitempty"`
+	// MinNTX is the new retransmission floor (link-quality events).
+	MinNTX int `json:"minNTX,omitempty"`
+}
+
+// environment reports whether the event states a fact about the network
+// or deployment that the session must commit even when it cannot prove a
+// replacement schedule.
+func (e Event) environment() bool {
+	switch e.Kind {
+	case KindPlacement, KindDiameter, KindLink:
+		return true
+	}
+	return false
+}
+
+// workload reports whether the event changes the task set — after which
+// the precomputed safe-mode table no longer covers the application and
+// must be rebuilt.
+func (e Event) workload() bool {
+	return e.Kind == KindTaskJoin || e.Kind == KindTaskLeave
+}
+
+// ErrEvent wraps all event-level validation failures. Such events are
+// journaled as rejected; they never abort the session.
+var ErrEvent = errors.New("session: invalid event")
+
+// cloneFile deep-copies the mutable parts of a problem spec. Statistic
+// and Glossy parameter specs are immutable after decoding and are
+// shared.
+func cloneFile(f *spec.File) *spec.File {
+	c := *f
+	c.Tasks = append([]spec.TaskSpec(nil), f.Tasks...)
+	c.Edges = append([]spec.EdgeSpec(nil), f.Edges...)
+	c.Rates = maps.Clone(f.Rates)
+	c.SoftConstraints = maps.Clone(f.SoftConstraints)
+	c.WHConstraints = maps.Clone(f.WHConstraints)
+	return &c
+}
+
+// applyToFile validates e against the current problem description and
+// returns a new description with the delta applied. The input is never
+// mutated — a failed re-solve must leave the session's description
+// untouched for workload events.
+func applyToFile(f *spec.File, e Event) (*spec.File, error) {
+	n := cloneFile(f)
+	taskAt := func(name string) int {
+		for i, t := range n.Tasks {
+			if t.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	switch e.Kind {
+	case KindTaskJoin:
+		if e.Task == "" || e.Node == "" {
+			return nil, fmt.Errorf("%w: task-join needs task and node", ErrEvent)
+		}
+		if e.WCET <= 0 {
+			return nil, fmt.Errorf("%w: task-join %q needs a positive wcet", ErrEvent, e.Task)
+		}
+		if taskAt(e.Task) >= 0 {
+			return nil, fmt.Errorf("%w: task %q already present", ErrEvent, e.Task)
+		}
+		n.Tasks = append(n.Tasks, spec.TaskSpec{Name: e.Task, Node: e.Node, WCET: e.WCET})
+		seen := make(map[[2]string]bool, len(n.Edges))
+		for _, ex := range n.Edges {
+			seen[[2]string{ex.From, ex.To}] = true
+		}
+		for _, ed := range e.Edges {
+			if ed.From != e.Task && ed.To != e.Task {
+				return nil, fmt.Errorf("%w: join edge %s -> %s does not touch %q", ErrEvent, ed.From, ed.To, e.Task)
+			}
+			other := ed.From
+			if other == e.Task {
+				other = ed.To
+			}
+			if taskAt(other) < 0 {
+				return nil, fmt.Errorf("%w: join edge references unknown task %q", ErrEvent, other)
+			}
+			if seen[[2]string{ed.From, ed.To}] {
+				return nil, fmt.Errorf("%w: duplicate join edge %s -> %s", ErrEvent, ed.From, ed.To)
+			}
+			seen[[2]string{ed.From, ed.To}] = true
+			n.Edges = append(n.Edges, ed)
+		}
+		if e.Soft != nil {
+			if n.Mode != "soft" {
+				return nil, fmt.Errorf("%w: soft constraint on a %q-mode session", ErrEvent, n.Mode)
+			}
+			if n.SoftConstraints == nil {
+				n.SoftConstraints = map[string]float64{}
+			}
+			n.SoftConstraints[e.Task] = *e.Soft
+		}
+		if e.WH != nil {
+			if n.Mode != "weakly-hard" {
+				return nil, fmt.Errorf("%w: weakly-hard constraint on a %q-mode session", ErrEvent, n.Mode)
+			}
+			if n.WHConstraints == nil {
+				n.WHConstraints = map[string]spec.WHSpec{}
+			}
+			n.WHConstraints[e.Task] = *e.WH
+		}
+		if e.Rate > 0 {
+			if n.Rates == nil {
+				n.Rates = map[string]int{}
+			}
+			n.Rates[e.Task] = e.Rate
+		}
+		return n, nil
+	case KindTaskLeave:
+		i := taskAt(e.Task)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: task-leave of unknown task %q", ErrEvent, e.Task)
+		}
+		if len(n.Tasks) == 1 {
+			return nil, fmt.Errorf("%w: cannot remove the last task %q", ErrEvent, e.Task)
+		}
+		n.Tasks = append(n.Tasks[:i], n.Tasks[i+1:]...)
+		kept := n.Edges[:0]
+		for _, ed := range n.Edges {
+			if ed.From != e.Task && ed.To != e.Task {
+				kept = append(kept, ed)
+			}
+		}
+		n.Edges = kept
+		delete(n.SoftConstraints, e.Task)
+		delete(n.WHConstraints, e.Task)
+		delete(n.Rates, e.Task)
+		return n, nil
+	case KindPlacement:
+		i := taskAt(e.Task)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: placement of unknown task %q", ErrEvent, e.Task)
+		}
+		if e.Node == "" {
+			return nil, fmt.Errorf("%w: placement of %q needs a node", ErrEvent, e.Task)
+		}
+		n.Tasks[i].Node = e.Node
+		return n, nil
+	case KindDiameter:
+		if e.Diameter < 1 {
+			return nil, fmt.Errorf("%w: diameter %d must be >= 1", ErrEvent, e.Diameter)
+		}
+		n.Diameter = e.Diameter
+		return n, nil
+	case KindLink:
+		if e.MinNTX < 1 {
+			return nil, fmt.Errorf("%w: minNTX %d must be >= 1", ErrEvent, e.MinNTX)
+		}
+		n.MinNTX = e.MinNTX
+		return n, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %q", ErrEvent, e.Kind)
+	}
+}

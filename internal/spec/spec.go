@@ -30,6 +30,7 @@ type File struct {
 	Mode      string `json:"mode"` // "soft" or "weakly-hard"
 	Diameter  int    `json:"diameter"`
 	MaxNTX    int    `json:"maxNTX,omitempty"`
+	MinNTX    int    `json:"minNTX,omitempty"` // χ domain floor (degraded-link margin); 0 = unconstrained
 	MaxRounds int    `json:"maxRounds,omitempty"`
 
 	Params *ParamsSpec `json:"glossy,omitempty"`
@@ -103,15 +104,27 @@ var (
 	ErrDuplicateEdge = fmt.Errorf("%w: duplicate edge", ErrSpec)
 )
 
-// Load parses a JSON problem spec and builds the core.Problem.
-func Load(r io.Reader) (*core.Problem, error) {
+// Decode parses a JSON problem spec into its File form without building
+// the core.Problem — for callers that need the mutable document itself,
+// like the online session layer, which applies delta events to the File
+// and rebuilds the Problem per re-solve.
+func Decode(r io.Reader) (*File, error) {
 	var f File
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
 	}
-	return Build(&f)
+	return &f, nil
+}
+
+// Load parses a JSON problem spec and builds the core.Problem.
+func Load(r io.Reader) (*core.Problem, error) {
+	f, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return Build(f)
 }
 
 // Build converts a parsed File into a core.Problem.
@@ -177,6 +190,7 @@ func Build(f *File) (*core.Problem, error) {
 		Params:    glossy.DefaultParams(),
 		Diameter:  f.Diameter,
 		MaxNTX:    f.MaxNTX,
+		MinNTX:    f.MinNTX,
 		MaxRounds: f.MaxRounds,
 	}
 	if f.Params != nil {
