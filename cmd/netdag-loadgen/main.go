@@ -1,0 +1,305 @@
+// Command netdag-loadgen drives a netdag-serve instance (or cluster)
+// with a deterministic, seeded stream of problem specs and reports
+// latency percentiles, cache behavior and solver effort as JSON.
+//
+// Usage:
+//
+//	netdag-loadgen [-target http://localhost:8080[,http://localhost:8081,...]]
+//	               [-spec base.json] [-requests 200] [-variants 25]
+//	               [-concurrency 8] [-seed 1] [-deadline 0] [-label run1]
+//	               [-out bench.json]
+//
+// The workload is a closed-loop mix over -variants weight-mutated
+// clones of the base spec (same DAG shape, WCETs and widths scaled
+// deterministically from -seed), drawn with a Zipf-ish skew so a hot
+// set repeats — the shape a fleet of similar deployments produces.
+// With several comma-separated targets, requests round-robin across
+// them, exercising cluster forwarding.
+//
+// The report separates cold misses (first solve of a shape) from
+// warm-started misses (X-Netdag-Warm present), so the effect of
+// structural warm-starting on tail latency is directly visible.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netdag/netdag/internal/spec"
+)
+
+const baseSpec = `{
+  "mode": "weakly-hard",
+  "diameter": 3,
+  "tasks": [
+    {"name": "sense", "node": "n0", "wcet": 500},
+    {"name": "ctrl",  "node": "n1", "wcet": 2000},
+    {"name": "act",   "node": "n2", "wcet": 300}
+  ],
+  "edges": [
+    {"from": "sense", "to": "ctrl", "width": 8},
+    {"from": "ctrl",  "to": "act",  "width": 4}
+  ],
+  "whStatistic": {"type": "synthetic"},
+  "whConstraints": {"act": {"misses": 10, "window": 40}}
+}`
+
+// sample is one completed request, classified for the report.
+type sample struct {
+	latency  time.Duration
+	status   int
+	cache    string // hit | miss | coalesced | remote | ""
+	warm     bool   // X-Netdag-Warm present (warm-started miss)
+	peer     string // X-Netdag-Peer (served by a remote owner)
+	nodes    int64  // ScheduleOut.SolverNodes, 200s only
+	explored int64  // ScheduleOut.Explored, 200s only
+}
+
+// latencyStats summarizes one class of samples.
+type latencyStats struct {
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50MS"`
+	P90MS float64 `json:"p90MS"`
+	P99MS float64 `json:"p99MS"`
+	MaxMS float64 `json:"maxMS"`
+}
+
+// report is the JSON document -out receives (the BENCH_PR8.json shape).
+type report struct {
+	Label       string   `json:"label,omitempty"`
+	Targets     []string `json:"targets"`
+	Requests    int      `json:"requests"`
+	Variants    int      `json:"variants"`
+	Concurrency int      `json:"concurrency"`
+	Seed        int64    `json:"seed"`
+	WallMS      float64  `json:"wallMS"`
+
+	Statuses map[string]int `json:"statuses"`
+	ByCache  map[string]int `json:"byCache"`
+	HitRate  float64        `json:"hitRate"` // hits / completed 200s
+	Remote   int            `json:"remote"`  // answers served by a peer
+	ByPeer   map[string]int `json:"byPeer,omitempty"`
+
+	All        latencyStats `json:"all"`
+	Hits       latencyStats `json:"hits"`
+	ColdMisses latencyStats `json:"coldMisses"` // miss, no warm hint
+	WarmMisses latencyStats `json:"warmMisses"` // miss, warm-started
+
+	SolverNodesCold int64 `json:"solverNodesCold"` // summed over cold misses
+	SolverNodesWarm int64 `json:"solverNodesWarm"` // summed over warm misses
+	ExploredCold    int64 `json:"exploredCold"`    // round assignments examined, cold misses
+	ExploredWarm    int64 `json:"exploredWarm"`    // round assignments examined, warm misses
+}
+
+func main() {
+	target := flag.String("target", "http://localhost:8080", "serve base URL(s), comma-separated; requests round-robin")
+	specPath := flag.String("spec", "", "base problem spec (default: the built-in 3-task pipeline)")
+	requests := flag.Int("requests", 200, "total requests to issue")
+	variants := flag.Int("variants", 25, "distinct weight-mutated variants of the base spec")
+	concurrency := flag.Int("concurrency", 8, "in-flight requests")
+	seed := flag.Int64("seed", 1, "workload seed: variant weights and draw order")
+	deadline := flag.Duration("deadline", 0, "per-request ?deadline= (0 = none)")
+	label := flag.String("label", "", "free-form run label copied into the report")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	flag.Parse()
+
+	base := []byte(baseSpec)
+	if *specPath != "" {
+		b, err := os.ReadFile(*specPath)
+		if err != nil {
+			fatalf("read spec: %v", err)
+		}
+		base = b
+	}
+	var f spec.File
+	if err := json.Unmarshal(base, &f); err != nil {
+		fatalf("parse spec: %v", err)
+	}
+	targets := strings.Split(*target, ",")
+	for i := range targets {
+		targets[i] = strings.TrimRight(strings.TrimSpace(targets[i]), "/")
+	}
+
+	// Deterministic workload: -variants clones of the base spec with
+	// scaled weights (same structural fingerprint, distinct exact
+	// fingerprints), then -requests draws skewed toward low indices so
+	// some variants repeat (cache hits) and some appear once (misses).
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, *variants)
+	for i := range bodies {
+		v := f // shallow copy; Tasks/Edges replaced below
+		v.Tasks = make([]spec.TaskSpec, len(f.Tasks))
+		for j, task := range f.Tasks {
+			task.WCET = 1 + task.WCET*int64(50+rng.Intn(100))/100
+			v.Tasks[j] = task
+		}
+		v.Edges = make([]spec.EdgeSpec, len(f.Edges))
+		for j, edge := range f.Edges {
+			edge.Width = 1 + edge.Width*(50+rng.Intn(100))/100
+			v.Edges[j] = edge
+		}
+		b, err := json.Marshal(&v)
+		if err != nil {
+			fatalf("marshal variant %d: %v", i, err)
+		}
+		bodies[i] = b
+	}
+	draws := make([]int, *requests)
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(*variants-1))
+	for i := range draws {
+		draws[i] = int(zipf.Uint64())
+	}
+
+	query := ""
+	if *deadline > 0 {
+		query = "?deadline=" + deadline.String()
+	}
+	client := &http.Client{}
+	samples := make([]sample, *requests)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				url := targets[i%len(targets)] + "/v1/solve" + query
+				samples[i] = issue(client, url, bodies[draws[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	rep := summarize(samples, *label, targets, *variants, *concurrency, *seed, wall)
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("encode report: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatalf("write report: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "netdag-loadgen: %d requests in %s, report in %s\n",
+		*requests, wall.Round(time.Millisecond), *out)
+}
+
+// issue sends one solve and classifies the answer.
+func issue(client *http.Client, url string, body []byte) sample {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{latency: time.Since(start), status: -1}
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(resp.Body)
+	s := sample{
+		latency: time.Since(start),
+		status:  resp.StatusCode,
+		cache:   resp.Header.Get("X-Netdag-Cache"),
+		warm:    resp.Header.Get("X-Netdag-Warm") != "",
+		peer:    resp.Header.Get("X-Netdag-Peer"),
+	}
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			SolverNodes int64 `json:"solverNodes"`
+			Explored    int64 `json:"explored"`
+		}
+		if json.Unmarshal(payload, &out) == nil {
+			s.nodes = out.SolverNodes
+			s.explored = out.Explored
+		}
+	}
+	return s
+}
+
+func summarize(samples []sample, label string, targets []string, variants, concurrency int, seed int64, wall time.Duration) report {
+	rep := report{
+		Label: label, Targets: targets, Requests: len(samples),
+		Variants: variants, Concurrency: concurrency, Seed: seed,
+		WallMS:   float64(wall.Microseconds()) / 1000,
+		Statuses: map[string]int{}, ByCache: map[string]int{}, ByPeer: map[string]int{},
+	}
+	var all, hits, cold, warm []time.Duration
+	completed := 0
+	for _, s := range samples {
+		rep.Statuses[fmt.Sprint(s.status)]++
+		if s.cache != "" {
+			rep.ByCache[s.cache]++
+		}
+		if s.peer != "" {
+			rep.Remote++
+			rep.ByPeer[s.peer]++
+		}
+		if s.status != http.StatusOK {
+			continue
+		}
+		completed++
+		all = append(all, s.latency)
+		switch {
+		case s.cache == "hit":
+			hits = append(hits, s.latency)
+		case s.cache == "miss" && s.warm:
+			warm = append(warm, s.latency)
+			rep.SolverNodesWarm += s.nodes
+			rep.ExploredWarm += s.explored
+		case s.cache == "miss":
+			cold = append(cold, s.latency)
+			rep.SolverNodesCold += s.nodes
+			rep.ExploredCold += s.explored
+		}
+	}
+	if completed > 0 {
+		rep.HitRate = float64(rep.ByCache["hit"]) / float64(completed)
+	}
+	rep.All = percentiles(all)
+	rep.Hits = percentiles(hits)
+	rep.ColdMisses = percentiles(cold)
+	rep.WarmMisses = percentiles(warm)
+	if len(rep.ByPeer) == 0 {
+		rep.ByPeer = nil
+	}
+	return rep
+}
+
+func percentiles(ds []time.Duration) latencyStats {
+	if len(ds) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ds)-1))
+		return ms(ds[i])
+	}
+	return latencyStats{
+		Count: len(ds),
+		P50MS: at(0.50), P90MS: at(0.90), P99MS: at(0.99),
+		MaxMS: ms(ds[len(ds)-1]),
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "netdag-loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

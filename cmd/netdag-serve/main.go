@@ -8,10 +8,13 @@
 //	netdag-serve [-addr :8080] [-cache 256] [-solves N] [-queue 64]
 //	             [-workers 0] [-deadline 0] [-max-deadline 0] [-drain 10s]
 //	             [-sessions 8] [-session-deadline 2s] [-session-attempts 3]
+//	             [-journal cache.journal]
+//	             [-peer-name a -peers a=http://h1:8080,b=http://h2:8080]
 //
 // Endpoints:
 //
 //	POST   /v1/solve[?deadline=500ms]  spec.File in, spec.ScheduleOut out
+//	POST   /v1/solve-batch             {"specs":[...]} in, per-item statuses out
 //	POST   /v1/session                 create a long-lived scheduler session
 //	GET    /v1/session/{id}            session status snapshot
 //	POST   /v1/session/{id}/events     apply one delta event
@@ -38,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/netdag/netdag/internal/cluster"
 	"github.com/netdag/netdag/internal/serve"
 )
 
@@ -56,9 +60,30 @@ func main() {
 	sessDeadline := flag.Duration("session-deadline", 0, "per-attempt re-solve deadline inside a session (0 = library default)")
 	sessAttempts := flag.Int("session-attempts", 0, "re-solve attempts before a session degrades (0 = library default)")
 	retrySeed := flag.Int64("retry-seed", 0, "jitter seed for 429 Retry-After hints (0 = deterministic envelope)")
+	journalPath := flag.String("journal", "", "persistent cache journal file (empty = in-memory cache only)")
+	peerName := flag.String("peer-name", "", "this instance's name on the cluster ring")
+	peerList := flag.String("peers", "", "cluster membership as name=baseURL,name=baseURL,... (must include -peer-name)")
+	ringReplicas := flag.Int("ring-replicas", cluster.DefaultReplicas, "virtual nodes per peer on the hash ring")
+	warm := flag.Bool("warm", true, "warm-start cache misses from structurally identical cached schedules")
+	batchItems := flag.Int("batch-items", 256, "max specs per /v1/solve-batch request")
+	batchBytes := flag.Int64("batch-bytes", 16<<20, "batch request body limit (bytes)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	var clusterCfg cluster.Config
+	if *peerList != "" || *peerName != "" {
+		peers, err := cluster.ParsePeers(*peerList)
+		if err != nil {
+			logger.Error("invalid -peers", "err", err)
+			os.Exit(2)
+		}
+		clusterCfg = cluster.Config{Self: *peerName, Peers: peers, Replicas: *ringReplicas}
+		if err := clusterCfg.Validate(); err != nil {
+			logger.Error("invalid cluster flags", "err", err)
+			os.Exit(2)
+		}
+	}
 
 	// baseCtx is the solves' lifetime: it outlives the signal context by
 	// the drain budget so in-flight requests can finish, then cancels,
@@ -67,21 +92,32 @@ func main() {
 	defer cancelSolves()
 
 	srv := serve.New(serve.Config{
-		CacheEntries:    *cacheEntries,
-		MaxConcurrent:   *maxSolves,
-		QueueDepth:      *queueDepth,
-		SolveWorkers:    *workers,
-		Portfolio:       *portfolio,
-		DefaultDeadline: *defDeadline,
-		MaxDeadline:     *maxDeadline,
-		MaxBodyBytes:    *maxBody,
-		MaxSessions:     *maxSessions,
-		SessionDeadline: *sessDeadline,
-		SessionAttempts: *sessAttempts,
-		RetrySeed:       *retrySeed,
-		Logger:          logger,
-		BaseContext:     baseCtx,
+		CacheEntries:     *cacheEntries,
+		MaxConcurrent:    *maxSolves,
+		QueueDepth:       *queueDepth,
+		SolveWorkers:     *workers,
+		Portfolio:        *portfolio,
+		DefaultDeadline:  *defDeadline,
+		MaxDeadline:      *maxDeadline,
+		MaxBodyBytes:     *maxBody,
+		MaxSessions:      *maxSessions,
+		SessionDeadline:  *sessDeadline,
+		SessionAttempts:  *sessAttempts,
+		RetrySeed:        *retrySeed,
+		Cluster:          clusterCfg,
+		DisableWarmStart: !*warm,
+		MaxBatchItems:    *batchItems,
+		MaxBatchBytes:    *batchBytes,
+		Logger:           logger,
+		BaseContext:      baseCtx,
 	})
+
+	if *journalPath != "" {
+		if _, err := srv.AttachJournal(*journalPath); err != nil {
+			logger.Error("journal attach failed", "path", *journalPath, "err", err)
+			os.Exit(1)
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -112,6 +148,9 @@ func main() {
 	}
 	srv.CloseSessions() // journals stop growing; feeds end cleanly
 	cancelSolves()      // interrupt anything still searching
+	if err := srv.CloseJournal(); err != nil {
+		logger.Error("journal close", "err", err)
+	}
 	logger.Info("stopped")
 	fmt.Fprintln(os.Stderr, "netdag-serve: drained")
 }

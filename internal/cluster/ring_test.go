@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys returns n distinct fingerprint-shaped keys.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("spec-fingerprint-%06d", i)
+	}
+	return out
+}
+
+func peerNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("peer%d", i)
+	}
+	return out
+}
+
+// TestRingDistribution: across 3–16 peers at the default replica count,
+// the busiest peer carries at most 1.6× the mean load and the idlest at
+// least half of it — the skew bound that makes per-peer cache capacity
+// planning possible.
+func TestRingDistribution(t *testing.T) {
+	const nKeys = 20000
+	ks := keys(nKeys)
+	for _, peers := range []int{3, 4, 5, 8, 12, 16} {
+		t.Run(fmt.Sprintf("%dpeers", peers), func(t *testing.T) {
+			r := NewRing(0, peerNames(peers)...)
+			load := make(map[string]int, peers)
+			for _, k := range ks {
+				load[r.Owner(k)]++
+			}
+			if len(load) != peers {
+				t.Fatalf("keys landed on %d of %d peers", len(load), peers)
+			}
+			mean := float64(nKeys) / float64(peers)
+			for p, n := range load {
+				ratio := float64(n) / mean
+				if ratio > 1.6 || ratio < 0.5 {
+					t.Errorf("%s holds %d keys (%.2fx mean %.0f); skew bound violated", p, n, ratio, mean)
+				}
+			}
+		})
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one peer moves only the
+// keys whose arc changed — roughly 1/N of the keyspace — and every
+// moved key involves the changed peer (no unrelated reshuffling).
+func TestRingMinimalMovement(t *testing.T) {
+	const nKeys = 20000
+	ks := keys(nKeys)
+	for _, peers := range []int{3, 4, 8, 16} {
+		t.Run(fmt.Sprintf("join%d", peers), func(t *testing.T) {
+			before := NewRing(0, peerNames(peers)...)
+			owners := make([]string, nKeys)
+			for i, k := range ks {
+				owners[i] = before.Owner(k)
+			}
+			after := NewRing(0, peerNames(peers)...)
+			joined := "joiner"
+			after.Add(joined)
+			moved := 0
+			for i, k := range ks {
+				now := after.Owner(k)
+				if now == owners[i] {
+					continue
+				}
+				moved++
+				if now != joined {
+					t.Fatalf("key %s moved %s → %s, but only moves to the joiner are minimal", k, owners[i], now)
+				}
+			}
+			frac := float64(moved) / nKeys
+			want := 1 / float64(peers+1)
+			if frac > 2*want || frac == 0 {
+				t.Errorf("join moved %.1f%% of keys; want ≈%.1f%% (<2x)", 100*frac, 100*want)
+			}
+		})
+		t.Run(fmt.Sprintf("leave%d", peers), func(t *testing.T) {
+			names := peerNames(peers)
+			before := NewRing(0, names...)
+			owners := make([]string, nKeys)
+			for i, k := range ks {
+				owners[i] = before.Owner(k)
+			}
+			gone := names[peers/2]
+			after := NewRing(0, names...)
+			after.Remove(gone)
+			moved := 0
+			for i, k := range ks {
+				now := after.Owner(k)
+				if now == owners[i] {
+					continue
+				}
+				moved++
+				if owners[i] != gone {
+					t.Fatalf("key %s moved off surviving peer %s", k, owners[i])
+				}
+			}
+			frac := float64(moved) / nKeys
+			want := 1 / float64(peers)
+			if frac > 2*want || frac == 0 {
+				t.Errorf("leave moved %.1f%% of keys; want ≈%.1f%% (<2x)", 100*frac, 100*want)
+			}
+		})
+	}
+}
+
+// TestRingDeterministic: ownership is a pure function of membership —
+// insertion order, duplicate adds and independent ring instances all
+// agree. This is the property the serve tier leans on: peers route
+// without coordinating.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(0, "alpha", "beta", "gamma")
+	b := NewRing(0, "gamma", "alpha", "beta")
+	b.Add("alpha") // duplicate add is a no-op
+	for _, k := range keys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("rings disagree on %s: %s vs %s", k, ao, bo)
+		}
+	}
+	if got := a.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(4)
+	if r.Owner("anything") != "" {
+		t.Error("empty ring owns keys")
+	}
+	r.Add("solo")
+	if r.Owner("anything") != "solo" {
+		t.Error("single-peer ring must own everything")
+	}
+	r.Remove("ghost") // non-member: no-op
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after removing non-member, want 1", r.Len())
+	}
+	r.Remove("solo")
+	if r.Owner("anything") != "" || r.Len() != 0 {
+		t.Error("emptied ring still owns keys")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"zero is unclustered", Config{}, false},
+		{"valid", Config{Self: "a", Peers: map[string]string{"a": "http://x", "b": "http://y"}}, false},
+		{"self without URL ok", Config{Self: "a", Peers: map[string]string{"a": "", "b": "http://y"}}, false},
+		{"missing self", Config{Peers: map[string]string{"a": "http://x"}}, true},
+		{"self not a member", Config{Self: "z", Peers: map[string]string{"a": "http://x"}}, true},
+		{"peer without URL", Config{Self: "a", Peers: map[string]string{"a": "http://x", "b": ""}}, true},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err != nil) != c.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://x:1,b=http://y:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers["a"] != "http://x:1" || peers["b"] != "http://y:2" {
+		t.Errorf("parsed %v", peers)
+	}
+	if p, err := ParsePeers(""); err != nil || p != nil {
+		t.Errorf("empty list: %v %v", p, err)
+	}
+	// URLs may themselves contain '=' (query strings); only the first
+	// one splits.
+	peers, err = ParsePeers("a=http://x/?k=v")
+	if err != nil || peers["a"] != "http://x/?k=v" {
+		t.Errorf("url with '=': %v %v", peers, err)
+	}
+	for _, bad := range []string{"nourl", "=http://x", "a=1,a=2"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/solver"
+)
+
+func postBatch(t *testing.T, s *Server, body, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve-batch"+query, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func batchOf(specs ...string) string {
+	return `{"specs":[` + strings.Join(specs, ",") + `]}`
+}
+
+func decodeBatch(t *testing.T, rec *httptest.ResponseRecorder) BatchResponse {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch envelope: status %d, body %s", rec.Code, rec.Body)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("batch response: %v", err)
+	}
+	return out
+}
+
+// TestBatchDedupsByFingerprint: duplicate items — including textually
+// different renderings of the same spec — cost one solve; later twins
+// answer with cache "dedup" and the identical schedule.
+func TestBatchDedupsByFingerprint(t *testing.T) {
+	s := New(Config{})
+	// Item 2 is item 0 with tasks and edges reordered: same fingerprint.
+	reordered := `{
+	  "mode": "weakly-hard", "diameter": 3,
+	  "tasks": [
+	    {"name": "act",   "node": "n2", "wcet": 300},
+	    {"name": "ctrl",  "node": "n1", "wcet": 2000},
+	    {"name": "sense", "node": "n0", "wcet": 500}
+	  ],
+	  "edges": [
+	    {"from": "ctrl",  "to": "act",  "width": 4},
+	    {"from": "sense", "to": "ctrl", "width": 8}
+	  ],
+	  "whStatistic": {"type": "synthetic"},
+	  "whConstraints": {"act": {"misses": 10, "window": 40}}
+	}`
+	out := decodeBatch(t, postBatch(t, s, batchOf(pipelineSpec(3), pipelineSpec(4), reordered), ""))
+	if out.Unique != 2 || out.Deduped != 1 {
+		t.Fatalf("unique=%d deduped=%d, want 2/1", out.Unique, out.Deduped)
+	}
+	for i, item := range out.Items {
+		if item.Status != http.StatusOK {
+			t.Fatalf("item %d: status %d (%s)", i, item.Status, item.Error)
+		}
+		if item.Index != i {
+			t.Errorf("item %d carries index %d", i, item.Index)
+		}
+	}
+	if out.Items[2].Cache != "dedup" {
+		t.Errorf("duplicate item cache = %q, want dedup", out.Items[2].Cache)
+	}
+	if out.Items[0].Fingerprint != out.Items[2].Fingerprint {
+		t.Error("reordered twin fingerprinted differently")
+	}
+	if string(out.Items[0].Schedule) != string(out.Items[2].Schedule) {
+		t.Error("deduped item received a different schedule than its twin")
+	}
+	if m := s.metrics.cacheMisses.Load(); m != 2 {
+		t.Errorf("cacheMisses = %d, want 2 (one per unique spec)", m)
+	}
+	if d := s.metrics.batchDeduped.Load(); d != 1 {
+		t.Errorf("batchDeduped = %d, want 1", d)
+	}
+	// A follow-up single solve of a batch-cached spec hits.
+	if r := postSolve(t, s, pipelineSpec(3), ""); r.Header().Get(cacheHeader) != "hit" {
+		t.Errorf("post-batch solve cache header = %q, want hit", r.Header().Get(cacheHeader))
+	}
+}
+
+// TestBatchOneBadItemDoesNotFailTheBatch: malformed and unsolvable
+// items answer 400/422 in their own slots while the rest solve.
+func TestBatchOneBadItemDoesNotFailTheBatch(t *testing.T) {
+	s := New(Config{})
+	unsat := `{
+	  "mode": "soft", "diameter": 3,
+	  "tasks": [
+	    {"name": "a", "node": "n0", "wcet": 100},
+	    {"name": "b", "node": "n1", "wcet": 100}
+	  ],
+	  "edges": [{"from": "a", "to": "b", "width": 4}],
+	  "softStatistic": {"type": "bernoulli", "perTX": 0.9},
+	  "softConstraints": {"b": 1.0}
+	}`
+	out := decodeBatch(t, postBatch(t, s, batchOf(
+		pipelineSpec(3),
+		`{"mode": "soft", "bogus": 1}`, // unknown field → malformed
+		unsat,
+		`"not an object"`,
+	), ""))
+	wantStatus := []int{http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusBadRequest}
+	for i, want := range wantStatus {
+		if out.Items[i].Status != want {
+			t.Errorf("item %d: status %d, want %d (error %q)", i, out.Items[i].Status, want, out.Items[i].Error)
+		}
+	}
+	if out.Items[0].Schedule == nil {
+		t.Error("good item lost its schedule")
+	}
+	for _, i := range []int{1, 2, 3} {
+		if out.Items[i].Error == "" {
+			t.Errorf("failed item %d carries no error", i)
+		}
+		if out.Items[i].Schedule != nil {
+			t.Errorf("failed item %d carries a schedule", i)
+		}
+	}
+	if out.Unique != 2 { // the solvable spec + the unsat spec
+		t.Errorf("unique = %d, want 2", out.Unique)
+	}
+}
+
+// TestBatchErrorContract pins the ErrCanceled-vs-ErrBounded mapping at
+// the batch boundary with an instrumented solver: a canceled solve
+// with an incumbent is a 200 + incomplete (never cached), a canceled
+// solve without one is that item's 504, and ErrBounded — like every
+// non-cancellation solver error — is a 422, exactly as /v1/solve maps
+// them.
+func TestBatchErrorContract(t *testing.T) {
+	s := New(Config{
+		SolveFn: func(ctx context.Context, p *core.Problem) (*core.Schedule, error) {
+			switch p.Diameter {
+			case 5: // deadline with no incumbent
+				return nil, core.ErrCanceled
+			case 6: // deadline with an incumbent in hand
+				sched, err := core.SolveContext(context.Background(), p)
+				if err != nil {
+					return nil, err
+				}
+				sched.Optimal = false
+				return sched, core.ErrCanceled
+			case 7: // externally-bounded search exhausted its bound
+				return nil, solver.ErrBounded
+			}
+			return core.SolveContext(ctx, p)
+		},
+	})
+	out := decodeBatch(t, postBatch(t, s, batchOf(
+		pipelineSpec(3), pipelineSpec(5), pipelineSpec(6), pipelineSpec(7),
+	), ""))
+
+	if got := out.Items[0].Status; got != http.StatusOK {
+		t.Errorf("plain item: status %d, want 200", got)
+	}
+	if got := out.Items[1].Status; got != http.StatusGatewayTimeout {
+		t.Errorf("canceled-no-incumbent item: status %d, want 504", got)
+	}
+	if got := out.Items[2]; got.Status != http.StatusOK || !got.Incomplete {
+		t.Errorf("canceled-with-incumbent item: status %d incomplete %v, want 200/true", got.Status, got.Incomplete)
+	}
+	if got := out.Items[3].Status; got != http.StatusUnprocessableEntity {
+		t.Errorf("ErrBounded item: status %d, want 422", got)
+	}
+	// Only the complete, proven solve entered the cache.
+	if n := s.cache.len(); n != 1 {
+		t.Errorf("cache holds %d entries, want 1 (incumbents and failures are uncacheable)", n)
+	}
+}
+
+// TestBatchAdmissionRejection: a batch saturating the worker budget has
+// its overflow item answer 429 in place while the admitted items
+// complete — the batch shares the global admit() budget rather than
+// bypassing it.
+func TestBatchAdmissionRejection(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{
+		MaxConcurrent: 1,
+		QueueDepth:    1,
+		SolveFn: func(ctx context.Context, p *core.Problem) (*core.Schedule, error) {
+			<-release
+			return core.SolveContext(ctx, p)
+		},
+	})
+	done := make(chan BatchResponse, 1)
+	go func() {
+		rec := postBatch(t, s, batchOf(pipelineSpec(3), pipelineSpec(4), pipelineSpec(5)), "")
+		var out BatchResponse
+		json.Unmarshal(rec.Body.Bytes(), &out)
+		done <- out
+	}()
+	waitFor(t, func() bool { return s.metrics.admissionRejected.Load() == 1 })
+	close(release)
+	out := <-done
+
+	counts := map[int]int{}
+	for _, item := range out.Items {
+		counts[item.Status]++
+	}
+	if counts[http.StatusOK] != 2 || counts[http.StatusTooManyRequests] != 1 {
+		t.Fatalf("status counts = %v, want two 200s and one 429", counts)
+	}
+}
+
+// TestBatchEnvelopeRejections: only envelope-level problems fail the
+// whole request.
+func TestBatchEnvelopeRejections(t *testing.T) {
+	s := New(Config{MaxBatchItems: 2})
+	for name, body := range map[string]string{
+		"not json":      "{",
+		"empty":         `{"specs": []}`,
+		"missing specs": `{}`,
+		"over limit":    batchOf(pipelineSpec(3), pipelineSpec(4), pipelineSpec(5)),
+		"unknown field": `{"specs": [{}], "mode": "x"}`,
+	} {
+		if r := postBatch(t, s, body, ""); r.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, r.Code)
+		}
+	}
+	if r := postBatch(t, s, batchOf(pipelineSpec(3)), "?deadline=bogus"); r.Code != http.StatusBadRequest {
+		t.Errorf("bad deadline: status %d, want 400", r.Code)
+	}
+}
+
+// TestBatchItemsShareFlights: identical specs split across a batch and
+// a concurrent single request coalesce onto one solve.
+func TestBatchItemsShareFlights(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	first := true
+	s := New(Config{
+		MaxConcurrent: 4,
+		SolveFn: func(ctx context.Context, p *core.Problem) (*core.Schedule, error) {
+			if first {
+				first = false
+				close(entered)
+				<-release
+			}
+			return core.SolveContext(ctx, p)
+		},
+	})
+	soloDone := make(chan int, 1)
+	go func() {
+		r := postSolve(t, s, pipelineSpec(3), "")
+		soloDone <- r.Code
+	}()
+	<-entered // the single request leads the flight
+
+	batchDone := make(chan BatchResponse, 1)
+	go func() {
+		batchDone <- decodeBatch(t, postBatch(t, s, batchOf(pipelineSpec(3)), ""))
+	}()
+	waitFor(t, func() bool { return s.metrics.coalesced.Load() == 1 })
+	close(release)
+	if code := <-soloDone; code != http.StatusOK {
+		t.Fatalf("solo request: status %d", code)
+	}
+	out := <-batchDone
+	if out.Items[0].Status != http.StatusOK || out.Items[0].Cache != "coalesced" {
+		t.Errorf("batch item = %d/%q, want 200/coalesced", out.Items[0].Status, out.Items[0].Cache)
+	}
+	if m := s.metrics.cacheMisses.Load(); m != 1 {
+		t.Errorf("cacheMisses = %d, want 1 (batch coalesced onto the in-flight solve)", m)
+	}
+}
+
+// sanity-check the helper: batchOf builds valid envelopes
+func TestBatchOfHelper(t *testing.T) {
+	var req batchRequest
+	if err := json.Unmarshal([]byte(batchOf(pipelineSpec(3), pipelineSpec(4))), &req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Specs) != 2 {
+		t.Fatal(fmt.Errorf("helper built %d specs", len(req.Specs)))
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/netdag/netdag/internal/cluster"
+	"github.com/netdag/netdag/internal/spec"
+)
+
+// maxRelayBytes bounds what a forwarding peer will buffer of the
+// owner's response before giving up on the relay.
+const maxRelayBytes = 64 << 20
+
+// clusterState is the server's view of the cache-sharding cluster:
+// the membership ring plus the HTTP client used to forward solves to
+// the owning peer.
+type clusterState struct {
+	cfg    cluster.Config
+	ring   *cluster.Ring
+	client *http.Client
+}
+
+func newClusterState(cfg cluster.Config) *clusterState {
+	return &clusterState{
+		cfg:  cfg,
+		ring: cfg.Ring(),
+		client: &http.Client{
+			// No global timeout: forwarded requests carry the caller's
+			// deadline in their context (and in the ?deadline= they hand
+			// the owner); an undeadlined solve may legitimately run long.
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost:   4,
+				IdleConnTimeout:       90 * time.Second,
+				ResponseHeaderTimeout: 0,
+			},
+		},
+	}
+}
+
+// ownerOf resolves a fingerprint to its owning peer. remote is false
+// when this instance owns the key (or the ring is degenerate).
+func (c *clusterState) ownerOf(key string) (name, baseURL string, remote bool) {
+	name = c.ring.Owner(key)
+	if name == "" || name == c.cfg.Self {
+		return name, "", false
+	}
+	return name, c.cfg.Peers[name], true
+}
+
+// forward relays one spec to its owning peer's /v1/solve and returns
+// the owner's answer. ok is false when the owner could not be reached
+// or answered 5xx — the caller then solves locally so a dead peer
+// degrades throughput, not availability. The forwarded request carries
+// forwardedHeader, which the owner honors by never forwarding again:
+// routing is single-hop by construction, even while peers briefly
+// disagree about membership.
+func (s *Server) forward(waitCtx context.Context, owner, base string, f *spec.File, start time.Time, deadline time.Duration) (solveResult, bool) {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return solveResult{}, false
+	}
+	target := base + "/v1/solve"
+	ctx := waitCtx
+	if deadline > 0 {
+		rem := deadline - time.Since(start)
+		if rem <= 0 {
+			s.metrics.deadlineExpired.Add(1)
+			return errorResult(http.StatusGatewayTimeout, "deadline expired before forwarding"), true
+		}
+		// The owner gets the remaining budget so its incumbent-at-deadline
+		// semantics apply remotely too; the local context mirrors it (with
+		// slack for the response to travel back).
+		target += "?deadline=" + url.QueryEscape(rem.String())
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(waitCtx, start.Add(deadline+2*time.Second))
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return solveResult{}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, s.clust.cfg.Self)
+	resp, err := s.clust.client.Do(req)
+	if err != nil {
+		return solveResult{}, false
+	}
+	defer resp.Body.Close()
+	relayed, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes))
+	if err != nil || resp.StatusCode >= http.StatusInternalServerError {
+		// A sick owner (5xx) is treated like an unreachable one: the
+		// caller's local solve produces a correct answer regardless.
+		return solveResult{}, false
+	}
+	s.metrics.forwarded.Add(1)
+	return solveResult{
+		status:     resp.StatusCode,
+		body:       relayed,
+		incomplete: resp.Header.Get(incompleteHeader) != "",
+		peer:       owner,
+	}, true
+}
+
+// Peers reports the cluster membership this instance routes over
+// (empty when unclustered) — surfaced for CLIs and tests.
+func (s *Server) Peers() []string {
+	if s.clust == nil {
+		return nil
+	}
+	return s.clust.ring.Peers()
+}

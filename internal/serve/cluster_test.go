@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/cluster"
+	"github.com/netdag/netdag/internal/spec"
+)
+
+// testCluster wires n Servers into a consistent-hash cluster over
+// httptest listeners. The listener URLs must exist before the serve
+// Configs can name them, so each listener dispatches through a slot
+// that is filled in once its Server is built.
+type testCluster struct {
+	names   []string
+	servers []*Server
+	https   []*httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int, mut func(i int, cfg *Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	slots := make([]*Server, n)
+	peers := map[string]string{}
+	for i := 0; i < n; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			slots[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		tc.https = append(tc.https, ts)
+		name := fmt.Sprintf("peer%d", i)
+		tc.names = append(tc.names, name)
+		peers[name] = ts.URL
+	}
+	for i := 0; i < n; i++ {
+		cfg := Config{Cluster: cluster.Config{Self: tc.names[i], Peers: peers}}
+		if mut != nil {
+			mut(i, &cfg)
+		}
+		slots[i] = New(cfg)
+		tc.servers = append(tc.servers, slots[i])
+	}
+	return tc
+}
+
+// specOwnedBy scans diameters until it finds a pipeline spec whose
+// fingerprint the ring assigns to the wanted peer, returning the spec
+// and its fingerprint.
+func (tc *testCluster) specOwnedBy(t *testing.T, want string) (string, string) {
+	t.Helper()
+	ring := cluster.NewRing(cluster.DefaultReplicas, tc.names...)
+	for d := 3; d < 80; d++ {
+		body := pipelineSpec(d)
+		var f spec.File
+		if err := json.Unmarshal([]byte(body), &f); err != nil {
+			t.Fatal(err)
+		}
+		key, err := spec.Fingerprint(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Owner(key) == want {
+			return body, key
+		}
+	}
+	t.Fatalf("no pipeline spec owned by %s in diameter range", want)
+	return "", ""
+}
+
+// TestClusterForwardsToOwner: a solve posted to a non-owner is relayed
+// one hop to the owning peer, lands in the owner's cache (not the
+// relay's), and the response names the peer that served it.
+func TestClusterForwardsToOwner(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	body, key := tc.specOwnedBy(t, "peer1")
+
+	r := postSolve(t, tc.servers[0], body, "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("forwarded solve: status %d, body %s", r.Code, r.Body)
+	}
+	if got := r.Header().Get(cacheHeader); got != "remote" {
+		t.Errorf("cache header = %q, want remote", got)
+	}
+	if got := r.Header().Get(peerHeader); got != "peer1" {
+		t.Errorf("peer header = %q, want peer1", got)
+	}
+	if tc.servers[0].metrics.forwarded.Load() != 1 {
+		t.Error("relay did not count the forward")
+	}
+	if _, ok := tc.servers[0].cache.get(key); ok {
+		t.Error("relay cached a remotely owned result")
+	}
+	remoteBody, ok := tc.servers[1].cache.get(key)
+	if !ok {
+		t.Fatal("owner did not cache the solve")
+	}
+	if string(remoteBody) != r.Body.String() {
+		t.Error("relayed body differs from the owner's cached body")
+	}
+	if tc.servers[1].metrics.cacheMisses.Load() != 1 {
+		t.Error("owner did not lead the solve")
+	}
+
+	// Asking the relay again re-forwards and hits the owner's cache.
+	r2 := postSolve(t, tc.servers[0], body, "")
+	if r2.Code != http.StatusOK || r2.Body.String() != r.Body.String() {
+		t.Fatalf("second forwarded solve: status %d", r2.Code)
+	}
+	if tc.servers[1].metrics.cacheHits.Load() != 1 {
+		t.Error("owner did not serve the repeat from cache")
+	}
+	// Asking the owner directly yields the byte-identical schedule.
+	r3 := postSolve(t, tc.servers[1], body, "")
+	if r3.Body.String() != r.Body.String() {
+		t.Error("owner-direct body differs from forwarded body")
+	}
+}
+
+// TestClusterSingleHop: a request that already took its cluster hop is
+// never forwarded again, even when this instance does not own the key —
+// routing cannot loop while peers disagree about membership.
+func TestClusterSingleHop(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	body, _ := tc.specOwnedBy(t, "peer1")
+
+	// Post to the NON-owner with the forwarded marker already set, as a
+	// confused peer would.
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+	req.Header.Set(forwardedHeader, "peer1")
+	r := httptest.NewRecorder()
+	tc.servers[0].ServeHTTP(r, req)
+	if r.Code != http.StatusOK {
+		t.Fatalf("marked request: status %d, body %s", r.Code, r.Body)
+	}
+	if got := r.Header().Get(cacheHeader); got != "miss" {
+		t.Errorf("cache header = %q, want miss (solved locally, no second hop)", got)
+	}
+	if r.Header().Get(peerHeader) != "" {
+		t.Error("single-hop request still carries a peer header")
+	}
+	if tc.servers[0].metrics.forwarded.Load() != 0 {
+		t.Error("marked request was forwarded again")
+	}
+	if tc.servers[1].metrics.cacheMisses.Load() != 0 {
+		t.Error("owner saw traffic for a request that must stay local")
+	}
+}
+
+// TestClusterPeerDownFallsBackLocal: an unreachable owner degrades to a
+// local solve (counted as a failed forward), and the result enters the
+// local cache so repeats during the outage are hits.
+func TestClusterPeerDownFallsBackLocal(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	body, key := tc.specOwnedBy(t, "peer1")
+	tc.https[1].Close() // owner down
+
+	r := postSolve(t, tc.servers[0], body, "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("fallback solve: status %d, body %s", r.Code, r.Body)
+	}
+	if got := r.Header().Get(cacheHeader); got != "miss" {
+		t.Errorf("cache header = %q, want miss (local fallback)", got)
+	}
+	if tc.servers[0].metrics.forwardFailed.Load() != 1 {
+		t.Error("failed forward not counted")
+	}
+	if _, ok := tc.servers[0].cache.get(key); !ok {
+		t.Fatal("fallback solve not cached locally")
+	}
+	// Repeat during the outage: local read-through, no forwarding
+	// attempt against the dead peer.
+	r2 := postSolve(t, tc.servers[0], body, "")
+	if got := r2.Header().Get(cacheHeader); got != "hit" {
+		t.Errorf("repeat cache header = %q, want hit", got)
+	}
+	if tc.servers[0].metrics.forwardFailed.Load() != 1 {
+		t.Error("cache hit still attempted a forward")
+	}
+}
+
+// TestClusterOwnerSolvesLocally: the owner of a key serves it without
+// any relaying, whether or not the cluster is configured.
+func TestClusterOwnerSolvesLocally(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	body, _ := tc.specOwnedBy(t, "peer0")
+
+	r := postSolve(t, tc.servers[0], body, "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("owner solve: status %d", r.Code)
+	}
+	if got := r.Header().Get(cacheHeader); got != "miss" {
+		t.Errorf("cache header = %q, want miss", got)
+	}
+	if tc.servers[0].metrics.forwarded.Load() != 0 {
+		t.Error("owner forwarded its own key")
+	}
+}
+
+// TestClusterForwardedDeadline: the relay hands the owner the remaining
+// deadline budget, so owner-side incumbent-at-deadline semantics reach
+// the caller (here: an expired budget surfaces as the relay's own 504
+// without a wire hop).
+func TestClusterForwardedDeadline(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	body, _ := tc.specOwnedBy(t, "peer1")
+
+	r := postSolve(t, tc.servers[0], body, "?deadline=1ns")
+	if r.Code != http.StatusGatewayTimeout {
+		t.Fatalf("expired-deadline forward: status %d, want 504", r.Code)
+	}
+	if tc.servers[1].metrics.cacheMisses.Load() != 0 {
+		t.Error("expired request still reached the owner")
+	}
+}
+
+// TestClusterBatchRoutesPerItem: batch items route independently — each
+// unique spec is served by its owner and the response labels remote
+// items with the serving peer.
+func TestClusterBatchRoutesPerItem(t *testing.T) {
+	tc := newTestCluster(t, 2, nil)
+	local, _ := tc.specOwnedBy(t, "peer0")
+	remote, _ := tc.specOwnedBy(t, "peer1")
+
+	out := decodeBatch(t, postBatch(t, tc.servers[0], batchOf(local, remote), ""))
+	byPeer := map[string]int{}
+	for i, item := range out.Items {
+		if item.Status != http.StatusOK {
+			t.Fatalf("item %d: status %d (%s)", i, item.Status, item.Error)
+		}
+		byPeer[item.Peer]++
+	}
+	if byPeer[""] != 1 || byPeer["peer1"] != 1 {
+		t.Fatalf("peer labels = %v, want one local and one peer1", byPeer)
+	}
+	if tc.servers[0].metrics.forwarded.Load() != 1 {
+		t.Errorf("forwarded = %d, want 1", tc.servers[0].metrics.forwarded.Load())
+	}
+}
+
+// TestClusterInvalidConfigRunsUnclustered: a ring whose Self is not a
+// member is refused at construction; the server still serves, just
+// without forwarding.
+func TestClusterInvalidConfigRunsUnclustered(t *testing.T) {
+	s := New(Config{Cluster: cluster.Config{
+		Self:  "ghost",
+		Peers: map[string]string{"a": "http://localhost:1"},
+	}})
+	if s.clust != nil {
+		t.Fatal("invalid cluster config was accepted")
+	}
+	if r := postSolve(t, s, pipelineSpec(3), ""); r.Code != http.StatusOK {
+		t.Fatalf("unclustered fallback: status %d", r.Code)
+	}
+}

@@ -29,6 +29,21 @@ type metrics struct {
 	certifyViolations    atomic.Int64 // constraints flagged as violated across reports
 	campaignReplications atomic.Int64 // cumulative campaign replications simulated
 
+	batchRequests atomic.Int64 // POST /v1/solve-batch envelopes accepted
+	batchItems    atomic.Int64 // items across accepted batches
+	batchDeduped  atomic.Int64 // items answered by another item's solve
+
+	forwarded     atomic.Int64 // solves relayed to their owning peer
+	forwardFailed atomic.Int64 // forwards that fell back to a local solve
+
+	warmSeeded atomic.Int64 // solves seeded with a structural-twin warm bound
+
+	journalReplayed  atomic.Int64 // records restored from the journal at startup
+	journalSkipped   atomic.Int64 // corrupt journal records dropped during replay
+	journalTruncated atomic.Int64 // torn journal tails healed at startup
+	journalAppended  atomic.Int64 // complete solves appended to the journal
+	journalErrors    atomic.Int64 // journal append failures (solve still served)
+
 	inflight          atomic.Int64 // solves currently running
 	queued            atomic.Int64 // solves waiting for a worker slot
 	inflightCampaigns atomic.Int64 // certification campaigns currently running
@@ -95,6 +110,17 @@ func (m *metrics) writeProm(w io.Writer, cacheLen int, sess sessionAgg) {
 	counter("netdag_solves_incomplete_total", "Solves that returned a non-optimal incumbent at the deadline.", m.incomplete.Load())
 	counter("netdag_explored_assignments_total", "Cumulative round assignments examined across solves.", m.exploredAssignments.Load())
 	counter("netdag_solver_nodes_total", "Cumulative branch-and-bound nodes spent on winning placements.", m.solverNodes.Load())
+	counter("netdag_batch_requests_total", "Batch solve envelopes accepted.", m.batchRequests.Load())
+	counter("netdag_batch_items_total", "Items across accepted batch requests.", m.batchItems.Load())
+	counter("netdag_batch_deduped_total", "Batch items deduplicated onto another item's solve.", m.batchDeduped.Load())
+	counter("netdag_cluster_forwarded_total", "Solves forwarded to their owning peer.", m.forwarded.Load())
+	counter("netdag_cluster_forward_failed_total", "Forwards that fell back to a local solve.", m.forwardFailed.Load())
+	counter("netdag_warm_seeded_total", "Solves warm-started from a structurally identical cached schedule.", m.warmSeeded.Load())
+	counter("netdag_journal_replayed_total", "Cache entries restored from the journal at startup.", m.journalReplayed.Load())
+	counter("netdag_journal_skipped_total", "Corrupt journal records dropped during replay.", m.journalSkipped.Load())
+	counter("netdag_journal_truncated_total", "Torn journal tails healed at startup.", m.journalTruncated.Load())
+	counter("netdag_journal_appended_total", "Complete solves appended to the journal.", m.journalAppended.Load())
+	counter("netdag_journal_errors_total", "Journal append failures (the solve was still served).", m.journalErrors.Load())
 	counter("netdag_certify_requests_total", "Certification requests received.", m.certifyRequests.Load())
 	counter("netdag_certify_violations_total", "Constraints flagged as empirically violated across certification reports.", m.certifyViolations.Load())
 	counter("netdag_campaign_replications_total", "Cumulative fault-campaign replications simulated.", m.campaignReplications.Load())

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/journal"
+)
+
+// variantSpec is pipelineSpec's DAG with free task weights: any two
+// variants share a StructuralFingerprint but (almost surely) not a
+// Fingerprint.
+func variantSpec(sense, ctrl, act int) string {
+	return fmt.Sprintf(`{
+  "mode": "weakly-hard",
+  "diameter": 3,
+  "tasks": [
+    {"name": "sense", "node": "n0", "wcet": %d},
+    {"name": "ctrl",  "node": "n1", "wcet": %d},
+    {"name": "act",   "node": "n2", "wcet": %d}
+  ],
+  "edges": [
+    {"from": "sense", "to": "ctrl", "width": 8},
+    {"from": "ctrl",  "to": "act",  "width": 4}
+  ],
+  "whStatistic": {"type": "synthetic"},
+  "whConstraints": {"act": {"misses": 10, "window": 40}}
+}`, sense, ctrl, act)
+}
+
+// TestJournalRestoreServesByteIdentical: a restarted instance replays
+// its journal and serves the previous process's schedules as cache
+// hits, byte for byte.
+func TestJournalRestoreServesByteIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+
+	s1 := New(Config{})
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	bodies := map[int]string{}
+	for _, d := range []int{3, 4, 5} {
+		r := postSolve(t, s1, pipelineSpec(d), "")
+		if r.Code != http.StatusOK {
+			t.Fatalf("diameter %d: status %d", d, r.Code)
+		}
+		bodies[d] = r.Body.String()
+	}
+	if got := s1.metrics.journalAppended.Load(); got != 3 {
+		t.Fatalf("journalAppended = %d, want 3", got)
+	}
+	if err := s1.CloseJournal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server, same journal.
+	s2 := New(Config{})
+	stats, err := s2.AttachJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replayed != 3 || stats.Skipped != 0 || stats.Truncated {
+		t.Fatalf("replay stats = %+v, want 3 clean replays", stats)
+	}
+	if s2.metrics.journalReplayed.Load() != 3 {
+		t.Error("replay not surfaced in metrics")
+	}
+	for _, d := range []int{3, 4, 5} {
+		r := postSolve(t, s2, pipelineSpec(d), "")
+		if got := r.Header().Get(cacheHeader); got != "hit" {
+			t.Errorf("diameter %d after restart: cache header %q, want hit", d, got)
+		}
+		if r.Body.String() != bodies[d] {
+			t.Errorf("diameter %d after restart: body differs from the original solve", d)
+		}
+	}
+	if s2.metrics.cacheMisses.Load() != 0 {
+		t.Error("restart re-solved journaled specs")
+	}
+	s2.CloseJournal()
+}
+
+// TestJournalRestoreRebuildsWarmIndex: replay restores not just bodies
+// but the structural warm index — the first miss after a restart is
+// warm-started from a pre-restart structural twin.
+func TestJournalRestoreRebuildsWarmIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+
+	s1 := New(Config{})
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	if r := postSolve(t, s1, variantSpec(500, 2000, 300), ""); r.Code != http.StatusOK {
+		t.Fatalf("prime solve: status %d", r.Code)
+	}
+	s1.CloseJournal()
+
+	s2 := New(Config{})
+	if _, err := s2.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	r := postSolve(t, s2, variantSpec(600, 1900, 350), "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("variant solve: status %d, body %s", r.Code, r.Body)
+	}
+	if r.Header().Get(warmHeader) == "" {
+		t.Error("post-restart variant was not warm-started from the replayed twin")
+	}
+	if s2.metrics.warmSeeded.Load() != 1 {
+		t.Errorf("warmSeeded = %d, want 1", s2.metrics.warmSeeded.Load())
+	}
+	s2.CloseJournal()
+}
+
+// TestJournalAttachCompacts: replay applies the cache's LRU bound, and
+// attach rewrites the journal down to the resident set — the file does
+// not grow without bound across restarts.
+func TestJournalAttachCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+
+	s1 := New(Config{})
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{3, 4, 5} {
+		postSolve(t, s1, pipelineSpec(d), "")
+	}
+	s1.CloseJournal()
+
+	s2 := New(Config{CacheEntries: 1})
+	stats, err := s2.AttachJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replayed != 3 {
+		t.Fatalf("replayed = %d, want 3 (LRU applies after replay, not during read)", stats.Replayed)
+	}
+	if s2.cache.len() != 1 {
+		t.Fatalf("resident = %d, want 1", s2.cache.len())
+	}
+	// The newest record (diameter 5) survives the bound.
+	if got := postSolve(t, s2, pipelineSpec(5), "").Header().Get(cacheHeader); got != "hit" {
+		t.Errorf("newest journaled entry: cache header %q, want hit", got)
+	}
+	s2.CloseJournal()
+
+	var keys []string
+	st, err := journal.Replay(path, func(rec journal.Record) { keys = append(keys, rec.Key) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Replayed != 1 || len(keys) != 1 {
+		t.Fatalf("compacted journal holds %d records, want 1", st.Replayed)
+	}
+}
+
+// TestJournalCorruptionSurvivesThroughServe: flipping a byte mid-file
+// and tearing the tail costs exactly the damaged records; the rest
+// replay and serve, and the damage is visible in metrics.
+func TestJournalCorruptionSurvivesThroughServe(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.journal")
+
+	s1 := New(Config{})
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	r3 := postSolve(t, s1, pipelineSpec(3), "")
+	postSolve(t, s1, pipelineSpec(4), "")
+	postSolve(t, s1, pipelineSpec(5), "")
+	s1.CloseJournal()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF // corrupt a middle record
+	raw = raw[:len(raw)-7]  // tear the tail mid-record
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{})
+	stats, err := s2.AttachJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped == 0 || !stats.Truncated {
+		t.Fatalf("replay stats = %+v, want skipped records and a healed tail", stats)
+	}
+	if s2.metrics.journalSkipped.Load() == 0 || s2.metrics.journalTruncated.Load() != 1 {
+		t.Error("journal damage not surfaced in metrics")
+	}
+	// The first record predates the damage and must serve byte-identical.
+	r := postSolve(t, s2, pipelineSpec(3), "")
+	if got := r.Header().Get(cacheHeader); got != "hit" {
+		t.Fatalf("undamaged record: cache header %q, want hit", got)
+	}
+	if r.Body.String() != r3.Body.String() {
+		t.Error("undamaged record served different bytes after crash recovery")
+	}
+	s2.CloseJournal()
+}
+
+// TestWarmStartSeedsSolver: the second solve of a structural shape is
+// seeded with the first's makespan — observed both in the Problem
+// handed to the solver and in the response's warm header.
+func TestWarmStartSeedsSolver(t *testing.T) {
+	var seeds []int64
+	s := New(Config{
+		SolveFn: func(ctx context.Context, p *core.Problem) (*core.Schedule, error) {
+			seeds = append(seeds, p.WarmMakespan)
+			return core.SolveContext(ctx, p)
+		},
+	})
+	r1 := postSolve(t, s, variantSpec(500, 2000, 300), "")
+	if r1.Code != http.StatusOK {
+		t.Fatalf("prime: status %d", r1.Code)
+	}
+	if r1.Header().Get(warmHeader) != "" {
+		t.Error("first solve of a shape claims a warm seed")
+	}
+	r2 := postSolve(t, s, variantSpec(450, 2100, 320), "")
+	if r2.Code != http.StatusOK {
+		t.Fatalf("variant: status %d", r2.Code)
+	}
+	if r2.Header().Get(warmHeader) == "" {
+		t.Error("structural twin was not warm-started")
+	}
+	if len(seeds) != 2 || seeds[0] != 0 || seeds[1] <= 0 {
+		t.Fatalf("solver saw WarmMakespan seeds %v, want [0, >0]", seeds)
+	}
+	if s.metrics.warmSeeded.Load() != 1 {
+		t.Errorf("warmSeeded = %d, want 1", s.metrics.warmSeeded.Load())
+	}
+	// A structurally different spec must not inherit the hint.
+	postSolve(t, s, pipelineSpec(4), "")
+	if seeds[2] != 0 {
+		t.Errorf("different shape inherited WarmMakespan %d", seeds[2])
+	}
+}
+
+// TestWarmStartBitIdenticalSchedules: warm-started solves return the
+// exact bytes a cold server produces for the same spec — the hint
+// prunes the search, never the answer.
+func TestWarmStartBitIdenticalSchedules(t *testing.T) {
+	specs := []string{
+		variantSpec(500, 2000, 300),
+		variantSpec(700, 1500, 200),  // cheaper ctrl: optimum below the hint
+		variantSpec(900, 2500, 1200), // heavier everything: optimum above the hint
+		variantSpec(100, 100, 100),
+	}
+	warm := New(Config{})
+	cold := New(Config{DisableWarmStart: true})
+	for i, sp := range specs {
+		rw := postSolve(t, warm, sp, "")
+		rc := postSolve(t, cold, sp, "")
+		if rw.Code != http.StatusOK || rc.Code != http.StatusOK {
+			t.Fatalf("variant %d: warm %d cold %d", i, rw.Code, rc.Code)
+		}
+		if rw.Body.String() != rc.Body.String() {
+			t.Errorf("variant %d: warm-started schedule differs from cold solve", i)
+		}
+		if i > 0 && rw.Header().Get(warmHeader) == "" {
+			t.Errorf("variant %d was not warm-started", i)
+		}
+		if rc.Header().Get(warmHeader) != "" {
+			t.Errorf("variant %d: DisableWarmStart still seeded a hint", i)
+		}
+	}
+	if got := warm.metrics.warmSeeded.Load(); got != int64(len(specs)-1) {
+		t.Errorf("warmSeeded = %d, want %d", got, len(specs)-1)
+	}
+	if cold.metrics.warmSeeded.Load() != 0 {
+		t.Error("cold server counted warm seeds")
+	}
+}
+
+// TestWarmHintNotTakenFromIncompleteResults: deadline-interrupted
+// incumbents are never cached, so they can never seed later solves with
+// an unproven bound.
+func TestWarmHintNotTakenFromIncompleteResults(t *testing.T) {
+	first := true
+	s := New(Config{
+		SolveFn: func(ctx context.Context, p *core.Problem) (*core.Schedule, error) {
+			if first {
+				first = false
+				sched, err := core.SolveContext(context.Background(), p)
+				if err != nil {
+					return nil, err
+				}
+				sched.Optimal = false
+				return sched, core.ErrCanceled // incumbent at deadline
+			}
+			return core.SolveContext(ctx, p)
+		},
+	})
+	r1 := postSolve(t, s, variantSpec(500, 2000, 300), "")
+	if r1.Code != http.StatusOK || r1.Header().Get(incompleteHeader) == "" {
+		t.Fatalf("prime: status %d incomplete %q", r1.Code, r1.Header().Get(incompleteHeader))
+	}
+	r2 := postSolve(t, s, variantSpec(450, 2100, 320), "")
+	if r2.Header().Get(warmHeader) != "" {
+		t.Error("an unproven incumbent seeded a warm hint")
+	}
+	if s.metrics.warmSeeded.Load() != 0 {
+		t.Error("warmSeeded counted a hint from an uncached incumbent")
+	}
+}

@@ -38,7 +38,9 @@ import (
 	"time"
 
 	"github.com/netdag/netdag/internal/backoff"
+	"github.com/netdag/netdag/internal/cluster"
 	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/journal"
 	"github.com/netdag/netdag/internal/session"
 	"github.com/netdag/netdag/internal/spec"
 )
@@ -90,6 +92,25 @@ type Config struct {
 	// RetrySeed seeds the Retry-After jitter (0 = no jitter: hints are
 	// the deterministic envelope).
 	RetrySeed int64
+	// Cluster shards the cache tier across peers (internal/cluster):
+	// each fingerprint has one owning instance, computed on the
+	// consistent-hash ring; non-owners forward misses a single hop to
+	// the owner and fall back to solving locally when it is down. The
+	// zero value runs unclustered.
+	Cluster cluster.Config
+	// DisableWarmStart turns off near-neighbor warm-starting: by
+	// default a cache miss seeds core.Problem.WarmMakespan from the
+	// most recently cached schedule with the same
+	// spec.StructuralFingerprint (same DAG shape, different
+	// weights/periods), which prunes the new solve without changing
+	// its result.
+	DisableWarmStart bool
+	// MaxBatchItems bounds the specs accepted by one /v1/solve-batch
+	// request (default 256).
+	MaxBatchItems int
+	// MaxBatchBytes bounds batch request bodies (default 16 MiB —
+	// batch envelopes legitimately exceed MaxBodyBytes).
+	MaxBatchBytes int64
 	// BaseContext is the server's lifetime: canceling it drains the
 	// server — running solves are interrupted, /healthz turns 503
 	// (default context.Background()).
@@ -112,6 +133,12 @@ type Server struct {
 	draining atomic.Bool
 	solve    func(ctx context.Context, p *core.Problem) (*core.Schedule, error)
 	mux      *http.ServeMux
+
+	// clust is non-nil when the server participates in a cache-sharding
+	// cluster; journal is non-nil after AttachJournal. Both are wired at
+	// startup, before traffic, and read-only afterwards.
+	clust   *clusterState
+	journal *journal.Journal
 
 	sessions sessionRegistry
 
@@ -151,6 +178,12 @@ func New(cfg Config) *Server {
 	if cfg.RetryPolicy.Max <= 0 {
 		cfg.RetryPolicy.Max = 30 * time.Second
 	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = 256
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = 16 << 20
+	}
 	s := &Server{
 		cfg:     cfg,
 		log:     cfg.Logger,
@@ -167,8 +200,19 @@ func New(cfg Config) *Server {
 	}
 	s.sessions.m = make(map[string]*session.Session)
 	s.flights.m = make(map[string]*flight)
+	if cfg.Cluster.Enabled() {
+		if err := cfg.Cluster.Validate(); err != nil {
+			// Refuse to guess at membership: a misconfigured ring routes
+			// keys to the wrong owner on every peer. Run unclustered and
+			// say so.
+			s.log.Error("cluster config rejected; running unclustered", "err", err)
+		} else {
+			s.clust = newClusterState(cfg.Cluster)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/solve-batch", s.handleSolveBatch)
 	s.mux.HandleFunc("POST /v1/certify", s.handleCertify)
 	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionStatus)
@@ -226,17 +270,23 @@ func (r *statusRecorder) Flush() {
 
 // Response headers describing how the request was served.
 const (
-	cacheHeader      = "X-Netdag-Cache"      // hit | miss | coalesced
+	cacheHeader      = "X-Netdag-Cache"      // hit | miss | coalesced | remote
 	incompleteHeader = "X-Netdag-Incomplete" // "deadline": body is a non-optimal incumbent
 	fingerprintHdr   = "X-Netdag-Spec"       // the spec's canonical fingerprint
+	forwardedHeader  = "X-Netdag-Forwarded"  // origin peer name; present ⇒ never forward again
+	peerHeader       = "X-Netdag-Peer"       // owning peer that served a forwarded request
+	warmHeader       = "X-Netdag-Warm"       // WarmMakespan hint the solve was seeded with
 )
 
 // solveResult is the outcome of one flight, relayed to the leader and
-// every coalesced follower.
+// every coalesced follower. A zero status means "nothing to write"
+// (the waiting client disconnected).
 type solveResult struct {
 	status     int    // HTTP status to relay
 	body       []byte // JSON payload (ScheduleOut or {"error": ...})
 	incomplete bool   // 200 carrying a deadline-interrupted incumbent
+	warm       int64  // >0: the WarmMakespan hint that seeded the solve
+	peer       string // non-empty: the peer that served this result
 }
 
 // flight is one in-progress solve that concurrent identical requests
@@ -302,11 +352,39 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Hot path: an identical problem was already solved.
+	res, cacheState := s.solveOne(r.Context(), &f, key, start, deadline,
+		r.Header.Get(forwardedHeader) == "")
+	if res.status == 0 {
+		return // client gone while waiting; nothing to write
+	}
+	s.relay(w, res, cacheState)
+}
+
+// solveOne serves one fingerprinted spec through the full read path —
+// local cache, cluster forwarding, coalescing, admission, solve — and
+// is shared by /v1/solve and every /v1/solve-batch item. waitCtx
+// bounds how long a coalesced follower (or a forward) may wait: the
+// originating request's context. forwardable is false for requests
+// that already took their single cluster hop.
+func (s *Server) solveOne(waitCtx context.Context, f *spec.File, key string, start time.Time, deadline time.Duration, forwardable bool) (solveResult, string) {
+	// Hot path: an identical problem was already solved here. Checked
+	// before ownership — the local read-through that keeps previously
+	// owned (or fallback-solved) entries serving after ring changes.
 	if body, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
-		writeJSON(w, http.StatusOK, body, "hit")
-		return
+		return solveResult{status: http.StatusOK, body: body}, "hit"
+	}
+
+	if forwardable && s.clust != nil {
+		if owner, url, remote := s.clust.ownerOf(key); remote {
+			if res, ok := s.forward(waitCtx, owner, url, f, start, deadline); ok {
+				return res, "remote"
+			}
+			// The owner is unreachable: solve locally rather than fail the
+			// request. The result lands in the local cache (read-through),
+			// so repeated requests during the outage still hit.
+			s.metrics.forwardFailed.Add(1)
+		}
 	}
 
 	fl, leader := s.flights.join(key)
@@ -314,18 +392,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// Coalesce: wait for the identical in-flight solve, bounded by
 		// this request's own deadline budget.
 		s.metrics.coalesced.Add(1)
-		s.awaitFlight(w, r, fl, start, deadline)
-		return
+		return s.awaitFlight(waitCtx, fl, start, deadline), "coalesced"
 	}
 	s.metrics.cacheMisses.Add(1)
-	res := s.runFlight(r, &f, key, start, deadline)
+	res := s.runFlight(f, key, start, deadline)
 	s.flights.finish(key, fl, res)
-	s.relay(w, res, "miss")
+	return res, "miss"
 }
 
-// awaitFlight relays an in-flight solve's result to a follower, giving
-// up at the follower's own deadline.
-func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight, start time.Time, deadline time.Duration) {
+// awaitFlight returns an in-flight solve's result to a follower, giving
+// up at the follower's own deadline. A zero-status result means the
+// follower's client disconnected first.
+func (s *Server) awaitFlight(waitCtx context.Context, fl *flight, start time.Time, deadline time.Duration) solveResult {
 	var expired <-chan time.Time
 	if deadline > 0 {
 		t := time.NewTimer(deadline - time.Since(start))
@@ -334,18 +412,18 @@ func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, fl *flight,
 	}
 	select {
 	case <-fl.done:
-		s.relay(w, fl.res, "coalesced")
+		return fl.res
 	case <-expired:
 		s.metrics.deadlineExpired.Add(1)
-		writeError(w, http.StatusGatewayTimeout, "deadline expired waiting for the coalesced solve")
-	case <-r.Context().Done():
-		// Client gone; nothing to write.
+		return errorResult(http.StatusGatewayTimeout, "deadline expired waiting for the coalesced solve")
+	case <-waitCtx.Done():
+		return solveResult{} // client gone; nothing to write
 	}
 }
 
 // runFlight validates, queues, and solves one problem, producing the
 // result every requester of this fingerprint receives.
-func (s *Server) runFlight(r *http.Request, f *spec.File, key string, start time.Time, deadline time.Duration) solveResult {
+func (s *Server) runFlight(f *spec.File, key string, start time.Time, deadline time.Duration) solveResult {
 	p, err := spec.Build(f)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
@@ -357,6 +435,28 @@ func (s *Server) runFlight(r *http.Request, f *spec.File, key string, start time
 	if s.cfg.Portfolio {
 		p.Portfolio = true
 		p.PortfolioSeed = s.cfg.PortfolioSeed
+	}
+
+	// Warm-start: seed the search from structurally identical cached
+	// schedules (same DAG shape, different weights/periods).
+	// WarmMakespan is a hint, never a constraint — the core redoes the
+	// search cold when the hint excludes every assignment — so the
+	// schedule stays bit-identical to an unhinted solve. The 25%
+	// headroom over the class maximum keeps the hint admissible when
+	// this variant's optimum modestly exceeds every cached twin's;
+	// undershooting costs a full cold redo, overshooting only weakens
+	// pruning.
+	var structKey string
+	var warm int64
+	if !s.cfg.DisableWarmStart {
+		if sk, err := spec.StructuralFingerprint(f); err == nil {
+			structKey = sk
+			if hint, ok := s.cache.warmHint(sk, key); ok {
+				warm = hint + hint/4
+				p.WarmMakespan = warm
+				s.metrics.warmSeeded.Add(1)
+			}
+		}
 	}
 
 	// The solve's context: the server's lifetime (drain interrupts all
@@ -399,10 +499,11 @@ func (s *Server) runFlight(r *http.Request, f *spec.File, key string, start time
 			// A deadline-interrupted incumbent is feasible but not
 			// proven optimal: serve it, never cache it.
 			s.metrics.incomplete.Add(1)
-			return solveResult{status: http.StatusOK, body: body, incomplete: true}
+			return solveResult{status: http.StatusOK, body: body, incomplete: true, warm: warm}
 		}
-		s.cache.put(key, body)
-		return solveResult{status: http.StatusOK, body: body}
+		s.cache.put(key, structKey, out.MakespanUS, body)
+		s.journalAppend(journal.Record{Key: key, Struct: structKey, MakespanUS: out.MakespanUS, Body: body})
+		return solveResult{status: http.StatusOK, body: body, warm: warm}
 	case canceled:
 		s.metrics.deadlineExpired.Add(1)
 		return errorResult(http.StatusGatewayTimeout, "deadline expired before any schedule was found")
@@ -464,6 +565,12 @@ func (s *Server) relay(w http.ResponseWriter, res solveResult, cache string) {
 	}
 	if res.incomplete {
 		w.Header().Set(incompleteHeader, "deadline")
+	}
+	if res.warm > 0 {
+		w.Header().Set(warmHeader, strconv.FormatInt(res.warm, 10))
+	}
+	if res.peer != "" {
+		w.Header().Set(peerHeader, res.peer)
 	}
 	writeJSON(w, res.status, res.body, cache)
 }

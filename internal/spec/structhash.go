@@ -1,0 +1,110 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// structuralForm is the canonical rendering StructuralFingerprint
+// hashes: the spec with every numeric "weight" stripped and only the
+// shape-determining fields kept. Its own JSON tags keep the hash
+// independent of File's wire format evolving.
+type structuralForm struct {
+	Mode      string   `json:"mode"`
+	Diameter  int      `json:"diameter"`
+	MaxNTX    int      `json:"maxNTX"`
+	MinNTX    int      `json:"minNTX"`
+	MaxRounds int      `json:"maxRounds"`
+	Tasks     []string `json:"tasks"` // "name@node", sorted
+	Edges     []string `json:"edges"` // "from>to", sorted
+	SoftStat  string   `json:"softStat,omitempty"`
+	WHStat    string   `json:"whStat,omitempty"`
+	SoftCons  []string `json:"softCons,omitempty"` // constrained task names, sorted
+	WHCons    []string `json:"whCons,omitempty"`
+}
+
+// StructuralFingerprint returns a content-addressed identity for a
+// spec's shape: the hex SHA-256 of the problem with all weights and
+// periods erased. Two specs fingerprint identically iff they have the
+// same tasks on the same nodes, the same dependency edges, the same
+// mode and solver-domain knobs (diameter, χ bounds, round budget), the
+// same statistic type and the same set of constrained tasks — while
+// WCETs, edge widths, rates, statistic parameters (perTX, fss),
+// constraint values (probability floors, misses/window) and Glossy
+// timing constants are free to differ.
+//
+// This is the warm-start index key of the serving tier: on a cache
+// miss, a cached schedule for a structurally identical spec bounds the
+// new solve (core.Problem.WarmMakespan seeded from its makespan) the
+// same way the online session layer reuses the previous schedule
+// across weight deltas. It is deliberately NOT a cache key — only
+// Fingerprint is sound for serving bodies — because structural twins
+// generally have different optima; WarmMakespan tolerates that (the
+// solver transparently redoes cold when the hint excludes everything),
+// a cache hit would not.
+//
+// Like Fingerprint, a nil spec returns ErrSpec; unlike Fingerprint,
+// duplicate task names and duplicate (from, to) edges are rejected
+// here (ErrDuplicateTask, ErrDuplicateEdge) — erasing weights merges
+// duplicates that hash differently under Fingerprint, so accepting
+// them would alias distinct specs onto one structural class.
+func StructuralFingerprint(f *File) (string, error) {
+	if f == nil {
+		return "", fmt.Errorf("%w: nil spec", ErrSpec)
+	}
+	sf := structuralForm{
+		Mode:      f.Mode,
+		Diameter:  f.Diameter,
+		MaxNTX:    f.MaxNTX,
+		MinNTX:    f.MinNTX,
+		MaxRounds: f.MaxRounds,
+	}
+	seenTask := make(map[string]bool, len(f.Tasks))
+	for _, t := range f.Tasks {
+		if seenTask[t.Name] {
+			return "", fmt.Errorf("%w: %q", ErrDuplicateTask, t.Name)
+		}
+		seenTask[t.Name] = true
+		sf.Tasks = append(sf.Tasks, t.Name+"@"+t.Node)
+	}
+	sort.Strings(sf.Tasks)
+	seenEdge := make(map[[2]string]bool, len(f.Edges))
+	for _, e := range f.Edges {
+		k := [2]string{e.From, e.To}
+		if seenEdge[k] {
+			return "", fmt.Errorf("%w: %s -> %s", ErrDuplicateEdge, e.From, e.To)
+		}
+		seenEdge[k] = true
+		sf.Edges = append(sf.Edges, e.From+">"+e.To)
+	}
+	sort.Strings(sf.Edges)
+	// Statistic types are shape (they select the constraint algebra);
+	// their parameters are weights.
+	if f.SoftStatistic != nil {
+		sf.SoftStat = f.SoftStatistic.Type
+	}
+	if f.WHStatistic != nil {
+		sf.WHStat = f.WHStatistic.Type
+	}
+	// Which tasks are constrained is shape; the constraint values
+	// (probability floors, misses/window) are weights. Rates are
+	// periods and are omitted entirely.
+	for name := range f.SoftConstraints {
+		sf.SoftCons = append(sf.SoftCons, name)
+	}
+	sort.Strings(sf.SoftCons)
+	for name := range f.WHConstraints {
+		sf.WHCons = append(sf.WHCons, name)
+	}
+	sort.Strings(sf.WHCons)
+
+	b, err := json.Marshal(&sf)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,198 @@
+package spec
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// structBase is a representative weakly-hard multi-rate spec the
+// structural-fingerprint properties mutate.
+func structBase() *File {
+	return &File{
+		Mode:     "weakly-hard",
+		Diameter: 3,
+		MaxNTX:   6,
+		Tasks: []TaskSpec{
+			{Name: "sense", Node: "n0", WCET: 500},
+			{Name: "ctrl", Node: "n1", WCET: 2000},
+			{Name: "act", Node: "n2", WCET: 300},
+		},
+		Edges: []EdgeSpec{
+			{From: "sense", To: "ctrl", Width: 8},
+			{From: "ctrl", To: "act", Width: 4},
+		},
+		Rates:         map[string]int{"sense": 2},
+		WHStatistic:   &StatSpec{Type: "synthetic"},
+		WHConstraints: map[string]WHSpec{"act": {Misses: 4, Window: 40}},
+	}
+}
+
+func structFP(t *testing.T, f *File) string {
+	t.Helper()
+	h, err := StructuralFingerprint(f)
+	if err != nil {
+		t.Fatalf("StructuralFingerprint: %v", err)
+	}
+	return h
+}
+
+// TestStructuralPreservedUnderWeightChanges: every weight/period
+// mutation — WCETs, widths, rates, constraint values, statistic
+// parameters, Glossy constants — leaves the structural hash unchanged.
+func TestStructuralPreservedUnderWeightChanges(t *testing.T) {
+	base := structFP(t, structBase())
+	mutations := map[string]func(*File){
+		"wcet": func(f *File) { f.Tasks[1].WCET = 9999 },
+		"all wcets": func(f *File) {
+			for i := range f.Tasks {
+				f.Tasks[i].WCET *= 7
+			}
+		},
+		"edge width":    func(f *File) { f.Edges[0].Width = 64 },
+		"rate value":    func(f *File) { f.Rates["sense"] = 5 },
+		"rate added":    func(f *File) { f.Rates["ctrl"] = 2 },
+		"rates removed": func(f *File) { f.Rates = nil },
+		"wh misses":     func(f *File) { f.WHConstraints["act"] = WHSpec{Misses: 1, Window: 40} },
+		"wh window":     func(f *File) { f.WHConstraints["act"] = WHSpec{Misses: 4, Window: 100} },
+		"glossy params": func(f *File) { f.Params = &ParamsSpec{A: 100, BHW: 4, C: 9, D: 2, BeaconWidth: 4} },
+		"task order":    func(f *File) { f.Tasks[0], f.Tasks[2] = f.Tasks[2], f.Tasks[0] },
+		"edge order":    func(f *File) { f.Edges[0], f.Edges[1] = f.Edges[1], f.Edges[0] },
+	}
+	for name, mutate := range mutations {
+		f := structBase()
+		mutate(f)
+		if got := structFP(t, f); got != base {
+			t.Errorf("%s: structural fingerprint changed (weights/periods must not matter)", name)
+		}
+	}
+
+	// Soft mode: statistic parameters and constraint floors are weights.
+	soft := func() *File {
+		f := structBase()
+		f.Mode = "soft"
+		f.WHStatistic, f.WHConstraints = nil, nil
+		f.SoftStatistic = &StatSpec{Type: "bernoulli", PerTX: 0.9}
+		f.SoftConstraints = map[string]float64{"act": 0.99}
+		return f
+	}
+	softBase := structFP(t, soft())
+	for name, mutate := range map[string]func(*File){
+		"perTX":      func(f *File) { f.SoftStatistic.PerTX = 0.5 },
+		"soft floor": func(f *File) { f.SoftConstraints["act"] = 0.5 },
+	} {
+		f := soft()
+		mutate(f)
+		if got := structFP(t, f); got != softBase {
+			t.Errorf("%s: structural fingerprint changed", name)
+		}
+	}
+}
+
+// TestStructuralBrokenByShapeChanges: topology and constraint-shape
+// mutations all produce distinct hashes.
+func TestStructuralBrokenByShapeChanges(t *testing.T) {
+	base := structFP(t, structBase())
+	mutations := map[string]func(*File){
+		"task added":   func(f *File) { f.Tasks = append(f.Tasks, TaskSpec{Name: "log", Node: "n3", WCET: 10}) },
+		"task removed": func(f *File) { f.Tasks = f.Tasks[:2]; f.Edges = f.Edges[:1]; delete(f.WHConstraints, "act") },
+		"task renamed": func(f *File) {
+			f.Tasks[2].Name = "actuate"
+			f.Edges[1].To = "actuate"
+			f.WHConstraints = map[string]WHSpec{"actuate": {Misses: 4, Window: 40}}
+		},
+		"task moved":         func(f *File) { f.Tasks[2].Node = "n9" },
+		"edge added":         func(f *File) { f.Edges = append(f.Edges, EdgeSpec{From: "sense", To: "act", Width: 2}) },
+		"edge removed":       func(f *File) { f.Edges = f.Edges[:1] },
+		"edge reversed":      func(f *File) { f.Edges[1] = EdgeSpec{From: "act", To: "ctrl", Width: 4} },
+		"mode":               func(f *File) { f.Mode = "soft" },
+		"diameter":           func(f *File) { f.Diameter = 4 },
+		"maxNTX":             func(f *File) { f.MaxNTX = 8 },
+		"minNTX":             func(f *File) { f.MinNTX = 2 },
+		"maxRounds":          func(f *File) { f.MaxRounds = 7 },
+		"statistic type":     func(f *File) { f.WHStatistic.Type = "other" },
+		"constrained task":   func(f *File) { f.WHConstraints = map[string]WHSpec{"ctrl": {Misses: 4, Window: 40}} },
+		"constraint added":   func(f *File) { f.WHConstraints["ctrl"] = WHSpec{Misses: 2, Window: 10} },
+		"constraint dropped": func(f *File) { f.WHConstraints = nil },
+		"soft cons appears":  func(f *File) { f.SoftConstraints = map[string]float64{"act": 0.9} },
+	}
+	seen := map[string]string{base: "base"}
+	for name, mutate := range mutations {
+		f := structBase()
+		mutate(f)
+		got := structFP(t, f)
+		if got == base {
+			t.Errorf("%s: structural fingerprint unchanged (shape must matter)", name)
+			continue
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[got] = name
+	}
+}
+
+// TestStructuralRandomizedWeights: random weight assignments over a
+// fixed shape always hash to one class; the matching check for
+// Fingerprint confirms the two hashes separate exactly along the
+// weight/shape axis.
+func TestStructuralRandomizedWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	base := structFP(t, structBase())
+	full := make(map[string]bool)
+	for i := 0; i < 50; i++ {
+		f := structBase()
+		for j := range f.Tasks {
+			f.Tasks[j].WCET = 1 + rng.Int63n(10000)
+		}
+		for j := range f.Edges {
+			f.Edges[j].Width = 1 + rng.Intn(64)
+		}
+		f.Rates["sense"] = 1 + rng.Intn(6)
+		f.WHConstraints["act"] = WHSpec{Misses: 1 + rng.Intn(9), Window: 10 + rng.Intn(90)}
+		if got := structFP(t, f); got != base {
+			t.Fatalf("iteration %d: random weights changed the structural class", i)
+		}
+		fp, err := Fingerprint(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full[fp] = true
+	}
+	if len(full) < 45 {
+		t.Errorf("only %d/50 distinct full fingerprints; weight mutations should separate them", len(full))
+	}
+}
+
+// TestStructuralErrors mirrors Fingerprint's nil contract and adds the
+// duplicate rejections that weight erasure makes necessary.
+func TestStructuralErrors(t *testing.T) {
+	if _, err := StructuralFingerprint(nil); !errors.Is(err, ErrSpec) {
+		t.Errorf("nil spec: err = %v, want ErrSpec", err)
+	}
+	dupTask := structBase()
+	dupTask.Tasks = append(dupTask.Tasks, TaskSpec{Name: "sense", Node: "n7", WCET: 1})
+	if _, err := StructuralFingerprint(dupTask); !errors.Is(err, ErrDuplicateTask) || !errors.Is(err, ErrSpec) {
+		t.Errorf("duplicate task: err = %v, want ErrDuplicateTask (wrapping ErrSpec)", err)
+	}
+	dupEdge := structBase()
+	dupEdge.Edges = append(dupEdge.Edges, EdgeSpec{From: "sense", To: "ctrl", Width: 1})
+	if _, err := StructuralFingerprint(dupEdge); !errors.Is(err, ErrDuplicateEdge) || !errors.Is(err, ErrSpec) {
+		t.Errorf("duplicate edge: err = %v, want ErrDuplicateEdge (wrapping ErrSpec)", err)
+	}
+}
+
+// TestStructuralSeparatorInjection: the canonical form joins names with
+// separators; task/node and from/to pairs that concatenate identically
+// must still hash differently.
+func TestStructuralSeparatorInjection(t *testing.T) {
+	a := &File{Mode: "soft", Diameter: 1,
+		Tasks:         []TaskSpec{{Name: "ab", Node: "c", WCET: 1}},
+		SoftStatistic: &StatSpec{Type: "bernoulli", PerTX: 0.5}}
+	b := &File{Mode: "soft", Diameter: 1,
+		Tasks:         []TaskSpec{{Name: "a", Node: "bc", WCET: 1}},
+		SoftStatistic: &StatSpec{Type: "bernoulli", PerTX: 0.5}}
+	if structFP(t, a) == structFP(t, b) {
+		t.Error("task name/node concatenation aliases distinct shapes")
+	}
+}

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# bench_pr8.sh — distributed serving tier benchmark (BENCH_PR8.json).
+#
+# Runs the same seeded loadgen workload against three server
+# configurations and assembles one artifact:
+#
+#   single      one instance, journal + warm-start on
+#   cluster3    three clustered instances, requests round-robined
+#   single-cold one instance, warm-start disabled (miss-cost baseline)
+#
+# Usage: scripts/bench_pr8.sh [out.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR8.json}"
+WORK="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+REQUESTS=400
+VARIANTS=40
+CONCURRENCY=8
+SEED=7
+
+go build -o "$WORK/netdag-serve" ./cmd/netdag-serve
+go build -o "$WORK/netdag-loadgen" ./cmd/netdag-loadgen
+
+# Eight independent weakly-hard pipelines sharing one bus: the round
+# assignment search explores thousands of admissible assignments
+# (~6.4k per solve), so a miss costs real solver time and cache tiers
+# show up in the latency split.
+cat >"$WORK/base.json" <<'SPEC'
+{
+  "mode": "weakly-hard",
+  "diameter": 3,
+  "tasks": [
+    {"name": "p0t0", "node": "n0", "wcet": 847},
+    {"name": "p0t1", "node": "n1", "wcet": 4081},
+    {"name": "p0t2", "node": "n2", "wcet": 225},
+    {"name": "p1t0", "node": "n3", "wcet": 300},
+    {"name": "p1t1", "node": "n4", "wcet": 494},
+    {"name": "p2t0", "node": "n5", "wcet": 889},
+    {"name": "p2t1", "node": "n6", "wcet": 928},
+    {"name": "p3t0", "node": "n7", "wcet": 445},
+    {"name": "p3t1", "node": "n8", "wcet": 21106},
+    {"name": "p3t2", "node": "n9", "wcet": 866},
+    {"name": "p4t0", "node": "n10", "wcet": 647},
+    {"name": "p4t1", "node": "n11", "wcet": 947},
+    {"name": "p5t0", "node": "n12", "wcet": 990},
+    {"name": "p5t1", "node": "n13", "wcet": 415},
+    {"name": "p6t0", "node": "n14", "wcet": 387},
+    {"name": "p6t1", "node": "n15", "wcet": 631},
+    {"name": "p7t0", "node": "n16", "wcet": 337},
+    {"name": "p7t1", "node": "n17", "wcet": 831}
+  ],
+  "edges": [
+    {"from": "p0t0", "to": "p0t1", "width": 7},
+    {"from": "p0t1", "to": "p0t2", "width": 9},
+    {"from": "p1t0", "to": "p1t1", "width": 8},
+    {"from": "p2t0", "to": "p2t1", "width": 3},
+    {"from": "p3t0", "to": "p3t1", "width": 12},
+    {"from": "p3t1", "to": "p3t2", "width": 9},
+    {"from": "p4t0", "to": "p4t1", "width": 8},
+    {"from": "p5t0", "to": "p5t1", "width": 2},
+    {"from": "p6t0", "to": "p6t1", "width": 10},
+    {"from": "p7t0", "to": "p7t1", "width": 10}
+  ],
+  "whStatistic": {"type": "synthetic"},
+  "whConstraints": {"p0t2": {"misses": 25, "window": 40}, "p1t1": {"misses": 25, "window": 40}, "p2t1": {"misses": 25, "window": 40}, "p3t2": {"misses": 25, "window": 40}, "p4t1": {"misses": 25, "window": 40}, "p5t1": {"misses": 25, "window": 40}, "p6t1": {"misses": 25, "window": 40}, "p7t1": {"misses": 25, "window": 40}}
+}
+SPEC
+
+wait_healthy() { # url
+  for _ in $(seq 1 100); do
+    curl -fsS "$1/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server at $1 never became healthy" >&2
+  exit 1
+}
+
+run_loadgen() { # label targets out
+  "$WORK/netdag-loadgen" -target "$2" -spec "$WORK/base.json" \
+    -requests $REQUESTS -variants $VARIANTS \
+    -concurrency $CONCURRENCY -seed $SEED -label "$1" -out "$3"
+}
+
+echo "== single instance (journal + warm) =="
+"$WORK/netdag-serve" -addr 127.0.0.1:18080 -journal "$WORK/single.journal" \
+  2>"$WORK/single.log" &
+SINGLE=$!
+wait_healthy http://127.0.0.1:18080
+run_loadgen single http://127.0.0.1:18080 "$WORK/single.json"
+kill $SINGLE; wait $SINGLE 2>/dev/null || true
+
+echo "== single instance restarted on its journal =="
+"$WORK/netdag-serve" -addr 127.0.0.1:18080 -journal "$WORK/single.journal" \
+  2>"$WORK/restart.log" &
+RESTART=$!
+wait_healthy http://127.0.0.1:18080
+run_loadgen single-restart http://127.0.0.1:18080 "$WORK/restart.json"
+kill $RESTART; wait $RESTART 2>/dev/null || true
+
+echo "== single instance (warm-start disabled) =="
+"$WORK/netdag-serve" -addr 127.0.0.1:18080 -warm=false 2>"$WORK/cold.log" &
+COLD=$!
+wait_healthy http://127.0.0.1:18080
+run_loadgen single-cold http://127.0.0.1:18080 "$WORK/cold.json"
+kill $COLD; wait $COLD 2>/dev/null || true
+
+echo "== three clustered instances =="
+PEERS="a=http://127.0.0.1:18080,b=http://127.0.0.1:18081,c=http://127.0.0.1:18082"
+names=(a b c)
+for i in 0 1 2; do
+  name=${names[$i]}
+  "$WORK/netdag-serve" -addr 127.0.0.1:1808$i -peer-name "$name" -peers "$PEERS" \
+    -journal "$WORK/peer$name.journal" 2>"$WORK/peer$name.log" &
+done
+for i in 0 1 2; do wait_healthy http://127.0.0.1:1808$i; done
+run_loadgen cluster3 \
+  "http://127.0.0.1:18080,http://127.0.0.1:18081,http://127.0.0.1:18082" \
+  "$WORK/cluster.json"
+kill $(jobs -p) 2>/dev/null || true
+
+cat >"$OUT" <<EOF
+{
+  "pr": 8,
+  "title": "Distributed serving tier: cache sharding, batch API, journal, warm-started reuse",
+  "environment": {
+    "goos": "$(go env GOOS)",
+    "goarch": "$(go env GOARCH)",
+    "cpu": "$(grep -m1 'model name' /proc/cpuinfo | cut -d: -f2- | sed 's/^ //' || echo unknown)",
+    "workload": "$REQUESTS requests over $VARIANTS weight-mutated variants of an 8-pipeline weakly-hard app, zipf-skewed, seed $SEED, concurrency $CONCURRENCY"
+  },
+  "command": "scripts/bench_pr8.sh",
+  "runs": {
+    "single": $(cat "$WORK/single.json"),
+    "single_restart": $(cat "$WORK/restart.json"),
+    "single_cold": $(cat "$WORK/cold.json"),
+    "cluster3": $(cat "$WORK/cluster.json")
+  }
+}
+EOF
+echo "wrote $OUT"
