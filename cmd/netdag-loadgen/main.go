@@ -7,7 +7,7 @@
 //	netdag-loadgen [-target http://localhost:8080[,http://localhost:8081,...]]
 //	               [-spec base.json] [-requests 200] [-variants 25]
 //	               [-concurrency 8] [-seed 1] [-deadline 0] [-label run1]
-//	               [-out bench.json]
+//	               [-mutate-rates] [-out bench.json]
 //
 // The workload is a closed-loop mix over -variants weight-mutated
 // clones of the base spec (same DAG shape, WCETs and widths scaled
@@ -15,6 +15,13 @@
 // set repeats — the shape a fleet of similar deployments produces.
 // With several comma-separated targets, requests round-robin across
 // them, exercising cluster forwarding.
+//
+// -mutate-rates additionally assigns each variant a period set drawn
+// from a small pool of rate maps over the base tasks. Rates are
+// structural (they change the unrolled graph), so the pool splits the
+// workload into a few recurring structural classes: variants sharing a
+// rate set still warm-start each other, variants in different sets
+// don't — the multi-rate analogue of the weight-mutation fleet.
 //
 // The report separates cold misses (first solve of a shape) from
 // warm-started misses (X-Netdag-Warm present), so the effect of
@@ -83,6 +90,7 @@ type report struct {
 	Variants    int      `json:"variants"`
 	Concurrency int      `json:"concurrency"`
 	Seed        int64    `json:"seed"`
+	RateSets    int      `json:"rateSets,omitempty"` // -mutate-rates pool size (0 = off)
 	WallMS      float64  `json:"wallMS"`
 
 	Statuses map[string]int `json:"statuses"`
@@ -110,6 +118,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 8, "in-flight requests")
 	seed := flag.Int64("seed", 1, "workload seed: variant weights and draw order")
 	deadline := flag.Duration("deadline", 0, "per-request ?deadline= (0 = none)")
+	mutateRates := flag.Bool("mutate-rates", false, "draw each variant's period set from a small pool of rate maps")
 	label := flag.String("label", "", "free-form run label copied into the report")
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	flag.Parse()
@@ -136,6 +145,10 @@ func main() {
 	// fingerprints), then -requests draws skewed toward low indices so
 	// some variants repeat (cache hits) and some appear once (misses).
 	rng := rand.New(rand.NewSource(*seed))
+	var ratePool []map[string]int
+	if *mutateRates {
+		ratePool = rateSetPool(rng, f.Tasks)
+	}
 	bodies := make([][]byte, *variants)
 	for i := range bodies {
 		v := f // shallow copy; Tasks/Edges replaced below
@@ -148,6 +161,9 @@ func main() {
 		for j, edge := range f.Edges {
 			edge.Width = 1 + edge.Width*(50+rng.Intn(100))/100
 			v.Edges[j] = edge
+		}
+		if ratePool != nil {
+			v.Rates = ratePool[rng.Intn(len(ratePool))]
 		}
 		b, err := json.Marshal(&v)
 		if err != nil {
@@ -188,6 +204,7 @@ func main() {
 	wall := time.Since(wallStart)
 
 	rep := summarize(samples, *label, targets, *variants, *concurrency, *seed, wall)
+	rep.RateSets = len(ratePool)
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatalf("encode report: %v", err)
@@ -202,6 +219,24 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "netdag-loadgen: %d requests in %s, report in %s\n",
 		*requests, wall.Round(time.Millisecond), *out)
+}
+
+// rateSetPool builds a small pool of period sets over the base tasks.
+// Pool entry 0 is always nil (the single-rate spec); each other entry
+// rates one or two tasks at 2 or 4 executions per hyperperiod. The pool
+// is deliberately tiny — four entries — because its point is repetition:
+// rates are structural, so every entry is its own structural class and
+// the Zipf draw makes classes recur across variants.
+func rateSetPool(rng *rand.Rand, tasks []spec.TaskSpec) []map[string]int {
+	pool := []map[string]int{nil}
+	for len(pool) < 4 {
+		rs := map[string]int{}
+		for _, ti := range rng.Perm(len(tasks))[:1+rng.Intn(min(2, len(tasks)))] {
+			rs[tasks[ti].Name] = 2 * (1 + rng.Intn(2))
+		}
+		pool = append(pool, rs)
+	}
+	return pool
 }
 
 // issue sends one solve and classifies the answer.

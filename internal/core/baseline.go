@@ -48,7 +48,7 @@ func (p *Problem) globalNTXFeasible(assign []int, nMsgs, n int) bool {
 	case Soft:
 		lam := p.SoftStat.SuccessProb(n)
 		for id, target := range p.SoftCons {
-			floods := predFloods(p.App, assign, nMsgs, id)
+			floods := predFloods(p.ancestors[id], assign, nMsgs)
 			if len(floods) == 0 || target <= 0 {
 				continue
 			}
@@ -63,7 +63,7 @@ func (p *Problem) globalNTXFeasible(assign []int, nMsgs, n int) bool {
 	case WeaklyHard:
 		g := p.WHStat.MissConstraint(n)
 		for id, target := range p.WHCons {
-			floods := predFloods(p.App, assign, nMsgs, id)
+			floods := predFloods(p.ancestors[id], assign, nMsgs)
 			if len(floods) == 0 || target.Trivial() {
 				continue
 			}

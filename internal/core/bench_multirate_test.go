@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/multirate"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// avHeavyProblem is the benchmark's multi-rate AV application at
+// realistic period ratios: three identical cameras and a
+// fusion/detection stage at rate 2, a lidar and a planner at rate 1, a
+// control loop at rate 10 and a monitor at rate 1, with weakly-hard
+// constraints on every control instance and the monitor, plus a pure-sink
+// visualization subscriber and two identical telemetry streams into a
+// shared logger. The cameras unroll into three identical two-phase
+// instance chains (one 3-member interchange class) and the telemetry
+// producers form a 2-member singleton class on an unconstrained path —
+// their floods are pinned in the χ search, so they compound the
+// symmetry orbit without spending the exact-χ constrained-flood budget.
+// MaxRounds is pinned to the line graph's minimum (5) to keep the
+// enumeration at a CI-friendly size; the optimum is the same as with
+// the default extra round.
+func avHeavyProblem(tb testing.TB, noSym, noFloors bool) *Problem {
+	tb.Helper()
+	g := dag.New()
+	cams := make([]dag.TaskID, 3)
+	for i := range cams {
+		cams[i] = g.MustAddTask("cam"+string(rune('0'+i)), "ncam"+string(rune('0'+i)), 450)
+	}
+	lidar := g.MustAddTask("lidar", "nlidar", 800)
+	fuse := g.MustAddTask("fuse", "nfuse", 1100)
+	detect := g.MustAddTask("detect", "ndetect", 1500)
+	plan := g.MustAddTask("plan", "nplan", 2000)
+	ctrl := g.MustAddTask("ctrl", "nctrl", 150)
+	monitor := g.MustAddTask("monitor", "nmon", 300)
+	for _, c := range cams {
+		g.MustConnect(c, fuse, 8)
+	}
+	g.MustConnect(lidar, fuse, 12)
+	g.MustConnect(fuse, detect, 10)
+	g.MustConnect(detect, plan, 6)
+	g.MustConnect(plan, ctrl, 4)
+	g.MustConnect(ctrl, monitor, 2)
+	// Pure-sink subscribers on their own nodes: extra destinations on
+	// already-emitted messages, so they enlarge the placement instance
+	// (more task-vs-round disjunctions) without adding floods or
+	// enumeration work — the realistic "many consumers per stream" shape.
+	viz := g.MustAddTask("viz", "nviz", 1800)
+	g.MustConnect(fuse, viz, 10)
+	// Two identical telemetry streams into a shared logger: pure
+	// producers on an unconstrained path, so their floods are pinned in
+	// the χ search (no constrained-flood budget spent) while their
+	// interchange class compounds with the camera chains' orbit.
+	logger := g.MustAddTask("logger", "nlog", 700)
+	for i := 0; i < 2; i++ {
+		tele := g.MustAddTask("tele"+string(rune('0'+i)), "ntele"+string(rune('0'+i)), 500)
+		g.MustConnect(tele, logger, 6)
+	}
+	res, err := multirate.Unroll(multirate.Spec{App: g, Rates: map[dag.TaskID]int{
+		cams[0]: 2, cams[1]: 2, cams[2]: 2, fuse: 2, detect: 2, ctrl: 10,
+		viz: 2,
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cons := multirate.SpreadConstraints(res, map[dag.TaskID]wh.MissConstraint{
+		ctrl:    {Misses: 24, Window: 40},
+		monitor: {Misses: 28, Window: 40},
+	})
+	return &Problem{
+		App:            res.Graph,
+		Params:         glossy.DefaultParams(),
+		Diameter:       3,
+		MaxNTX:         10,
+		MaxRounds:      5,
+		Mode:           WeaklyHard,
+		WHStat:         glossy.SyntheticWH{},
+		WHCons:         cons,
+		InstanceChains: res.Chains(),
+		NoSymmetry:     noSym,
+		NoChiFloors:    noFloors,
+	}
+}
+
+// BenchmarkMultiRateAVHeavy compares the solver with the multi-rate
+// optimizations on (instance-chain symmetry breaking + chi floors)
+// against the ablated configuration. The ns/node metric is *effective*
+// node throughput: wall time per solve divided by the canonical
+// (ablated) search's node count, so the on/off ratio of ns/node equals
+// the wall-time speedup on the same proven-optimal answer.
+func BenchmarkMultiRateAVHeavy(b *testing.B) {
+	canon, err := Solve(avHeavyProblem(b, true, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name            string
+		noSym, noFloors bool
+	}{
+		{"full", false, false},
+		{"nofloors", false, true},
+		{"nosym", true, false},
+		{"disabled", true, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := Solve(avHeavyProblem(b, cfg.noSym, cfg.noFloors))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !s.Optimal || s.Makespan != canon.Makespan {
+					b.Fatalf("makespan %d optimal %v, want %d (ablated reference)",
+						s.Makespan, s.Optimal, canon.Makespan)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(canon.SolverNodes), "ns/node")
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync/atomic"
 
 	"github.com/netdag/netdag/internal/dag"
@@ -174,21 +175,47 @@ func newSearch(ctx context.Context, p *Problem, lg *dag.LineGraph, maxRounds int
 	for m := range s.chiFloor {
 		s.chiFloor[m] = p.MinNTX
 	}
-	if p.Mode == WeaklyHard {
+	if p.Mode == WeaklyHard && !p.NoChiFloors {
+		// chiFloor[m] must be the strongest window floor demanded by any
+		// constrained task m can affect. Instead of one ancestor walk per
+		// constrained task — O(K·graph), and a rate-r unrolling multiplies
+		// K by r — a single reverse-topological DP computes up[t], the
+		// maximum floor over constrained tasks reachable from t via data
+		// edges (t included), and each message takes the max over its
+		// consumers. Identical floors to the per-task walks: m is an
+		// ancestor of τ exactly when some consumer of m reaches τ over
+		// data edges.
+		up := make([]int, p.App.NumTasks())
 		for _, t := range p.App.Tasks() {
 			target, has := p.WHCons[t.ID]
 			if !has || target.Trivial() {
 				continue
 			}
-			minN, ok := p.minNTXForWindow(target.Window)
-			if !ok {
+			minN := p.windowFloor[target.Window]
+			if minN < 0 {
 				// The instance is unsat; scheduleForAssignment reports it
 				// with the offending task. Clamp so the bound stays valid.
 				minN = p.MaxNTX
 			}
-			for _, m := range p.App.MsgAncestors(t.ID) {
-				if minN > s.chiFloor[m] {
-					s.chiFloor[m] = minN
+			up[t.ID] = minN
+		}
+		// The application validated, so a topological order exists.
+		order, _ := p.App.TopoOrder()
+		for i := len(order) - 1; i >= 0; i-- {
+			id := order[i]
+			for _, succ := range p.App.Succs(id) {
+				if p.App.OrderOnly(id, succ) {
+					continue
+				}
+				if up[succ] > up[id] {
+					up[id] = up[succ]
+				}
+			}
+		}
+		for _, m := range p.App.Messages() {
+			for _, d := range m.Dests {
+				if up[d] > s.chiFloor[m.ID] {
+					s.chiFloor[m.ID] = up[d]
 				}
 			}
 		}
@@ -293,21 +320,42 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 	return best, explored, firstErr
 }
 
-// predFloods returns, for a task, the flood indices of pred(τ): its
-// ancestor messages plus the beacons of the rounds carrying them. Flood
-// indexing: messages occupy 0..M-1 (by MsgID), beacons occupy M..M+R-1
-// (by round index).
-func predFloods(app *dag.Graph, assign []int, nMsgs int, id dag.TaskID) []int {
-	msgs := app.MsgAncestors(id)
-	var floods []int
-	roundSeen := make(map[int]bool)
+// predFloods returns, for a task's cached ancestor messages, the flood
+// indices of pred(τ): the messages plus the beacons of the rounds
+// carrying them. Flood indexing: messages occupy 0..M-1 (by MsgID),
+// beacons occupy M..M+R-1 (by round index). The list is canonical —
+// messages in MsgID order, then beacons in round order — NOT in the
+// interleaved order a MsgAncestors walk would visit them. Canonicality
+// matters for the symmetry machinery: the χ solver breaks score ties by
+// list position, and under the interleaved order two round assignments
+// in the same interchange orbit would render the same constraint with
+// its beacons in different positions, letting the solver pick different
+// χ vectors for instances that are identical as sets. With the
+// canonical order the orbit's χ instances are literally identical, so
+// the solved vector is too — the fact dominatedAssignment and the
+// per-orbit χ memo rely on.
+func predFloods(msgs []dag.MsgID, assign []int, nMsgs int) []int {
+	floods := make([]int, len(msgs), 2*len(msgs))
+	for i, m := range msgs {
+		floods[i] = int(m)
+	}
+	var rounds []int
 	for _, m := range msgs {
-		floods = append(floods, int(m))
 		r := assign[m]
-		if !roundSeen[r] {
-			roundSeen[r] = true
-			floods = append(floods, nMsgs+r)
+		dup := false
+		for _, seen := range rounds {
+			if seen == r {
+				dup = true
+				break
+			}
 		}
+		if !dup {
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Ints(rounds)
+	for _, r := range rounds {
+		floods = append(floods, nMsgs+r)
 	}
 	return floods
 }
@@ -339,7 +387,7 @@ func skippableSearchErr(err error) bool {
 // cut early. A bound-induced dead end returns errBoundPruned.
 func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound int64) (*Schedule, error) {
 	app := p.App
-	msgs := app.Messages()
+	msgs := p.msgs
 	nMsgs := len(msgs)
 	rounds := 0
 	for _, r := range assign {
@@ -349,6 +397,40 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 	}
 	nFloods := nMsgs + rounds
 
+	// Per-orbit χ memo: with canonical predFloods ordering, every member
+	// of an interchange orbit builds the literally identical χ instance
+	// (see symmetry.go), so the solved vector — or the solve's error — is
+	// a pure function of the orbit. The orbit is keyed by the canonical
+	// assignment; a non-representative member that finds the entry skips
+	// the χ search entirely, which is the dominant per-assignment cost on
+	// multi-rate instances. The sequential search always hits (the
+	// representative enumerates earlier and the admissibility bound is
+	// orbit-invariant, so it was solved first); a parallel worker that
+	// races ahead of the representative just misses and solves the same
+	// instance itself — identical results either way.
+	var memoKey string
+	if p.chiMemo != nil {
+		if key, rep, ok := p.canonicalAssignKey(assign); ok {
+			memoKey = key
+			if !rep {
+				if v, hit := p.chiMemo.Load(key); hit {
+					ent := v.(chiMemoEntry)
+					if ent.err != nil {
+						return nil, ent.err
+					}
+					if p.dominatedAssignment(assign, ent.chi) {
+						return nil, errDominated
+					}
+					return p.place(ctx, assign, ent.chi, rounds, bound)
+				}
+			}
+		}
+	}
+
+	// Per-flood tables alias the normalize-time caches: the deficit
+	// column is flood-independent and the cost column depends only on
+	// width, so one solve's assignments share the same few read-only
+	// slices instead of allocating O(floods × MaxNTX) per assignment.
 	ci := &chiInstance{
 		n:     nFloods,
 		upper: p.MaxNTX,
@@ -356,27 +438,15 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 		def:   make([][]float64, nFloods),
 		cost:  make([][]int64, nFloods),
 	}
+	ci.cons = make([]chiConstraint, 0, len(p.SoftCons)+len(p.WHCons))
+	beaconCost := p.costByWidth[p.Params.BeaconWidth]
 	for f := 0; f < nFloods; f++ {
 		ci.lower[f] = p.MinNTX
-		ci.def[f] = make([]float64, p.MaxNTX)
-		ci.cost[f] = make([]int64, p.MaxNTX)
-		width := p.Params.BeaconWidth
+		ci.def[f] = p.defCol
 		if f < nMsgs {
-			width = msgs[f].Width
-		}
-		for n := 1; n <= p.MaxNTX; n++ {
-			ci.cost[f][n-1] = p.Params.SlotDuration(n, width, p.Diameter)
-			switch p.Mode {
-			case Soft:
-				lam := p.SoftStat.SuccessProb(n)
-				if lam <= 0 {
-					ci.def[f][n-1] = math.Inf(1)
-				} else {
-					ci.def[f][n-1] = -math.Log(lam)
-				}
-			case WeaklyHard:
-				ci.def[f][n-1] = float64(p.WHStat.MissConstraint(n).Misses)
-			}
+			ci.cost[f] = p.costByWidth[msgs[f].Width]
+		} else {
+			ci.cost[f] = beaconCost
 		}
 	}
 
@@ -393,7 +463,7 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 			if !has {
 				continue
 			}
-			floods := predFloods(app, assign, nMsgs, id)
+			floods := predFloods(p.ancestors[id], assign, nMsgs)
 			if len(floods) == 0 || target <= 0 {
 				continue // trivially satisfied: no networked dependencies
 			}
@@ -414,15 +484,15 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 			if !has {
 				continue
 			}
-			floods := predFloods(app, assign, nMsgs, id)
+			floods := predFloods(p.ancestors[id], assign, nMsgs)
 			if len(floods) == 0 || target.Trivial() {
 				continue
 			}
 			// Window bound: every predecessor flood's guarantee window
 			// must cover the requirement's (the ⊕ window is the minimum
 			// over predecessors, and eq. 10 needs it >= F.Window).
-			minN, ok := p.minNTXForWindow(target.Window)
-			if !ok {
+			minN := p.windowFloor[target.Window]
+			if minN < 0 {
 				return nil, fmt.Errorf("%w: task %q needs a %d-round guarantee window; statistic cannot provide it within MaxNTX=%d",
 					ErrUnsat, app.Task(id).Name, target.Window, p.MaxNTX)
 			}
@@ -440,6 +510,9 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 	}
 
 	chi, err := ci.solve(p.GreedyChi)
+	if memoKey != "" {
+		p.chiMemo.LoadOrStore(memoKey, chiMemoEntry{chi: chi, err: err})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -472,7 +545,7 @@ func (p *Problem) minNTXForWindow(w int) (int, bool) {
 // redone; its incumbent (if any) is returned as a non-optimal schedule.
 func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, bound int64) (*Schedule, error) {
 	app := p.App
-	msgs := app.Messages()
+	msgs := p.msgs
 	nMsgs := len(msgs)
 
 	// Round durations per eq. (3): beacon term + slot terms.

@@ -248,12 +248,16 @@ func TestInterchangeClasses(t *testing.T) {
 	if len(cls) != 2 {
 		t.Fatalf("sensor class = %v, want 2 members", cls)
 	}
-	for _, m := range cls {
-		src := sw.Task(sw.Message(m).Source)
+	for _, tup := range cls {
+		if len(tup) != 1 {
+			t.Fatalf("sensor member %v, want a singleton tuple", tup)
+		}
+		src := sw.Task(sw.Message(tup[0]).Source)
 		if src.WCET != 500 {
-			t.Errorf("class member %d sourced by %q (wcet %d), want a sensor", m, src.Name, src.WCET)
+			t.Errorf("class member %d sourced by %q (wcet %d), want a sensor", tup[0], src.Name, src.WCET)
 		}
 	}
+	m0, m1 := cls[0][0], cls[1][0]
 
 	// Descending rounds with equal chi: dominated. Unequal chi: not.
 	assign := make([]int, sw.NumMessages())
@@ -261,15 +265,15 @@ func TestInterchangeClasses(t *testing.T) {
 	for i := range chi {
 		chi[i] = 2
 	}
-	assign[cls[0]], assign[cls[1]] = 1, 0
+	assign[m0], assign[m1] = 1, 0
 	if !p.dominatedAssignment(assign, chi) {
 		t.Error("descending class rounds with equal chi not flagged as dominated")
 	}
-	chi[cls[0]] = 3
+	chi[m0] = 3
 	if p.dominatedAssignment(assign, chi) {
 		t.Error("asymmetric chi tie-break must disable the symmetry skip")
 	}
-	assign[cls[0]], assign[cls[1]] = 0, 1
+	assign[m0], assign[m1] = 0, 1
 	if p.dominatedAssignment(assign, chi) {
 		t.Error("ascending class rounds flagged as dominated")
 	}
@@ -280,7 +284,7 @@ func TestInterchangeClasses(t *testing.T) {
 		Mode:         Soft,
 		SoftStat:     glossy.BernoulliSoft{PerTX: 0.9},
 		SoftCons:     map[dag.TaskID]float64{sw.Sinks()[0]: 0.85},
-		ReleaseTimes: map[dag.TaskID]int64{sw.Message(cls[0]).Source: 100},
+		ReleaseTimes: map[dag.TaskID]int64{sw.Message(m0).Source: 100},
 		Portfolio:    true,
 	}
 	if err := p2.normalize(); err != nil {

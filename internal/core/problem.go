@@ -22,6 +22,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync"
 
 	"github.com/netdag/netdag/internal/dag"
 	"github.com/netdag/netdag/internal/glossy"
@@ -138,6 +140,31 @@ type Problem struct {
 	// which subtrees the randomized strategy explores first.
 	PortfolioSeed int64
 
+	// InstanceChains optionally declares groups of tasks that are
+	// phase-shifted job instances of one base task — the metadata
+	// multirate.Result.Chains emits when unrolling a multi-rate spec:
+	// each entry lists the instance task IDs of one base task in phase
+	// order. normalize uses it to extend symmetry breaking from single
+	// interchangeable floods to whole instance chains (see symmetry.go),
+	// collapsing the factorial orbit of identical job chains to one
+	// representative. The metadata is advisory: chains that fail the
+	// structural interchange conditions are ignored, so passing it is
+	// always safe and never changes results — only search effort.
+	InstanceChains [][]dag.TaskID
+
+	// NoSymmetry disables interchange-class dominance skipping in the
+	// outer enumeration (the ablation knob of the multi-rate benchmarks).
+	// Results are identical either way — the skip is exact — so the knob
+	// only changes how much work the search does.
+	NoSymmetry bool
+
+	// NoChiFloors disables the weakly-hard per-flood window floors in
+	// the admissibility lower bound (search.chiFloor), the second
+	// ablation knob. Only the bound loosens: the window floors inside
+	// the per-assignment χ instance are correctness constraints and
+	// always apply, so results are again identical, just slower.
+	NoChiFloors bool
+
 	// WarmMakespan warm-starts the outer search with the makespan of a
 	// previously solved, closely related instance (the online session's
 	// re-solve path): it acts as a virtual incumbent — assignments whose
@@ -151,10 +178,45 @@ type Problem struct {
 	// SolverNodes (work accounting) may differ. Zero disables it.
 	WarmMakespan int64
 
-	// iclasses are the interchange classes of messages (equal width,
-	// identical destination sets, interchangeable sources) computed by
-	// normalize when Portfolio is set; see interchangeClasses.
-	iclasses [][]dag.MsgID
+	// iclasses are the interchange classes of message tuples (equal
+	// width, identical destination sets, interchangeable sources or
+	// instance chains) computed by normalize for exact placements; see
+	// interchangeClasses.
+	iclasses [][][]dag.MsgID
+
+	// chiMemo caches the solved χ vector (or solve error) per interchange
+	// orbit, keyed by the canonicalized round assignment (see
+	// canonicalAssignKey). With canonical predFloods ordering every orbit
+	// member builds the literally identical χ instance, so the cache is a
+	// pure-function memo: a non-representative assignment skips the χ
+	// search — the dominant cost on multi-rate instances — and goes
+	// straight to the dominance check and placement with the
+	// representative's vector. A pointer (not an embedded sync.Map) so
+	// shallow Problem copies in tests do not copy the lock. Reset by
+	// normalize, nil when symmetry is off.
+	chiMemo *sync.Map
+
+	// Search caches computed by normalize, shared read-only by every
+	// per-assignment χ instance and by the outer search's admissibility
+	// bound (safe across parallel workers):
+	//
+	//   - ancestors: MsgAncestors per constrained task, so the hot path
+	//     stops re-walking the graph once per task per assignment;
+	//   - defCol: the per-level deficit column, identical for every
+	//     flood (it depends only on χ, not width);
+	//   - costByWidth: the per-level slot-duration column per distinct
+	//     message width (beacon width included);
+	//   - windowFloor: minNTXForWindow memoized per distinct window, so
+	//     a rate-r task's instances share one floor computed once, not r
+	//     times (-1 records an unsatisfiable window);
+	//   - msgs: one immutable copy of App.Messages(), so the two
+	//     per-assignment hot-path consumers (χ instance build and
+	//     placement) stop deep-copying the message list per call.
+	ancestors   map[dag.TaskID][]dag.MsgID
+	msgs        []dag.Message
+	defCol      []float64
+	costByWidth map[int][]int64
+	windowFloor map[int]int
 }
 
 // Defaults for optional Problem knobs.
@@ -230,10 +292,18 @@ func (p *Problem) normalize() error {
 				ErrBadConstraint, p.App.Task(id).Name, r)
 		}
 	}
-	if p.Portfolio && !p.GreedyPlacement {
+	// Interchange classes apply to every exact placement — single
+	// strategy or portfolio — since the dominance argument only needs
+	// the placement optimum; the greedy dispatcher does not compute one.
+	if !p.GreedyPlacement && !p.NoSymmetry {
 		p.iclasses = p.interchangeClasses()
 	} else {
 		p.iclasses = nil
+	}
+	if len(p.iclasses) > 0 {
+		p.chiMemo = &sync.Map{}
+	} else {
+		p.chiMemo = nil
 	}
 	switch p.Mode {
 	case Soft:
@@ -246,7 +316,9 @@ func (p *Problem) normalize() error {
 					ErrBadConstraint, p.App.Task(id).Name, f)
 			}
 		}
-		return p.validateSoftStructure()
+		if err := p.validateSoftStructure(); err != nil {
+			return err
+		}
 	case WeaklyHard:
 		if p.WHStat == nil {
 			return ErrNoStatistic
@@ -256,9 +328,76 @@ func (p *Problem) normalize() error {
 				return fmt.Errorf("%w: task %q: %v", ErrBadConstraint, p.App.Task(id).Name, err)
 			}
 		}
-		return p.validateWHStructure()
+		if err := p.validateWHStructure(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("core: unknown mode %v", p.Mode)
+	}
+	p.buildSearchCaches()
+	return nil
+}
+
+// buildSearchCaches precomputes the per-solve read-only tables the
+// per-assignment hot path consults: message ancestors per constrained
+// task, the shared deficit column, slot-cost columns per width, and the
+// per-window χ floor memo. All are immutable after normalize, so the
+// parallel workers share them freely.
+func (p *Problem) buildSearchCaches() {
+	p.msgs = p.App.Messages()
+	p.ancestors = make(map[dag.TaskID][]dag.MsgID, len(p.SoftCons)+len(p.WHCons))
+	record := func(id dag.TaskID) {
+		if _, ok := p.ancestors[id]; !ok {
+			p.ancestors[id] = p.App.MsgAncestors(id)
+		}
+	}
+	for id := range p.SoftCons {
+		record(id)
+	}
+	for id := range p.WHCons {
+		record(id)
+	}
+	p.defCol = make([]float64, p.MaxNTX)
+	for n := 1; n <= p.MaxNTX; n++ {
+		switch p.Mode {
+		case Soft:
+			lam := p.SoftStat.SuccessProb(n)
+			if lam <= 0 {
+				p.defCol[n-1] = math.Inf(1)
+			} else {
+				p.defCol[n-1] = -math.Log(lam)
+			}
+		case WeaklyHard:
+			p.defCol[n-1] = float64(p.WHStat.MissConstraint(n).Misses)
+		}
+	}
+	p.costByWidth = make(map[int][]int64)
+	addWidth := func(w int) {
+		if _, ok := p.costByWidth[w]; ok {
+			return
+		}
+		col := make([]int64, p.MaxNTX)
+		for n := 1; n <= p.MaxNTX; n++ {
+			col[n-1] = p.Params.SlotDuration(n, w, p.Diameter)
+		}
+		p.costByWidth[w] = col
+	}
+	addWidth(p.Params.BeaconWidth)
+	for _, m := range p.App.Messages() {
+		addWidth(m.Width)
+	}
+	p.windowFloor = make(map[int]int, len(p.WHCons))
+	if p.Mode == WeaklyHard {
+		for _, c := range p.WHCons {
+			if _, ok := p.windowFloor[c.Window]; ok {
+				continue
+			}
+			if n, ok := p.minNTXForWindow(c.Window); ok {
+				p.windowFloor[c.Window] = n
+			} else {
+				p.windowFloor[c.Window] = -1
+			}
+		}
 	}
 }
 

@@ -1,39 +1,77 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/netdag/netdag/internal/dag"
 )
 
 // Symmetry breaking over interchangeable floods (cf. TTW's symmetry
-// constraints, Jacob et al., DATE 2018): two messages are interchangeable
-// when swapping their round assignments yields a scheduling instance
-// isomorphic to the original — same χ optimization, same placement
-// optimum. The enumeration then only needs one representative per orbit:
-// the lexicographic enumeration emits the member with ascending rounds
-// (in MsgID order) first, so any assignment where a class's rounds
-// descend is a later, never-better duplicate.
+// constraints, Jacob et al., DATE 2018): two message tuples are
+// interchangeable when swapping their round assignments yields a
+// scheduling instance isomorphic to the original — same χ optimization,
+// same placement optimum. The enumeration then only needs one
+// representative per orbit: the lexicographic enumeration emits the
+// member with ascending round vectors (in MsgID order) first, so any
+// assignment where a class's round vectors descend is a later,
+// never-better duplicate.
 //
-// Interchangeability is structural: equal width, identical destination
-// sets, and sources that are mutually indistinguishable (equal WCET, no
-// predecessors, no extra successors, no deadlines/releases, identical
-// task-level constraints). Under these conditions the χ instance —
-// costs, defect columns, covering constraints, window floors — is
-// literally identical across the orbit, so the χ solver returns the same
-// vector for every image. The placement instances of two images are
-// isomorphic under relabeling the sources *only if* the class members'
-// χ values coincide (otherwise the images put different slot durations
-// into the rounds); the skip therefore verifies χ equality at runtime
-// and explores the image normally when the solver broke the tie
+// A class member is an ordered tuple of messages. The original flood
+// interchange (PR 6) is the tuple-length-1 case: messages of equal width
+// with identical destination sets and mutually indistinguishable pure
+// producer sources. The multi-rate generalization takes tuples from
+// Problem.InstanceChains — the phase-ordered instances of one base task
+// emitted by multirate.Unroll — so the r! orderings of r identical job
+// chains (three cameras at rate 2, say) collapse to one.
+//
+// Interchangeability is structural and verified here, never assumed from
+// the metadata. For a chain tuple every member chain must be pure — the
+// first instance has no predecessors, each later instance's only
+// predecessor is the previous one via an order-only serialization edge,
+// and each instance's successors are exactly its message destinations
+// plus the next instance — and phase-aligned across the class: equal
+// WCET, equal width, literally identical destination task sets, equal
+// task-level constraints, no deadlines or release times, with the same
+// phases emitting. Under these conditions the χ instance of a swapped
+// image is literally identical to the original's: all members feed the
+// same consumers, so every constraint's flood set is unchanged by
+// permuting the members' rounds, and predFloods renders each set in a
+// canonical order (messages by MsgID, then beacons by round) independent
+// of which member carries which round. Identical instances mean the χ
+// solver — whose tie-breaking depends on flood-list positions — returns
+// the same vector for both, which is also what lets scheduleForAssignment
+// memoize one solved χ vector per orbit (Problem.chiMemo). The placement instances are isomorphic under
+// relabeling the chains *only if* the solved χ values coincide per phase
+// across members (otherwise the images put different slot durations into
+// the rounds); the skip therefore verifies per-phase χ equality at
+// runtime and explores the image normally when the solver broke the tie
 // asymmetrically. This keeps the pruning unconditionally exact.
+//
+// Soundness of "earlier": class tuple messages all sit at line-graph
+// depth 0 (their sources consume nothing — order-only serialization
+// edges are invisible to the line graph), so their enumeration positions
+// are in MsgID order. Construction additionally requires MsgID-ordering
+// consistency — within a member, phase k's MsgID precedes phase k+1's;
+// across adjacent members, every phase-k MsgID of the earlier member
+// precedes the later member's — and drops any class violating it. Under
+// consistency, swapping a descending adjacent pair of member vectors
+// first differs from the original at the earlier member's first
+// differing phase, where the image's round is strictly smaller: the
+// image is enumerated earlier. By induction down the lexicographic
+// order, an undominated equal-makespan representative is always
+// enumerated earlier, so it wins the (makespan, idx) total order.
+//
+// Only used when the placement is exact (the duplicate-makespan argument
+// relies on the placement optimum, which the greedy dispatcher does not
+// compute); Problem.NoSymmetry turns it off for ablation.
 
-// interchangeClasses groups messages into interchange classes (size >= 2,
-// members in ascending MsgID order). Only called when Portfolio is set
-// and the placement is exact: the duplicate-makespan argument relies on
-// the placement optimum, which the greedy dispatcher does not compute.
-func (p *Problem) interchangeClasses() [][]dag.MsgID {
+// interchangeClasses groups message tuples into interchange classes
+// (size >= 2, members in ascending MsgID-tuple order). Each class is a
+// slice of members; each member a phase-ordered MsgID tuple.
+func (p *Problem) interchangeClasses() [][][]dag.MsgID {
 	app := p.App
 	preds := make([]int, app.NumTasks())
 	for _, t := range app.Tasks() {
@@ -41,8 +79,26 @@ func (p *Problem) interchangeClasses() [][]dag.MsgID {
 			preds[s]++
 		}
 	}
-	groups := make(map[string][]dag.MsgID)
+	groups := make(map[string][][]dag.MsgID)
+	// Chain tuples from the multi-rate instance metadata. Sources claimed
+	// by a qualifying chain are excluded from the singleton pass below so
+	// no message lands in two classes.
+	claimed := make(map[dag.MsgID]bool)
+	for _, chain := range p.InstanceChains {
+		key, msgs, ok := p.chainTuple(chain, preds)
+		if !ok {
+			continue
+		}
+		groups[key] = append(groups[key], msgs)
+		for _, m := range msgs {
+			claimed[m] = true
+		}
+	}
+	// Singleton tuples: the original flood-interchange conditions.
 	for _, m := range app.Messages() {
+		if claimed[m.ID] {
+			continue
+		}
 		src := app.Task(m.Source)
 		// The source must be indistinguishable from another class member's:
 		// a pure producer whose only successors are the message's
@@ -65,7 +121,7 @@ func (p *Problem) interchangeClasses() [][]dag.MsgID {
 		whc, hasWH := p.WHCons[m.Source]
 		key := fmt.Sprintf("w%d|c%d|%v|s%v,%t|h%v,%t",
 			m.Width, src.WCET, dests, soft, hasSoft, whc, hasWH)
-		groups[key] = append(groups[key], m.ID)
+		groups[key] = append(groups[key], []dag.MsgID{m.ID})
 	}
 	keys := make([]string, 0, len(groups))
 	for k, ms := range groups {
@@ -75,34 +131,214 @@ func (p *Problem) interchangeClasses() [][]dag.MsgID {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	classes := make([][]dag.MsgID, 0, len(keys))
+	classes := make([][][]dag.MsgID, 0, len(keys))
 	for _, k := range keys {
 		ms := groups[k]
-		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		sort.Slice(ms, func(i, j int) bool { return tupleLess(ms[i], ms[j]) })
+		if !orderingConsistent(ms) {
+			continue // cannot prove "earlier"; skip the class, stay exact
+		}
 		classes = append(classes, ms)
 	}
 	return classes
 }
 
+// chainTuple validates one instance chain against the structural
+// interchange conditions and renders its per-phase signature key plus
+// its phase-ordered message tuple. ok is false when the chain does not
+// qualify (wrong shape, constrained timing, nothing emitted) — the
+// metadata is advisory, never trusted.
+func (p *Problem) chainTuple(chain []dag.TaskID, preds []int) (string, []dag.MsgID, bool) {
+	app := p.App
+	if len(chain) < 2 {
+		return "", nil, false // singleton pass covers length-1 chains
+	}
+	var key strings.Builder
+	var msgs []dag.MsgID
+	fmt.Fprintf(&key, "chain%d", len(chain))
+	for k, tid := range chain {
+		if int(tid) < 0 || int(tid) >= app.NumTasks() {
+			return "", nil, false
+		}
+		pr := app.Preds(tid)
+		if k == 0 {
+			if len(pr) != 0 {
+				return "", nil, false
+			}
+		} else if len(pr) != 1 || pr[0] != chain[k-1] || !app.OrderOnly(chain[k-1], tid) {
+			return "", nil, false
+		}
+		if _, ok := p.Deadlines[tid]; ok {
+			return "", nil, false
+		}
+		if _, ok := p.ReleaseTimes[tid]; ok {
+			return "", nil, false
+		}
+		m, emits := app.MessageOf(tid)
+		want := 0
+		if k < len(chain)-1 {
+			want++
+		}
+		if emits {
+			want += len(m.Dests)
+		}
+		if len(app.Succs(tid)) != want {
+			return "", nil, false
+		}
+		soft, hasSoft := p.SoftCons[tid]
+		whc, hasWH := p.WHCons[tid]
+		fmt.Fprintf(&key, "|p%d:c%d,s%v,%t,h%v,%t", k, app.Task(tid).WCET, soft, hasSoft, whc, hasWH)
+		if emits {
+			dests := make([]int, len(m.Dests))
+			for i, d := range m.Dests {
+				dests[i] = int(d)
+			}
+			sort.Ints(dests)
+			fmt.Fprintf(&key, ",w%d,d%v", m.Width, dests)
+			msgs = append(msgs, m.ID)
+		} else {
+			key.WriteString(",noemit")
+		}
+	}
+	if len(msgs) == 0 {
+		return "", nil, false
+	}
+	return key.String(), msgs, true
+}
+
+// tupleLess is lexicographic MsgID order over equal-length tuples.
+func tupleLess(a, b []dag.MsgID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// orderingConsistent verifies the MsgID-ordering precondition of the
+// "enumerated earlier" argument: within every member the phase MsgIDs
+// ascend, and across members (already tuple-sorted) every phase's MsgID
+// strictly ascends member to member.
+func orderingConsistent(members [][]dag.MsgID) bool {
+	for i, m := range members {
+		for k := 1; k < len(m); k++ {
+			if m[k-1] >= m[k] {
+				return false
+			}
+		}
+		if i == 0 {
+			continue
+		}
+		prev := members[i-1]
+		if len(prev) != len(m) {
+			return false
+		}
+		for k := range m {
+			if prev[k] >= m[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // dominatedAssignment reports whether assign is a provable duplicate of
-// an earlier-enumerated image: some interchange class's rounds descend
-// and the solved χ values of that class's members coincide. Sorting just
-// that class's rounds ascending yields a lexicographically earlier
-// assignment (class members share line-graph depth 0, so their
-// enumeration positions are in MsgID order) whose placement instance is
-// isomorphic — identical round durations, sources relabeled — and whose
-// exact optimum is therefore the same makespan. By induction down the
-// lexicographic order, an undominated equal-makespan representative is
-// always enumerated earlier, so it wins the (makespan, idx) total order
-// and the skip is exact. A class whose χ tie the solver broke
-// asymmetrically never triggers a skip: those images put different slot
-// durations into the rounds and must be explored.
+// an earlier-enumerated image: some interchange class's member round
+// vectors descend (an adjacent pair compares lexicographically
+// downward) and the solved χ values of the class's members coincide per
+// phase. Swapping the descending pair's vectors yields a
+// lexicographically earlier assignment (see the ordering-consistency
+// argument above) whose χ instance is literally identical and whose
+// placement instance is isomorphic — identical round durations, chains
+// relabeled — so its exact optimum is the same makespan. A class whose χ
+// tie the solver broke asymmetrically never triggers a skip: those
+// images put different slot durations into the rounds and must be
+// explored.
+// chiMemoEntry is one record of the per-orbit χ memo: the solved vector
+// — or the solve's error — of the orbit's shared χ instance. Exactly one
+// of chi/err is set. Entries are immutable after store; place only reads
+// chi, so sharing the slice across the orbit's assignments is safe.
+type chiMemoEntry struct {
+	chi []int
+	err error
+}
+
+// canonicalAssignKey renders the orbit-canonical form of a round
+// assignment as a memo key: per interchange class, the member round
+// vectors sorted lexicographically ascending — exactly the arrangement
+// of the orbit's earliest-enumerated representative (members are in
+// ascending MsgID-tuple order and the representative pairs ascending
+// vectors with ascending tuples). Positions outside the classes are
+// untouched, so two assignments share a key iff they are in the same
+// interchange orbit. rep reports whether assign already is its own
+// representative (every class ascending). ok is false when the
+// assignment cannot be keyed compactly — a round index above 255, which
+// no realistic round budget reaches; the memo then just stays cold.
+func (p *Problem) canonicalAssignKey(assign []int) (key string, rep, ok bool) {
+	buf := make([]byte, len(assign))
+	for i, r := range assign {
+		if r < 0 || r > 255 {
+			return "", false, false
+		}
+		buf[i] = byte(r)
+	}
+	rep = true
+	for _, cls := range p.iclasses {
+		sorted := true
+		for i := 1; i < len(cls); i++ {
+			if memberVecGreater(buf, cls[i-1], cls[i]) {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			// Adjacent-pair ≤ implies the whole class is sorted
+			// (lexicographic comparison is a total order).
+			continue
+		}
+		rep = false
+		vecs := make([][]byte, len(cls))
+		for i, mem := range cls {
+			v := make([]byte, len(mem))
+			for k, m := range mem {
+				v[k] = buf[m]
+			}
+			vecs[i] = v
+		}
+		sort.Slice(vecs, func(i, j int) bool { return bytes.Compare(vecs[i], vecs[j]) < 0 })
+		for i, mem := range cls {
+			for k, m := range mem {
+				buf[m] = vecs[i][k]
+			}
+		}
+	}
+	return string(buf), rep, true
+}
+
+// memberVecGreater compares two members' round vectors under buf
+// lexicographically: true iff a's vector is strictly greater than b's.
+func memberVecGreater(buf []byte, a, b []dag.MsgID) bool {
+	for k := range a {
+		if buf[a[k]] != buf[b[k]] {
+			return buf[a[k]] > buf[b[k]]
+		}
+	}
+	return false
+}
+
 func (p *Problem) dominatedAssignment(assign []int, chi []int) bool {
 	for _, cls := range p.iclasses {
 		descends := false
-		for k := 1; k < len(cls); k++ {
-			if assign[cls[k-1]] > assign[cls[k]] {
-				descends = true
+		for i := 1; i < len(cls); i++ {
+			a, b := cls[i-1], cls[i]
+			for k := range a {
+				if assign[a[k]] != assign[b[k]] {
+					descends = assign[a[k]] > assign[b[k]]
+					break
+				}
+			}
+			if descends {
 				break
 			}
 		}
@@ -110,10 +346,13 @@ func (p *Problem) dominatedAssignment(assign []int, chi []int) bool {
 			continue
 		}
 		equal := true
-		for k := 1; k < len(cls); k++ {
-			if chi[cls[k-1]] != chi[cls[k]] {
-				equal = false
-				break
+		for i := 1; i < len(cls) && equal; i++ {
+			a, b := cls[i-1], cls[i]
+			for k := range a {
+				if chi[a[k]] != chi[b[k]] {
+					equal = false
+					break
+				}
 			}
 		}
 		if equal {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"github.com/netdag/netdag/internal/dag"
 )
@@ -34,8 +35,33 @@ type Result struct {
 	Instances map[dag.TaskID][]dag.TaskID
 }
 
+// Chains returns the instance metadata in a deterministic, plumbable
+// form: one chain per base task, instances in phase (execution) order,
+// chains ordered by base task ID. This is what downstream consumers —
+// core.Problem.InstanceChains in particular — take: which unrolled
+// tasks are phase-shifted copies of one base task, so the scheduler can
+// break the symmetry between identical job instances.
+func (r *Result) Chains() [][]dag.TaskID {
+	bases := make([]dag.TaskID, 0, len(r.Instances))
+	for id := range r.Instances {
+		bases = append(bases, id)
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	chains := make([][]dag.TaskID, 0, len(bases))
+	for _, id := range bases {
+		chains = append(chains, append([]dag.TaskID(nil), r.Instances[id]...))
+	}
+	return chains
+}
+
 // ErrBadRate is returned for non-positive rates.
 var ErrBadRate = errors.New("multirate: rates must be positive")
+
+// ErrReservedName is returned when a base task name contains the '#'
+// instance separator: a base task literally named "a#1" would collide
+// with the unrolled instance a#1 of a task named "a", silently aliasing
+// two distinct tasks onto one name.
+var ErrReservedName = errors.New("multirate: base task names must not contain '#'")
 
 // InstanceName is the naming convention for unrolled instances:
 // "<task>#<i>".
@@ -68,6 +94,11 @@ func Unroll(s Spec) (*Result, error) {
 	for id, r := range s.Rates {
 		if r <= 0 {
 			return nil, fmt.Errorf("%w: task %q has rate %d", ErrBadRate, s.App.Task(id).Name, r)
+		}
+	}
+	for _, t := range s.App.Tasks() {
+		if strings.Contains(t.Name, "#") {
+			return nil, fmt.Errorf("%w: task %q", ErrReservedName, t.Name)
 		}
 	}
 	out := dag.New()

@@ -2,6 +2,8 @@ package multirate
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"github.com/netdag/netdag/internal/apps"
@@ -281,5 +283,130 @@ func TestSerializationPhaseOrder235(t *testing.T) {
 func TestInstanceName(t *testing.T) {
 	if InstanceName("ctrl", 3) != "ctrl#3" {
 		t.Errorf("InstanceName = %q", InstanceName("ctrl", 3))
+	}
+}
+
+// TestUnrollRejectsReservedNames pins the collision fix: a base task
+// whose name contains '#' would alias with an unrolled instance name
+// (task "a#1" vs instance 1 of task "a"), so Unroll rejects it with
+// ErrReservedName — even at rate 1, where the unrolled names would
+// happen not to collide, so the contract does not depend on the rates.
+func TestUnrollRejectsReservedNames(t *testing.T) {
+	g := dag.New()
+	a := g.MustAddTask("a", "n0", 100)
+	g.MustConnect(a, g.MustAddTask("a#1", "n1", 100), 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, rates := range map[string]map[dag.TaskID]int{
+		"with rates":    {a: 2},
+		"without rates": nil,
+	} {
+		if _, err := Unroll(Spec{App: g, Rates: rates}); !errors.Is(err, ErrReservedName) {
+			t.Errorf("%s: err = %v, want ErrReservedName", name, err)
+		}
+	}
+}
+
+// TestChainsOrderedByBaseTask pins the instance-metadata contract
+// consumed by core's symmetry breaking: one chain per base task, in
+// base-task-ID order, instances in phase order.
+func TestChainsOrderedByBaseTask(t *testing.T) {
+	g, sense, ctrl, act := senseCtrlAct(t)
+	res, err := Unroll(Spec{App: g, Rates: map[dag.TaskID]int{sense: 4, ctrl: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := res.Chains()
+	if len(chains) != 3 {
+		t.Fatalf("chains = %d, want 3", len(chains))
+	}
+	for i, base := range []dag.TaskID{sense, ctrl, act} {
+		if len(chains[i]) != len(res.Instances[base]) {
+			t.Fatalf("chain %d length %d, want %d", i, len(chains[i]), len(res.Instances[base]))
+		}
+		for k, inst := range res.Instances[base] {
+			if chains[i][k] != inst {
+				t.Errorf("chain %d[%d] = %d, want instance %d of base %d", i, k, chains[i][k], inst, base)
+			}
+		}
+	}
+}
+
+// TestRateTransitionProperty is the randomized contract of the
+// rate-transition rule: for random chains with random rate pairs, every
+// consumer instance μ#j reads exactly producer instance τ#⌊j·r(τ)/r(μ)⌋
+// (oversampling consumers reuse the latest sample, undersampling
+// consumers skip instances), no other producer instance feeds it, and
+// the unrolled graph always passes Validate().
+func TestRateTransitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 200; trial++ {
+		g := dag.New()
+		depth := 2 + rng.Intn(3)
+		ids := make([]dag.TaskID, depth)
+		rates := make(map[dag.TaskID]int, depth)
+		sameNode := rng.Intn(2) == 0
+		for d := 0; d < depth; d++ {
+			node := fmt.Sprintf("n%d", d)
+			if sameNode {
+				node = "shared"
+			}
+			ids[d] = g.MustAddTask(fmt.Sprintf("t%d", d), node, int64(100+rng.Intn(900)))
+			rates[ids[d]] = 1 + rng.Intn(6)
+			if d > 0 {
+				g.MustConnect(ids[d-1], ids[d], 4+rng.Intn(12))
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Unroll(Spec{App: g, Rates: rates})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := res.Graph.Validate(); err != nil {
+			t.Fatalf("trial %d: unrolled graph invalid: %v", trial, err)
+		}
+		for d := 1; d < depth; d++ {
+			prod, cons := ids[d-1], ids[d]
+			rP, rC := rates[prod], rates[cons]
+			for j := 0; j < rC; j++ {
+				want := res.Instances[prod][j*rP/rC]
+				cInst := res.Instances[cons][j]
+				got := 0
+				for _, p := range res.Graph.Preds(cInst) {
+					if res.Graph.OrderOnly(p, cInst) {
+						continue
+					}
+					if !res.Graph.ConsumesMessage(p, cInst) {
+						continue
+					}
+					got++
+					if p != want {
+						t.Fatalf("trial %d: consumer t%d#%d reads %d, want t%d#%d (= %d)",
+							trial, d, j, p, d-1, j*rP/rC, want)
+					}
+				}
+				if got != 1 {
+					t.Fatalf("trial %d: consumer t%d#%d has %d data producers, want 1", trial, d, j, got)
+				}
+			}
+			// Undersampling skips: producer instances outside the image of
+			// ⌊j·rP/rC⌋ must feed no instance of this consumer.
+			read := make(map[dag.TaskID]bool, rC)
+			for j := 0; j < rC; j++ {
+				read[res.Instances[prod][j*rP/rC]] = true
+			}
+			for _, pInst := range res.Instances[prod] {
+				if read[pInst] {
+					continue
+				}
+				m, ok := res.Graph.MessageOf(pInst)
+				if ok && len(m.Dests) > 0 {
+					t.Fatalf("trial %d: skipped producer instance %d still feeds %v", trial, pInst, m.Dests)
+				}
+			}
+		}
 	}
 }

@@ -21,10 +21,12 @@ import "math"
 
 // pathBoundState is the per-search static part of the path bound.
 type pathBoundState struct {
-	chain []ActID // the declared blackout chain
-	q     []ActID // activities disjoint from every chain member
-	tail  []int64 // indexed by ActID: longest duration path within q
-	cap   int64   // tightest imposed MakespanBound, or -1
+	chain    []ActID // the declared blackout chain
+	q        []ActID // activities disjoint from every chain member
+	tail     []int64 // indexed by ActID: longest duration path within q
+	cap      int64   // tightest imposed MakespanBound, or -1
+	totalDur int64   // sum of chain durations: cap on any blackout clip
+	chainEst []int64 // scratch: chain ests cached per evaluation
 }
 
 // SetBlackoutChain declares chain as a sequence of blackout activities:
@@ -83,7 +85,15 @@ func (p *Problem) buildPathBound() *pathBoundState {
 			cnt[a]++
 		}
 	}
-	pb := &pathBoundState{chain: p.chain, tail: make([]int64, n), cap: -1}
+	pb := &pathBoundState{
+		chain:    p.chain,
+		tail:     make([]int64, n),
+		cap:      -1,
+		chainEst: make([]int64, len(p.chain)),
+	}
+	for _, c := range p.chain {
+		pb.totalDur += p.dur[c]
+	}
 	inQ := make([]bool, n)
 	for a := 0; a < n; a++ {
 		if !inChain[a] && cnt[a] == len(p.chain) {
@@ -140,8 +150,15 @@ func (p *Problem) buildPathBound() *pathBoundState {
 	return pb
 }
 
-// pathLB evaluates the bound at the current STN state: O(|q| + |chain|)
-// with zero allocations, cheap enough for every prune point.
+// pathLB evaluates the bound at the current STN state, maximizing the
+// full expression est(a) + tail(a) + clip(est(a)) over every qualifying
+// activity rather than only the est+tail argmax: an activity with a
+// shorter tail but an earlier start can trap strictly more of the chain
+// behind it. Zero allocations; the common cost stays O(|q| + |chain|)
+// because an activity is only evaluated in full when est+tail plus the
+// *entire* chain duration — an upper bound on any clip — could still
+// beat the incumbent value, and the argmax seed makes that incumbent
+// tight from the start.
 func (p *Problem) pathLB(pb *pathBoundState) int64 {
 	net := p.net
 	bestA := ActID(-1)
@@ -154,15 +171,35 @@ func (p *Problem) pathLB(pb *pathBoundState) int64 {
 	if bestA < 0 {
 		return math.MinInt64
 	}
-	t0 := net.Dist(p.start[bestA])
-	lb := bestV
-	for _, c := range pb.chain {
-		e := net.Dist(p.start[c])
-		d := p.dur[c]
-		if e >= t0 {
-			lb += d
-		} else if e+d > t0 {
-			lb += e + d - t0
+	for i, c := range pb.chain {
+		pb.chainEst[i] = net.Dist(p.start[c])
+	}
+	// clip(t0) = Σ_c max(0, min(dur_c, est_c+dur_c-t0)): the chain bus
+	// time that must still run at or after t0. Never exceeds totalDur.
+	clip := func(t0 int64) int64 {
+		var s int64
+		for i, e := range pb.chainEst {
+			d := p.dur[pb.chain[i]]
+			if e >= t0 {
+				s += d
+			} else if e+d > t0 {
+				s += e + d - t0
+			}
+		}
+		return s
+	}
+	lb := bestV + clip(bestV-pb.tail[bestA])
+	for _, a := range pb.q {
+		if a == bestA {
+			continue
+		}
+		t0 := net.Dist(p.start[a])
+		v := t0 + pb.tail[a]
+		if v+pb.totalDur <= lb {
+			continue // even trapping the whole chain cannot beat lb
+		}
+		if b := v + clip(t0); b > lb {
+			lb = b
 		}
 	}
 	return lb

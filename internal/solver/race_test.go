@@ -101,6 +101,37 @@ func TestPathBoundPrunes(t *testing.T) {
 	}
 }
 
+// TestPathBoundPerActivityTighter pins the per-activity evaluation: the
+// est+tail argmax (a late release with a trivial tail) sees none of the
+// chain, while an earlier activity with a long tail traps all of it —
+// the bound must take the maximum of the full expression, not clip only
+// at the argmax.
+func TestPathBoundPerActivityTighter(t *testing.T) {
+	p := NewProblem(0)
+	r1 := p.AddActivity("round", 20)
+	r2 := p.AddActivity("round", 20)
+	p.Precede(r1, r2)
+	a := p.AddActivity("a", 2)
+	p.Release(a, 100)
+	b := p.AddActivity("b", 50)
+	b2 := p.AddActivity("b2", 50)
+	p.Precede(b, b2)
+	for _, x := range []ActID{a, b, b2} {
+		p.Disjoint(x, r1)
+		p.Disjoint(x, r2)
+	}
+	p.SetBlackoutChain([]ActID{r1, r2})
+	pb := p.buildPathBound()
+	if pb == nil {
+		t.Fatal("chain did not qualify")
+	}
+	// argmax(est+tail) is a: 100+2 = 102 with an empty clip. The winner
+	// is b: 0+100 plus the whole 40-slot chain trapped after est(b)=0.
+	if lb := p.pathLB(pb); lb != 140 {
+		t.Fatalf("pathLB = %d, want 140 (b's full expression), not 102 (a's argmax)", lb)
+	}
+}
+
 // TestPathBoundRequiresOrderedChain: a chain without internal precedences
 // must disable the bound (its soundness argument needs disjoint blackout
 // windows), not corrupt the search.

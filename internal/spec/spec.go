@@ -164,8 +164,10 @@ func Build(f *File) (*core.Problem, error) {
 	}
 	// Multi-rate specs are unrolled before scheduling; instJTable maps an
 	// original task to the instances its constraints spread over (the
-	// identity for single-rate specs).
+	// identity for single-rate specs). The unroll's instance chains feed
+	// the solver's interchange symmetry breaking.
 	instances := func(id dag.TaskID) []dag.TaskID { return []dag.TaskID{id} }
+	var chains [][]dag.TaskID
 	if len(f.Rates) > 0 {
 		rates := make(map[dag.TaskID]int, len(f.Rates))
 		for name, r := range f.Rates {
@@ -184,14 +186,16 @@ func Build(f *File) (*core.Problem, error) {
 		}
 		g = res.Graph
 		instances = func(id dag.TaskID) []dag.TaskID { return res.Instances[id] }
+		chains = res.Chains()
 	}
 	p := &core.Problem{
-		App:       g,
-		Params:    glossy.DefaultParams(),
-		Diameter:  f.Diameter,
-		MaxNTX:    f.MaxNTX,
-		MinNTX:    f.MinNTX,
-		MaxRounds: f.MaxRounds,
+		App:            g,
+		Params:         glossy.DefaultParams(),
+		Diameter:       f.Diameter,
+		MaxNTX:         f.MaxNTX,
+		MinNTX:         f.MinNTX,
+		MaxRounds:      f.MaxRounds,
+		InstanceChains: chains,
 	}
 	if f.Params != nil {
 		p.Params = glossy.Params{

@@ -120,6 +120,15 @@ func TestLoadMultirateSpec(t *testing.T) {
 	if len(p.WHCons) != 2 {
 		t.Errorf("spread constraints = %d, want 2", len(p.WHCons))
 	}
+	// The unroll's instance chains reach the solver (symmetry metadata):
+	// one chain per base task, in base-ID order, instance counts matching
+	// the rates.
+	if got := len(p.InstanceChains); got != 3 {
+		t.Errorf("instance chains = %d, want 3", got)
+	} else if len(p.InstanceChains[0]) != 1 || len(p.InstanceChains[1]) != 2 || len(p.InstanceChains[2]) != 2 {
+		t.Errorf("chain lengths = %d/%d/%d, want 1/2/2",
+			len(p.InstanceChains[0]), len(p.InstanceChains[1]), len(p.InstanceChains[2]))
+	}
 	s, err := core.Solve(p)
 	if err != nil {
 		t.Fatalf("multirate spec unschedulable: %v", err)

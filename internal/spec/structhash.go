@@ -18,8 +18,9 @@ type structuralForm struct {
 	MaxNTX    int      `json:"maxNTX"`
 	MinNTX    int      `json:"minNTX"`
 	MaxRounds int      `json:"maxRounds"`
-	Tasks     []string `json:"tasks"` // "name@node", sorted
-	Edges     []string `json:"edges"` // "from>to", sorted
+	Tasks     []string `json:"tasks"`           // "name@node", sorted
+	Edges     []string `json:"edges"`           // "from>to", sorted
+	Rates     []string `json:"rates,omitempty"` // "task=rate", sorted; omitempty keeps single-rate hashes stable
 	SoftStat  string   `json:"softStat,omitempty"`
 	WHStat    string   `json:"whStat,omitempty"`
 	SoftCons  []string `json:"softCons,omitempty"` // constrained task names, sorted
@@ -31,10 +32,17 @@ type structuralForm struct {
 // periods erased. Two specs fingerprint identically iff they have the
 // same tasks on the same nodes, the same dependency edges, the same
 // mode and solver-domain knobs (diameter, χ bounds, round budget), the
-// same statistic type and the same set of constrained tasks — while
-// WCETs, edge widths, rates, statistic parameters (perTX, fss),
-// constraint values (probability floors, misses/window) and Glossy
-// timing constants are free to differ.
+// same statistic type, the same per-task rates and the same set of
+// constrained tasks — while WCETs, edge widths, statistic parameters
+// (perTX, fss), constraint values (probability floors, misses/window)
+// and Glossy timing constants are free to differ.
+//
+// Rates are structural, not weights: the multi-rate unroll runs before
+// scheduling, so a different rate vector yields a different task and
+// edge set in the problem the solver actually sees — a warm hint
+// carried across rates would compare makespans of different graphs.
+// Rate-free specs render the field away entirely (omitempty), so every
+// single-rate fingerprint is unchanged by its introduction.
 //
 // This is the warm-start index key of the serving tier: on a cache
 // miss, a cached schedule for a structurally identical spec bounds the
@@ -89,9 +97,12 @@ func StructuralFingerprint(f *File) (string, error) {
 	if f.WHStatistic != nil {
 		sf.WHStat = f.WHStatistic.Type
 	}
+	for name, r := range f.Rates {
+		sf.Rates = append(sf.Rates, fmt.Sprintf("%s=%d", name, r))
+	}
+	sort.Strings(sf.Rates)
 	// Which tasks are constrained is shape; the constraint values
-	// (probability floors, misses/window) are weights. Rates are
-	// periods and are omitted entirely.
+	// (probability floors, misses/window) are weights.
 	for name := range f.SoftConstraints {
 		sf.SoftCons = append(sf.SoftCons, name)
 	}

@@ -37,9 +37,10 @@ func structFP(t *testing.T, f *File) string {
 	return h
 }
 
-// TestStructuralPreservedUnderWeightChanges: every weight/period
-// mutation — WCETs, widths, rates, constraint values, statistic
-// parameters, Glossy constants — leaves the structural hash unchanged.
+// TestStructuralPreservedUnderWeightChanges: every weight mutation —
+// WCETs, widths, constraint values, statistic parameters, Glossy
+// constants — leaves the structural hash unchanged. Rates are not on
+// this list: they change the unrolled graph and are structural.
 func TestStructuralPreservedUnderWeightChanges(t *testing.T) {
 	base := structFP(t, structBase())
 	mutations := map[string]func(*File){
@@ -49,11 +50,8 @@ func TestStructuralPreservedUnderWeightChanges(t *testing.T) {
 				f.Tasks[i].WCET *= 7
 			}
 		},
-		"edge width":    func(f *File) { f.Edges[0].Width = 64 },
-		"rate value":    func(f *File) { f.Rates["sense"] = 5 },
-		"rate added":    func(f *File) { f.Rates["ctrl"] = 2 },
-		"rates removed": func(f *File) { f.Rates = nil },
-		"wh misses":     func(f *File) { f.WHConstraints["act"] = WHSpec{Misses: 1, Window: 40} },
+		"edge width": func(f *File) { f.Edges[0].Width = 64 },
+		"wh misses":  func(f *File) { f.WHConstraints["act"] = WHSpec{Misses: 1, Window: 40} },
 		"wh window":     func(f *File) { f.WHConstraints["act"] = WHSpec{Misses: 4, Window: 100} },
 		"glossy params": func(f *File) { f.Params = &ParamsSpec{A: 100, BHW: 4, C: 9, D: 2, BeaconWidth: 4} },
 		"task order":    func(f *File) { f.Tasks[0], f.Tasks[2] = f.Tasks[2], f.Tasks[0] },
@@ -110,6 +108,9 @@ func TestStructuralBrokenByShapeChanges(t *testing.T) {
 		"maxNTX":             func(f *File) { f.MaxNTX = 8 },
 		"minNTX":             func(f *File) { f.MinNTX = 2 },
 		"maxRounds":          func(f *File) { f.MaxRounds = 7 },
+		"rate value":         func(f *File) { f.Rates["sense"] = 5 },
+		"rate added":         func(f *File) { f.Rates["ctrl"] = 2 },
+		"rates removed":      func(f *File) { f.Rates = nil },
 		"statistic type":     func(f *File) { f.WHStatistic.Type = "other" },
 		"constrained task":   func(f *File) { f.WHConstraints = map[string]WHSpec{"ctrl": {Misses: 4, Window: 40}} },
 		"constraint added":   func(f *File) { f.WHConstraints["ctrl"] = WHSpec{Misses: 2, Window: 10} },
@@ -148,7 +149,6 @@ func TestStructuralRandomizedWeights(t *testing.T) {
 		for j := range f.Edges {
 			f.Edges[j].Width = 1 + rng.Intn(64)
 		}
-		f.Rates["sense"] = 1 + rng.Intn(6)
 		f.WHConstraints["act"] = WHSpec{Misses: 1 + rng.Intn(9), Window: 10 + rng.Intn(90)}
 		if got := structFP(t, f); got != base {
 			t.Fatalf("iteration %d: random weights changed the structural class", i)
@@ -161,6 +161,42 @@ func TestStructuralRandomizedWeights(t *testing.T) {
 	}
 	if len(full) < 45 {
 		t.Errorf("only %d/50 distinct full fingerprints; weight mutations should separate them", len(full))
+	}
+}
+
+// TestStructuralRatesAreStructural: every distinct rate vector is its
+// own structural class (the unroll produces a different task/edge set
+// the solver actually schedules, so a warm hint must not cross rate
+// vectors), while weight mutations within one rate vector stay in it.
+func TestStructuralRatesAreStructural(t *testing.T) {
+	classes := make(map[string]string)
+	for _, tc := range []struct {
+		name  string
+		rates map[string]int
+	}{
+		{"none", nil},
+		{"sense2", map[string]int{"sense": 2}},
+		{"sense4", map[string]int{"sense": 4}},
+		{"sense2-ctrl2", map[string]int{"sense": 2, "ctrl": 2}},
+	} {
+		f := structBase()
+		f.Rates = tc.rates
+		h := structFP(t, f)
+		if prev, dup := classes[h]; dup {
+			t.Errorf("rate vector %s shares a structural class with %s", tc.name, prev)
+		}
+		classes[h] = tc.name
+
+		// Weight twin: same rates, different WCETs/widths — same class.
+		g := structBase()
+		g.Rates = tc.rates
+		for i := range g.Tasks {
+			g.Tasks[i].WCET = g.Tasks[i].WCET*3 + 17
+		}
+		g.Edges[0].Width = 63
+		if structFP(t, g) != h {
+			t.Errorf("rate vector %s: weight mutation left the structural class", tc.name)
+		}
 	}
 }
 
