@@ -50,6 +50,7 @@ func main() {
 	journalPath := flag.String("journal", "", "write the session's replayable JSONL event journal here (online mode)")
 	mobility := flag.Bool("mobility", false, "drive diameter events from a random-waypoint mobility model (online mode)")
 	churn := flag.String("churn", "", "name of a task that periodically leaves and rejoins the application (online mode)")
+	objective := flag.String("objective", "", `schedule search objective: "makespan" (default) or "energy"; overrides the spec's objective field`)
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -82,6 +83,16 @@ func main() {
 	fspec, err := spec.Decode(f)
 	if err != nil {
 		fatal(err)
+	}
+	if *objective != "" {
+		obj, err := core.ParseObjective(*objective)
+		if err != nil {
+			fatal(err)
+		}
+		if obj == core.ObjectivePareto {
+			fatal(errors.New(`simulation executes a single schedule; -objective must be "makespan" or "energy" (netdag prints pareto fronts)`))
+		}
+		fspec.Objective = *objective
 	}
 	clocksCfg := sim.ClockConfig{DriftPPM: *drift, SyncJitterUS: 2, GuardUS: *guard}
 
@@ -116,6 +127,9 @@ func main() {
 	p, err := spec.Build(fspec)
 	if err != nil {
 		fatal(err)
+	}
+	if p.Objective == core.ObjectivePareto {
+		fatal(errors.New(`simulation executes a single schedule; re-run with -objective makespan or energy (netdag prints pareto fronts)`))
 	}
 	p.Workers = *workers
 	p.Portfolio = *portfolio

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	netdag [-baseline] [-deadline 30s] [-validate runs] problem.json
+//	netdag [-baseline] [-deadline 30s] [-validate runs] [-objective makespan|energy|pareto] problem.json
 //	netdag -example > problem.json
 package main
 
@@ -51,6 +51,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel round-assignment search workers (0 = GOMAXPROCS, 1 = sequential)")
 	portfolio := flag.Bool("portfolio", false, "race the solver portfolio (exact, greedy-seeded, restart orderings) per placement; deterministic and exact")
 	deadline := flag.Duration("deadline", 0, "abort the search after this wall-clock budget and print the best schedule found so far (0 = no limit)")
+	objective := flag.String("objective", "", `solver objective: "makespan" (default), "energy" (minimal radio charge), or "pareto" (full energy/latency front); overrides the spec's objective field`)
 	flag.Parse()
 
 	if *example {
@@ -72,6 +73,13 @@ func main() {
 	}
 	p.Workers = *workers
 	p.Portfolio = *portfolio
+	if *objective != "" {
+		obj, err := core.ParseObjective(*objective)
+		if err != nil {
+			fatal(err)
+		}
+		p.Objective = obj
+	}
 	if *smtOut {
 		lg, err := dag.NewLineGraph(p.App)
 		if err != nil {
@@ -83,7 +91,11 @@ func main() {
 		return
 	}
 	var s *core.Schedule
+	var front []core.ParetoPoint
 	if *baseline {
+		if p.Objective == core.ObjectivePareto {
+			fatal(errors.New("the global-N_TX baseline supports only the makespan objective"))
+		}
 		s, err = core.GlobalNTXBaseline(p)
 	} else {
 		ctx := context.Background()
@@ -92,24 +104,52 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *deadline)
 			defer cancel()
 		}
-		s, err = core.SolveContext(ctx, p)
-		if errors.Is(err, core.ErrCanceled) {
-			if s == nil {
-				fatal(fmt.Errorf("deadline %v expired before any schedule was found", *deadline))
+		if p.Objective == core.ObjectivePareto {
+			front, err = core.ParetoFrontContext(ctx, p)
+			if errors.Is(err, core.ErrCanceled) {
+				if len(front) == 0 {
+					fatal(fmt.Errorf("deadline %v expired before any front point was found", *deadline))
+				}
+				fmt.Fprintf(os.Stderr, "netdag: deadline %v expired; printing the %d-point partial front (energy-optimal end may be missing)\n",
+					*deadline, len(front))
+				err = nil
 			}
-			fmt.Fprintf(os.Stderr, "netdag: deadline %v expired after %d assignments; printing best schedule found so far (not proven optimal)\n",
-				*deadline, s.Explored)
-			err = nil
+			if err == nil {
+				s = front[0].Sched
+			}
+		} else {
+			s, err = core.SolveContext(ctx, p)
+			if errors.Is(err, core.ErrCanceled) {
+				if s == nil {
+					fatal(fmt.Errorf("deadline %v expired before any schedule was found", *deadline))
+				}
+				fmt.Fprintf(os.Stderr, "netdag: deadline %v expired after %d assignments; printing best schedule found so far (not proven optimal)\n",
+					*deadline, s.Explored)
+				err = nil
+			}
 		}
 	}
 	if err != nil {
 		fatal(err)
 	}
-	if *jsonOut {
+	switch {
+	case front != nil && *jsonOut:
+		if err := spec.WriteFrontJSON(os.Stdout, p, front); err != nil {
+			fatal(err)
+		}
+	case front != nil:
+		tab := expt.NewTable("energy/latency Pareto front", "makespan (µs)", "energy (pC)", "rounds")
+		for _, pt := range front {
+			tab.Addf("%d\t%d\t%d", pt.Makespan, pt.EnergyPC, len(pt.Sched.Rounds))
+		}
+		fmt.Print(tab.String())
+		fmt.Println()
+		fmt.Print(s.String()) // the makespan-minimal point's timeline
+	case *jsonOut:
 		if err := spec.WriteJSON(os.Stdout, p, s); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		fmt.Print(s.String())
 	}
 

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// paretoBenchProblem scales paretoProblem's staggered-release shape to a
+// benchmark-sized instance: four independent sense→ctrl→act chains with
+// progressively later sensor releases. The round structure is the only
+// real energy/latency lever under global blackouts (DESIGN.md §15), so
+// staggered releases make the front genuinely multi-point — merging a
+// late producer's message into an earlier round saves a beacon but
+// stalls the early chains, splitting pipelines them at a beacon's
+// charge. Eight messages over up to four rounds gives the outer search a
+// real assignment space for the energy lower bound to prune.
+func paretoBenchProblem(tb testing.TB, noBound bool) *Problem {
+	tb.Helper()
+	g := dag.New()
+	cons := make(map[dag.TaskID]wh.MissConstraint)
+	releases := make(map[dag.TaskID]int64)
+	actWCET := []int64{14000, 9000, 4000, 300}
+	for i := 0; i < 4; i++ {
+		d := rune('0' + i)
+		sense := g.MustAddTask("sense"+string(d), "ns"+string(d), 400)
+		ctrl := g.MustAddTask("ctrl"+string(d), "nc"+string(d), 700)
+		act := g.MustAddTask("act"+string(d), "na"+string(d), actWCET[i])
+		g.MustConnect(sense, ctrl, 8)
+		g.MustConnect(ctrl, act, 4)
+		cons[act] = wh.MissConstraint{Misses: 26, Window: 40}
+		if i > 0 {
+			releases[sense] = int64(i) * 9000
+		}
+	}
+	if err := g.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return &Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 2,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{},
+		WHCons:        cons,
+		ReleaseTimes:  releases,
+		MaxRounds:     4,
+		Objective:     ObjectivePareto,
+		NoEnergyBound: noBound,
+	}
+}
+
+// BenchmarkParetoEnergyBound measures the energy-aware pruning: the
+// ε-constraint Pareto sweep with the admissible energy lower bound and
+// the derived per-placement makespan cap active ("bound") against the
+// NoEnergyBound ablation ("nobound", incumbent-derived pruning off).
+// Both configurations must produce the identical front — the bound is
+// admissible, so it only skips work — making the ns/node ratio a pure
+// wall-time speedup. Node counts are the ablated sweep's total
+// branch-and-bound nodes across all front points.
+func BenchmarkParetoEnergyBound(b *testing.B) {
+	canon, err := ParetoFront(paretoBenchProblem(b, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(canon) < 2 {
+		b.Fatalf("reference front has %d points; the benchmark needs a real tradeoff", len(canon))
+	}
+	canonNodes := 0
+	for _, pt := range canon {
+		canonNodes += pt.Sched.SolverNodes
+	}
+	for _, cfg := range []struct {
+		name    string
+		noBound bool
+	}{
+		{"bound", false},
+		{"nobound", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var front []ParetoPoint
+			for i := 0; i < b.N; i++ {
+				front, err = ParetoFront(paretoBenchProblem(b, cfg.noBound))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(front) != len(canon) {
+					b.Fatalf("front has %d points, want %d (ablated reference)", len(front), len(canon))
+				}
+				for j := range front {
+					if front[j].Makespan != canon[j].Makespan || front[j].EnergyPC != canon[j].EnergyPC {
+						b.Fatalf("point %d = (%d, %d), want (%d, %d): configurations disagree",
+							j, front[j].Makespan, front[j].EnergyPC, canon[j].Makespan, canon[j].EnergyPC)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(canonNodes), "ns/node")
+			b.ReportMetric(float64(len(front)), "points")
+		})
+	}
+}

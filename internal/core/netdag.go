@@ -142,6 +142,11 @@ type search struct {
 	// slotFloor is the assignment-independent part of the bus-time lower
 	// bound: every message slot at its χ floor.
 	slotFloor int64
+	// chargeFloor is the assignment-independent part of the energy lower
+	// bound: every message flood's charge at its χ floor (the same floors
+	// that make slotFloor admissible make chargeFloor admissible, since
+	// flood charge is strictly increasing in χ).
+	chargeFloor int64
 	// warm is Problem.WarmMakespan: a virtual incumbent (warm, idx +∞)
 	// active until the first real schedule is found. SolveContext clears
 	// it for the cold redo when the hint excluded every assignment.
@@ -222,6 +227,7 @@ func newSearch(ctx context.Context, p *Problem, lg *dag.LineGraph, maxRounds int
 	}
 	for _, m := range p.App.Messages() {
 		s.slotFloor += p.Params.SlotDuration(s.chiFloor[m.ID], m.Width, p.Diameter)
+		s.chargeFloor += p.chargeByWidth[m.Width][s.chiFloor[m.ID]-1]
 	}
 	return s
 }
@@ -256,12 +262,86 @@ func (s *search) lowerBound(assign []int) int64 {
 	return lb
 }
 
+// energyLowerBound is the cheap per-assignment energy bound, the
+// admissibility counterpart of lowerBound under ObjectiveEnergy: every
+// message flood at its χ-floor charge (chargeFloor), every round beacon
+// at the floor inherited from the messages sharing its round, plus sleep
+// leakage over the critical-path WCET — rounds are global blackouts, so
+// at least cpWCET µs of computation happen with the radio off. Flood
+// charge is strictly increasing in χ (see floodChargePC), so raising any
+// flood above its floor only adds charge: the bound never exceeds the
+// energy of any feasible schedule for this assignment.
+func (s *search) energyLowerBound(assign []int) int64 {
+	rounds := 0
+	for _, r := range assign {
+		if r+1 > rounds {
+			rounds = r + 1
+		}
+	}
+	lb := s.chargeFloor + s.cpWCET*s.p.EnergyParams.SleepCurrentUA
+	beacon := make([]int, rounds)
+	for m, r := range assign {
+		if s.chiFloor[m] > beacon[r] {
+			beacon[r] = s.chiFloor[m]
+		}
+	}
+	beaconCharge := s.p.chargeByWidth[s.p.Params.BeaconWidth]
+	for r := 0; r < rounds; r++ {
+		n := beacon[r]
+		if n < s.p.MinNTX {
+			n = s.p.MinNTX
+		}
+		lb += beaconCharge[n-1]
+	}
+	return lb
+}
+
 // prunable reports whether an assignment with the given lower bound and
 // enumeration index provably cannot beat the incumbent under the total
 // order (makespan, then enumeration index): its bound exceeds the
 // incumbent makespan, or matches it without winning the index tie.
 func prunable(lb int64, idx int, incMakespan int64, incIdx int) bool {
 	return lb > incMakespan || (lb >= incMakespan && idx > incIdx)
+}
+
+// assignBound is the shared outer prune point: it decides whether the
+// assignment can be skipped outright — its makespan bound exceeds the
+// hard MakespanCap, or it provably cannot beat the incumbent under the
+// objective's total order — and otherwise returns the incumbent scalar
+// (makespan under ObjectiveMakespan, energy pC under ObjectiveEnergy) to
+// feed the timing search as scheduleForAssignment's bound (-1 for none).
+//
+// Under ObjectiveEnergy the incumbent prune must be strict on energy
+// alone: an equal-energy candidate can still win on smaller makespan, so
+// the index tie-break only applies when both bounds match the incumbent.
+// The NoEnergyBound ablation skips the incumbent-derived pruning
+// entirely (the cap, being a hard constraint, always applies).
+func (s *search) assignBound(assign []int, idx int, inc *incumbentRec) (prune bool, bound int64) {
+	if inc == nil && s.p.MakespanCap <= 0 {
+		return false, -1
+	}
+	mlb := s.lowerBound(assign)
+	if s.p.MakespanCap > 0 && mlb > s.p.MakespanCap {
+		return true, -1
+	}
+	if inc == nil {
+		return false, -1
+	}
+	if s.p.Objective == ObjectiveEnergy {
+		if s.p.NoEnergyBound {
+			return false, -1
+		}
+		elb := s.energyLowerBound(assign)
+		if elb > inc.energy ||
+			(elb >= inc.energy && (mlb > inc.makespan || (mlb >= inc.makespan && idx > inc.idx))) {
+			return true, -1
+		}
+		return false, inc.energy
+	}
+	if prunable(mlb, idx, inc.makespan, inc.idx) {
+		return true, -1
+	}
+	return false, inc.makespan
 }
 
 // runSequential is the Workers = 1 search: enumerate assignments in
@@ -278,12 +358,9 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 		}
 		idx := explored
 		explored++
-		bound := int64(-1)
+		var inc *incumbentRec
 		if best != nil {
-			if prunable(s.lowerBound(l), idx, best.sched.Makespan, best.idx) {
-				return true
-			}
-			bound = best.sched.Makespan
+			inc = &incumbentRec{energy: best.sched.EnergyPC, makespan: best.sched.Makespan, idx: best.idx}
 		} else if s.warm > 0 {
 			// Virtual incumbent (warm, +∞): prune exactly what a real
 			// incumbent at the warm makespan would (the index tie-break
@@ -291,11 +368,13 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 			// Everything pruned here has optimum > warm ≥ the previous
 			// schedule, so it cannot win a cold search whose optimum is
 			// ≤ warm; when no assignment survives, SolveContext redoes the
-			// search cold.
-			if prunable(s.lowerBound(l), idx, s.warm, math.MaxInt) {
-				return true
-			}
-			bound = s.warm
+			// search cold. (Warm hints only exist under ObjectiveMakespan;
+			// normalize clears them otherwise.)
+			inc = &incumbentRec{energy: math.MaxInt64, makespan: s.warm, idx: math.MaxInt}
+		}
+		prune, bound := s.assignBound(l, idx, inc)
+		if prune {
+			return true
 		}
 		assign := append([]int(nil), l...)
 		sched, err := s.p.scheduleForAssignment(s.ctx, assign, bound)
@@ -312,7 +391,8 @@ func (s *search) runSequential() (*candidate, int, *searchErr) {
 			// The timing search kept an incumbent but was cut short.
 			s.interrupted.Store(true)
 		}
-		if best == nil || sched.Makespan < best.sched.Makespan {
+		if best == nil || s.p.betterCand(sched.EnergyPC, sched.Makespan, idx,
+			best.sched.EnergyPC, best.sched.Makespan, best.idx) {
 			best = &candidate{sched: sched, idx: idx}
 		}
 		return true
@@ -431,6 +511,14 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 	// column is flood-independent and the cost column depends only on
 	// width, so one solve's assignments share the same few read-only
 	// slices instead of allocating O(floods × MaxNTX) per assignment.
+	// The χ covering search minimizes the objective's scalarization of
+	// bus reservations: slot durations under ObjectiveMakespan, exact
+	// flood charges under ObjectiveEnergy (both columns are increasing
+	// in χ, which the covering solver requires).
+	costTab := p.costByWidth
+	if p.Objective == ObjectiveEnergy {
+		costTab = p.chargeByWidth
+	}
 	ci := &chiInstance{
 		n:     nFloods,
 		upper: p.MaxNTX,
@@ -439,12 +527,12 @@ func (p *Problem) scheduleForAssignment(ctx context.Context, assign []int, bound
 		cost:  make([][]int64, nFloods),
 	}
 	ci.cons = make([]chiConstraint, 0, len(p.SoftCons)+len(p.WHCons))
-	beaconCost := p.costByWidth[p.Params.BeaconWidth]
+	beaconCost := costTab[p.Params.BeaconWidth]
 	for f := 0; f < nFloods; f++ {
 		ci.lower[f] = p.MinNTX
 		ci.def[f] = p.defCol
 		if f < nMsgs {
-			ci.cost[f] = p.costByWidth[msgs[f].Width]
+			ci.cost[f] = costTab[msgs[f].Width]
 		} else {
 			ci.cost[f] = beaconCost
 		}
@@ -535,14 +623,20 @@ func (p *Problem) minNTXForWindow(w int) (int, bool) {
 }
 
 // place runs the exact timing search for fixed (l, χ) and assembles the
-// Schedule. bound, when >= 0, caps the makespan via solver.MakespanBound
-// so the branch-and-bound is cut off by schedules already found for other
-// assignments; a search the bound renders infeasible returns
-// errBoundPruned. When the node budget truncates a *bounded* search, the
-// search is redone without the bound: the bound value depends on which
+// Schedule. bound, when >= 0, is the incumbent's scalar under the active
+// objective — a makespan under ObjectiveMakespan (applied directly via
+// solver.MakespanBound), an energy in pC under ObjectiveEnergy (translated
+// into a derived makespan cap below) — so the branch-and-bound is cut off
+// by schedules already found for other assignments; a search the bound
+// renders infeasible returns errBoundPruned. Problem.MakespanCap, the hard
+// feasibility cap the Pareto sweep constrains with, is applied on top.
+// When the node budget truncates a search under the *incumbent-derived*
+// bound, the search is redone without it: the bound value depends on which
 // worker found the incumbent first, and a truncated result must not, or
-// parallel runs would stop being reproducible. A canceled search is never
-// redone; its incumbent (if any) is returned as a non-optimal schedule.
+// parallel runs would stop being reproducible (MakespanCap is part of the
+// problem, not a racing artifact, so the redo keeps it). A canceled search
+// is never redone; its incumbent (if any) is returned as a non-optimal
+// schedule.
 func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, bound int64) (*Schedule, error) {
 	app := p.App
 	msgs := p.msgs
@@ -561,6 +655,43 @@ func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, boun
 		roundSlots[r] = append(roundSlots[r], Slot{
 			Msg: m.ID, NTX: chi[m.ID], Width: m.Width, Duration: d,
 		})
+	}
+
+	// The timing search minimizes makespan. Under ObjectiveEnergy that is
+	// still the right inner objective: for fixed (l, χ) the radio-on
+	// charge onCharge is a constant, so energy = onCharge +
+	// SleepCurrentUA·(makespan − onUS) is monotone non-decreasing in
+	// makespan and the makespan-minimal placement is the energy-minimal
+	// one. The incumbent energy bound translates into a derived makespan
+	// cap: energy ≤ bound ⇔ makespan ≤ onUS + (bound − onCharge)/sleep
+	// (floor division keeps the cap inclusive-safe: any makespan at or
+	// under it has energy ≤ bound).
+	mk := bound // incumbent-derived makespan cap; -1 for none
+	if bound >= 0 && p.Objective == ObjectiveEnergy {
+		var onUS, onCharge int64
+		for r := 0; r < rounds; r++ {
+			onUS += roundDur[r]
+			onCharge += p.floodChargePC(chi[nMsgs+r], p.Params.BeaconWidth)
+		}
+		for _, m := range msgs {
+			onCharge += p.floodChargePC(chi[m.ID], m.Width)
+		}
+		switch {
+		case onCharge > bound:
+			// Radio-on charge alone already exceeds the incumbent energy:
+			// no placement of this (l, χ) can win.
+			return nil, errBoundPruned
+		case p.EnergyParams.SleepCurrentUA > 0:
+			mk = onUS + (bound-onCharge)/p.EnergyParams.SleepCurrentUA
+		default:
+			// Zero sleep current: every placement of this (l, χ) costs
+			// exactly onCharge ≤ bound — nothing to cut on makespan.
+			mk = -1
+		}
+	}
+	eff := mk
+	if p.MakespanCap > 0 && (eff < 0 || p.MakespanCap < eff) {
+		eff = p.MakespanCap
 	}
 
 	prob := solver.NewProblem(1)
@@ -606,8 +737,8 @@ func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, boun
 	for id, rel := range p.ReleaseTimes {
 		prob.Release(taskAct[id], rel)
 	}
-	if bound >= 0 {
-		prob.MakespanBound(bound)
+	if eff >= 0 {
+		prob.MakespanBound(eff)
 	}
 	var res solver.Result
 	var err error
@@ -640,13 +771,13 @@ func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, boun
 			// bound it genuinely competes against the shared incumbent.
 			err = nil
 		}
-		if bound >= 0 {
-			if errors.Is(err, solver.ErrBounded) {
-				return nil, errBoundPruned
-			}
-			if !canceled && (errors.Is(err, solver.ErrBudget) || (err == nil && !res.Optimal)) {
-				return p.place(ctx, assign, chi, rounds, -1)
-			}
+		if eff >= 0 && errors.Is(err, solver.ErrBounded) {
+			return nil, errBoundPruned
+		}
+		if mk >= 0 && !canceled && (errors.Is(err, solver.ErrBudget) || (err == nil && !res.Optimal)) {
+			// Redo without the incumbent-derived bound only: the
+			// MakespanCap, being deterministic, stays via eff.
+			return p.place(ctx, assign, chi, rounds, -1)
 		}
 	}
 	if errors.Is(err, solver.ErrCanceled) {
@@ -678,6 +809,7 @@ func (p *Problem) place(ctx context.Context, assign, chi []int, rounds int, boun
 	sched.Makespan = res.Makespan
 	sched.Optimal = res.Optimal
 	sched.SolverNodes = res.Nodes
+	sched.EnergyPC = p.scheduleEnergyPC(sched)
 	return sched, nil
 }
 

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective selects what the solver minimizes.
+//
+// The search decomposition (enumerate round assignments l, cover with χ,
+// place exactly) is objective-agnostic; the objective changes the cost
+// columns the χ solver minimizes, the scalar the shared incumbent
+// carries, and the admissibility bounds at both prune points. See
+// DESIGN.md §15 for the energy bound derivation.
+type Objective int
+
+const (
+	// ObjectiveMakespan minimizes end-to-end latency (the paper's
+	// objective). The zero value, so existing callers are unchanged.
+	ObjectiveMakespan Objective = iota
+	// ObjectiveEnergy minimizes per-node radio charge (EnergyPC), with
+	// makespan and enumeration order as deterministic tie-breaks: the
+	// total order is (energy, makespan, enumeration index).
+	ObjectiveEnergy
+	// ObjectivePareto asks for the full energy/latency tradeoff rather
+	// than a single schedule. Solve rejects it — use ParetoFront, which
+	// runs an epsilon-constraint sweep of ObjectiveEnergy solves over
+	// makespan caps.
+	ObjectivePareto
+)
+
+// String renders the objective in the spelling the -objective CLI flags
+// and the spec's "objective" field accept.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveMakespan:
+		return "makespan"
+	case ObjectiveEnergy:
+		return "energy"
+	case ObjectivePareto:
+		return "pareto"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// ParseObjective maps the CLI/spec spelling to an Objective. The empty
+// string selects ObjectiveMakespan, so omitting the knob keeps the
+// paper's behavior.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "makespan":
+		return ObjectiveMakespan, nil
+	case "energy":
+		return ObjectiveEnergy, nil
+	case "pareto":
+		return ObjectivePareto, nil
+	default:
+		return 0, fmt.Errorf("core: unknown objective %q (want makespan, energy or pareto)", s)
+	}
+}
+
+// EnergyParams are the radio currents the energy objective optimizes
+// under, in integer microamps. Charge is accounted in picocoulombs
+// (µs × µA = pC exactly), so the scalarized cost — and therefore every
+// prune decision and tie-break — is exact integer arithmetic: no float
+// rounding can make results depend on summation order across workers.
+// The float model in internal/lwb remains the reporting surface; these
+// integer defaults are the same CC2420-class profile.
+type EnergyParams struct {
+	RXCurrentUA    int64 // radio listening current (µA)
+	TXCurrentUA    int64 // radio transmitting current (µA)
+	SleepCurrentUA int64 // radio off / MCU sleep current (µA)
+}
+
+// DefaultEnergyParams mirrors lwb.DefaultEnergyModel: RX 18.8 mA,
+// TX 17.4 mA, 20 µA asleep.
+func DefaultEnergyParams() EnergyParams {
+	return EnergyParams{RXCurrentUA: 18800, TXCurrentUA: 17400, SleepCurrentUA: 20}
+}
+
+// zero reports the zero value, which normalize replaces with the default
+// profile.
+func (e EnergyParams) zero() bool {
+	return e == EnergyParams{}
+}
+
+// Validate checks the currents.
+func (e EnergyParams) Validate() error {
+	if e.RXCurrentUA <= 0 || e.TXCurrentUA <= 0 || e.SleepCurrentUA < 0 {
+		return fmt.Errorf("core: invalid energy params %+v", e)
+	}
+	return nil
+}
+
+// floodChargePC is the exact per-node radio charge of one Glossy flood at
+// the given retransmission level, in picocoulombs: the node transmits for
+// its χ hop slots of airtime and listens for the rest of the flood's
+// eq. (3) reservation. Strictly increasing in χ — each level adds one TX
+// hop slot and two reserved hop slots, Δq = (C + D·w)(I_TX + I_RX) > 0 —
+// which is what makes χ-floor-based lower bounds admissible and the χ
+// covering search's cost columns well-formed under the energy objective.
+func (p *Problem) floodChargePC(ntx, width int) int64 {
+	dur := p.Params.SlotDuration(ntx, width, p.Diameter)
+	tx := int64(ntx) * (p.Params.C + p.Params.D*int64(width))
+	if tx > dur {
+		tx = dur // unreachable for valid Params; mirror lwb's defensive clamp
+	}
+	return tx*p.EnergyParams.TXCurrentUA + (dur-tx)*p.EnergyParams.RXCurrentUA
+}
+
+// scheduleEnergyPC computes a schedule's total per-node radio charge in
+// picocoulombs: every flood's on-time charge plus sleep leakage over the
+// rest of the makespan. Matches lwb.EnergyModel.Evaluate (which reports
+// float µC) by construction: per-flood TX time and round durations are
+// the same quantities.
+func (p *Problem) scheduleEnergyPC(s *Schedule) int64 {
+	var total int64
+	var onUS int64
+	for _, r := range s.Rounds {
+		onUS += r.Duration
+		total += p.floodChargePC(r.BeaconNTX, p.Params.BeaconWidth)
+		for _, sl := range r.Slots {
+			total += p.floodChargePC(sl.NTX, sl.Width)
+		}
+	}
+	if sleep := s.Makespan - onUS; sleep > 0 {
+		total += sleep * p.EnergyParams.SleepCurrentUA
+	}
+	return total
+}
+
+// betterCand reports whether candidate a = (aE, aM, aIdx) strictly
+// precedes b under the objective's total order: (makespan, index) for
+// ObjectiveMakespan, (energy, makespan, index) for ObjectiveEnergy. This
+// single comparator drives the sequential best, the parallel reduction
+// and the shared-incumbent publication, so all three agree on the winner
+// regardless of worker interleaving.
+func (p *Problem) betterCand(aE, aM int64, aIdx int, bE, bM int64, bIdx int) bool {
+	if p.Objective == ObjectiveEnergy && aE != bE {
+		return aE < bE
+	}
+	if aM != bM {
+		return aM < bM
+	}
+	return aIdx < bIdx
+}
+
+// GuaranteeSlack reports the schedule's tightest guarantee margin over
+// the problem's task-level constraints: in soft mode the minimum of
+// (scheduled success probability − target) over constrained tasks, in
+// weakly-hard mode the minimum spare miss budget (target misses −
+// guaranteed misses). Positive infinity when no constraint binds. The
+// DSE Pareto fronts report it per point: trading latency for energy
+// never touches feasibility, but it can consume slack.
+func GuaranteeSlack(p *Problem, s *Schedule) (float64, error) {
+	slack := math.Inf(1)
+	switch p.Mode {
+	case Soft:
+		for id, target := range p.SoftCons {
+			got, err := SatisfiedSoft(p, s, id)
+			if err != nil {
+				return 0, err
+			}
+			if m := got - target; m < slack {
+				slack = m
+			}
+		}
+	case WeaklyHard:
+		for id, target := range p.WHCons {
+			if target.Trivial() {
+				continue
+			}
+			got, networked, err := SatisfiedWH(p, s, id)
+			if err != nil {
+				return 0, err
+			}
+			if !networked {
+				continue
+			}
+			if m := float64(target.Misses - got.Misses); m < slack {
+				slack = m
+			}
+		}
+	}
+	return slack, nil
+}

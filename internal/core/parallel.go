@@ -17,15 +17,16 @@ import (
 // incumbent that feeds both prune points — the cheap admissibility lower
 // bound and the timing search's MakespanBound.
 //
-// Determinism: the reduction is a total order — makespan first, then
-// enumeration index — and an assignment is only ever pruned when it
-// provably cannot win under that order (see prunable), so the final
-// winner is independent of worker interleaving and identical to the
+// Determinism: the reduction is a total order — the objective's scalar
+// first (energy under ObjectiveEnergy), then makespan, then enumeration
+// index (see Problem.betterCand) — and an assignment is only ever pruned
+// when it provably cannot win under that order (see assignBound), so the
+// final winner is independent of worker interleaving and identical to the
 // sequential search's result. The per-assignment timing result is also
 // incumbent-independent: a bounded search that completes is exact within
 // the bound (hence equal to the unbounded optimum whenever one exists
 // under the bound), and a bounded search the node budget truncates is
-// redone without the bound (see place).
+// redone without the incumbent-derived bound (see place).
 
 // assignmentBatchSize is how many assignments the producer hands over
 // per channel send. Assignments are cheap to enumerate and expensive to
@@ -33,10 +34,13 @@ import (
 // reduction of parallelism on small instances.
 const assignmentBatchSize = 8
 
-// incumbentRec is the shared best-known outcome: the minimum makespan
-// published so far and the enumeration index of the assignment that
-// achieved it.
+// incumbentRec is the shared best-known outcome: the best scalarized
+// cost published so far — (energy, makespan) under the objective's total
+// order — and the enumeration index of the assignment that achieved it.
+// Under ObjectiveMakespan the energy field is ignored by the comparator
+// (and set to MaxInt64 for virtual warm incumbents).
 type incumbentRec struct {
+	energy   int64
 	makespan int64
 	idx      int
 }
@@ -86,16 +90,18 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 		// Warm start: a virtual incumbent at the previous schedule's
 		// makespan with an infinite enumeration index, so it prunes and
 		// bounds exactly as the sequential warm path does and loses every
-		// tie-break to a real schedule. See Problem.WarmMakespan.
-		inc.Store(&incumbentRec{makespan: s.warm, idx: math.MaxInt})
+		// tie-break to a real schedule. See Problem.WarmMakespan. (Warm
+		// hints only exist under ObjectiveMakespan; normalize clears them
+		// otherwise, so the MaxInt64 energy is never consulted.)
+		inc.Store(&incumbentRec{energy: math.MaxInt64, makespan: s.warm, idx: math.MaxInt})
 	}
-	// publish installs (makespan, idx) as the incumbent unless a better
-	// one (under the total order) is already in place.
-	publish := func(makespan int64, idx int) {
-		rec := &incumbentRec{makespan: makespan, idx: idx}
+	// publish installs (energy, makespan, idx) as the incumbent unless a
+	// better one (under the objective's total order) is already in place.
+	publish := func(energy, makespan int64, idx int) {
+		rec := &incumbentRec{energy: energy, makespan: makespan, idx: idx}
 		for {
 			cur := inc.Load()
-			if cur != nil && (cur.makespan < makespan || (cur.makespan == makespan && cur.idx <= idx)) {
+			if cur != nil && !s.p.betterCand(energy, makespan, idx, cur.energy, cur.makespan, cur.idx) {
 				return
 			}
 			if inc.CompareAndSwap(cur, rec) {
@@ -122,12 +128,9 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 				}
 				for _, j := range batch {
 					out.explored++
-					bound := int64(-1)
-					if cur := inc.Load(); cur != nil {
-						if prunable(s.lowerBound(j.assign), j.idx, cur.makespan, cur.idx) {
-							continue
-						}
-						bound = cur.makespan
+					prune, bound := s.assignBound(j.assign, j.idx, inc.Load())
+					if prune {
+						continue
 					}
 					sched, err := s.p.scheduleForAssignment(s.ctx, j.assign, bound)
 					if err != nil {
@@ -142,9 +145,9 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 					if !sched.Optimal && s.ctx.Err() != nil {
 						s.interrupted.Store(true)
 					}
-					publish(sched.Makespan, j.idx)
-					if out.best == nil || sched.Makespan < out.best.sched.Makespan ||
-						(sched.Makespan == out.best.sched.Makespan && j.idx < out.best.idx) {
+					publish(sched.EnergyPC, sched.Makespan, j.idx)
+					if out.best == nil || s.p.betterCand(sched.EnergyPC, sched.Makespan, j.idx,
+						out.best.sched.EnergyPC, out.best.sched.Makespan, out.best.idx) {
 						out.best = &candidate{sched: sched, idx: j.idx}
 					}
 				}
@@ -159,8 +162,9 @@ func (s *search) runParallel(workers int) (*candidate, int, *searchErr) {
 	for i := range outs {
 		o := &outs[i]
 		explored += o.explored
-		if o.best != nil && (best == nil || o.best.sched.Makespan < best.sched.Makespan ||
-			(o.best.sched.Makespan == best.sched.Makespan && o.best.idx < best.idx)) {
+		if o.best != nil && (best == nil || s.p.betterCand(
+			o.best.sched.EnergyPC, o.best.sched.Makespan, o.best.idx,
+			best.sched.EnergyPC, best.sched.Makespan, best.idx)) {
 			best = o.best
 		}
 		if o.firstErr != nil && (firstErr == nil || o.firstErr.idx < firstErr.idx) {

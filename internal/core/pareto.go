@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ParetoPoint is one point of the energy/latency front: a schedule
+// together with the two objective values it trades between.
+type ParetoPoint struct {
+	Makespan int64
+	EnergyPC int64
+	Sched    *Schedule
+}
+
+// ParetoFront computes the exact Pareto front of (makespan, energy) for
+// the problem. See ParetoFrontContext.
+func ParetoFront(p *Problem) ([]ParetoPoint, error) {
+	return ParetoFrontContext(context.Background(), p)
+}
+
+// ParetoFrontContext runs the epsilon-constraint sweep behind
+// ObjectivePareto: first the makespan-minimal schedule fixes the front's
+// left end M0, then repeated ObjectiveEnergy solves under tightening
+// MakespanCap constraints walk the front right to left — uncapped first
+// (the energy-minimal point), then capped one microsecond under the
+// previous point's makespan. Each solve is a lexicographic minimum over
+// (energy, makespan, enumeration index), so successive points have
+// strictly smaller makespan and strictly larger energy: the sweep emits
+// no dominated points by construction, and terminates when it reaches M0
+// or the cap becomes infeasible. Points return in ascending makespan
+// (descending energy) order.
+//
+// The input problem is not mutated; each solve runs on a shallow copy.
+// Objective may be ObjectivePareto or unset (any existing MakespanCap is
+// honored as the front's right end). On cancellation the points gathered
+// so far return alongside ErrCanceled — a valid (possibly truncated)
+// prefix of the front from the energy-minimal end, except that the
+// canceled solve's own incumbent is discarded (it is not proven optimal,
+// so its membership in the front is unknown).
+func ParetoFrontContext(ctx context.Context, p *Problem) ([]ParetoPoint, error) {
+	if p.Objective != ObjectiveMakespan && p.Objective != ObjectivePareto {
+		return nil, fmt.Errorf("core: ParetoFront needs ObjectivePareto (or unset), got %v", p.Objective)
+	}
+
+	// Left end of the front: the minimum feasible makespan, under the
+	// caller's cap if any. Only its makespan is used — the energy-optimal
+	// schedule AT that makespan falls out of the sweep's last step.
+	mp := *p
+	mp.Objective = ObjectiveMakespan
+	minSched, err := SolveContext(ctx, &mp)
+	if err != nil {
+		return nil, err
+	}
+	m0 := minSched.Makespan
+
+	var front []ParetoPoint
+	cap := p.MakespanCap // 0 = unconstrained: start at the energy-minimal point
+	for {
+		ep := *p
+		ep.Objective = ObjectiveEnergy
+		ep.MakespanCap = cap
+		sched, err := SolveContext(ctx, &ep)
+		if err != nil {
+			if errors.Is(err, ErrUnsat) {
+				// The cap undercut the feasible region — the previous point
+				// was the makespan-minimal end of the front. Possible even
+				// before reaching m0 exactly, when no schedule exists
+				// strictly between two front points.
+				break
+			}
+			if errors.Is(err, ErrCanceled) {
+				return reverseFront(front), err
+			}
+			return nil, err
+		}
+		front = append(front, ParetoPoint{
+			Makespan: sched.Makespan,
+			EnergyPC: sched.EnergyPC,
+			Sched:    sched,
+		})
+		if sched.Makespan <= m0 {
+			break
+		}
+		cap = sched.Makespan - 1
+	}
+	front = reverseFront(front)
+	return filterDominated(front), nil
+}
+
+// reverseFront flips the sweep's right-to-left emission into ascending
+// makespan order.
+func reverseFront(front []ParetoPoint) []ParetoPoint {
+	for i, j := 0, len(front)-1; i < j; i, j = i+1, j-1 {
+		front[i], front[j] = front[j], front[i]
+	}
+	return front
+}
+
+// filterDominated drops dominated points. The sweep's strict
+// monotonicity argument makes this a no-op; it stands as a defensive
+// guarantee that callers never see a dominated point even if a solver
+// regression breaks the argument.
+func filterDominated(front []ParetoPoint) []ParetoPoint {
+	out := front[:0]
+	for i, pt := range front {
+		dominated := false
+		for j, other := range front {
+			if i == j {
+				continue
+			}
+			if other.Makespan <= pt.Makespan && other.EnergyPC <= pt.EnergyPC &&
+				(other.Makespan < pt.Makespan || other.EnergyPC < pt.EnergyPC) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, pt)
+		}
+	}
+	return out
+}

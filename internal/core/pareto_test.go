@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netdag/netdag/internal/apps"
+	"github.com/netdag/netdag/internal/dag"
+	"github.com/netdag/netdag/internal/glossy"
+	"github.com/netdag/netdag/internal/wh"
+)
+
+// paretoProblem builds an instance whose front genuinely trades: two
+// independent sense→act chains with the second sensor released late.
+// Merging both messages into one round saves a beacon (less charge) but
+// makes the early chain wait out the late release; splitting into two
+// rounds pipelines the early chain at the price of a second beacon.
+func paretoProblem(t testing.TB, workers int) *Problem {
+	t.Helper()
+	g := dag.New()
+	s0 := g.MustAddTask("sense0", "n0", 400)
+	a0 := g.MustAddTask("act0", "n1", 5000)
+	s1 := g.MustAddTask("sense1", "n2", 400)
+	a1 := g.MustAddTask("act1", "n3", 300)
+	g.MustConnect(s0, a0, 8)
+	g.MustConnect(s1, a1, 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return &Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode: WeaklyHard, WHStat: glossy.SyntheticWH{},
+		WHCons: map[dag.TaskID]wh.MissConstraint{
+			a0: {Misses: 12, Window: 40},
+			a1: {Misses: 12, Window: 40},
+		},
+		ReleaseTimes: map[dag.TaskID]int64{s1: 8000},
+		MaxRounds:    2,
+		Objective:    ObjectivePareto,
+		Workers:      workers,
+	}
+}
+
+// assertValidFront checks the structural invariants every front must
+// satisfy: non-empty, strictly ascending makespan, strictly descending
+// energy (the O(n²) non-domination check), feasible schedules.
+func assertValidFront(t *testing.T, p *Problem, front []ParetoPoint) {
+	t.Helper()
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	for i, pt := range front {
+		if pt.Sched == nil {
+			t.Fatalf("point %d has no schedule", i)
+		}
+		if err := pt.Sched.Validate(p.App); err != nil {
+			t.Errorf("point %d fails feasibility audit: %v", i, err)
+		}
+		if pt.Makespan != pt.Sched.Makespan || pt.EnergyPC != pt.Sched.EnergyPC {
+			t.Errorf("point %d (%d, %d) disagrees with its schedule (%d, %d)",
+				i, pt.Makespan, pt.EnergyPC, pt.Sched.Makespan, pt.Sched.EnergyPC)
+		}
+	}
+	// O(n²) non-domination: no point is weakly dominated by another.
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if b.Makespan <= a.Makespan && b.EnergyPC <= a.EnergyPC {
+				t.Errorf("point %d (%d, %d) dominated by point %d (%d, %d)",
+					i, a.Makespan, a.EnergyPC, j, b.Makespan, b.EnergyPC)
+			}
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Makespan <= front[i-1].Makespan {
+			t.Errorf("front not in ascending makespan order: %d then %d",
+				front[i-1].Makespan, front[i].Makespan)
+		}
+	}
+}
+
+func TestParetoFrontEndpoints(t *testing.T) {
+	p := paretoProblem(t, 1)
+	front, err := ParetoFront(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidFront(t, p, front)
+	if len(front) < 2 {
+		t.Fatalf("front has %d point(s); the staggered instance is built to trade", len(front))
+	}
+
+	// Left end: the makespan optimum.
+	pm := paretoProblem(t, 1)
+	pm.Objective = ObjectiveMakespan
+	sm, err := Solve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front[0].Makespan != sm.Makespan {
+		t.Errorf("front's left end %d is not the makespan optimum %d", front[0].Makespan, sm.Makespan)
+	}
+	// Right end: the energy optimum.
+	pe := paretoProblem(t, 1)
+	pe.Objective = ObjectiveEnergy
+	se, err := Solve(pe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := front[len(front)-1]
+	if last.EnergyPC != se.EnergyPC || last.Makespan != se.Makespan {
+		t.Errorf("front's right end (%d, %d) is not the energy optimum (%d, %d)",
+			last.Makespan, last.EnergyPC, se.Makespan, se.EnergyPC)
+	}
+	t.Logf("front: %d points, makespan [%d, %d], energy [%d, %d] pC",
+		len(front), front[0].Makespan, last.Makespan, last.EnergyPC, front[0].EnergyPC)
+}
+
+func TestParetoFrontDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := ParetoFront(paretoProblem(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		front, err := ParetoFront(paretoProblem(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(front) != len(ref) {
+			t.Fatalf("workers=%d: %d points, sequential reference %d", workers, len(front), len(ref))
+		}
+		for i := range front {
+			if front[i].Makespan != ref[i].Makespan || front[i].EnergyPC != ref[i].EnergyPC {
+				t.Errorf("workers=%d point %d: (%d, %d), reference (%d, %d)", workers, i,
+					front[i].Makespan, front[i].EnergyPC, ref[i].Makespan, ref[i].EnergyPC)
+			}
+			for m := range front[i].Sched.Assign {
+				if front[i].Sched.Assign[m] != ref[i].Sched.Assign[m] {
+					t.Errorf("workers=%d point %d: message %d in round %d, reference %d", workers, i,
+						m, front[i].Sched.Assign[m], ref[i].Sched.Assign[m])
+				}
+			}
+		}
+	}
+}
+
+func TestParetoFrontHonorsMakespanCap(t *testing.T) {
+	full, err := ParetoFront(paretoProblem(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 2 {
+		t.Fatalf("front has %d point(s); the staggered instance is built to trade", len(full))
+	}
+	// Capping at the second point's makespan must drop the points above it
+	// and keep the rest, unchanged.
+	p := paretoProblem(t, 1)
+	p.MakespanCap = full[1].Makespan
+	capped, err := ParetoFront(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 {
+		t.Fatalf("capped front has %d points, want 2", len(capped))
+	}
+	for i := range capped {
+		if capped[i].Makespan != full[i].Makespan || capped[i].EnergyPC != full[i].EnergyPC {
+			t.Errorf("capped point %d (%d, %d) differs from full front's (%d, %d)", i,
+				capped[i].Makespan, capped[i].EnergyPC, full[i].Makespan, full[i].EnergyPC)
+		}
+	}
+}
+
+func TestParetoFrontSinglePointInstance(t *testing.T) {
+	// A single-message pipeline has one round in every schedule: the
+	// energy and makespan optima coincide and the front is one point.
+	g, err := apps.Pipeline(2, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := g.TaskByName("stage1")
+	p := &Problem{
+		App: g, Params: glossy.DefaultParams(), Diameter: 3,
+		Mode: Soft, SoftStat: glossy.BernoulliSoft{PerTX: 0.9},
+		SoftCons:  map[dag.TaskID]float64{last.ID: 0.9},
+		Objective: ObjectivePareto,
+	}
+	front, err := ParetoFront(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidFront(t, p, front)
+	if len(front) != 1 {
+		t.Errorf("single-round instance should have a one-point front, got %d points", len(front))
+	}
+}

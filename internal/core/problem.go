@@ -63,6 +63,34 @@ type Problem struct {
 
 	Mode Mode
 
+	// Objective selects what the solver minimizes: ObjectiveMakespan
+	// (the zero value, the paper's latency objective) or ObjectiveEnergy
+	// (per-node radio charge, with makespan and enumeration order as
+	// deterministic tie-breaks). ObjectivePareto is rejected by Solve;
+	// ParetoFront runs the epsilon-constraint sweep instead.
+	Objective Objective
+
+	// EnergyParams are the integer radio currents the energy objective
+	// and the Schedule.EnergyPC accounting use. The zero value selects
+	// DefaultEnergyParams (the CC2420-class profile of internal/lwb).
+	EnergyParams EnergyParams
+
+	// MakespanCap, when positive, is a hard feasibility constraint:
+	// only schedules with makespan <= MakespanCap are admissible. It is
+	// the epsilon-constraint of the Pareto sweep and — unlike the
+	// incumbent-derived bound — deterministic, so it is never stripped
+	// by the reproducibility redo in place. A cap below the instance's
+	// optimum makes the solve fail with ErrUnsat.
+	MakespanCap int64
+
+	// NoEnergyBound disables the admissible energy lower bound at both
+	// prune points of the energy-objective search (the outer χ-floor
+	// charge bound and the incumbent-derived makespan cap on the timing
+	// search) — the ablation knob of the PR-10 benchmark. Results are
+	// identical either way — the bound is exact pruning — so the knob
+	// only changes how much work the search does.
+	NoEnergyBound bool
+
 	// SoftStat and SoftCons configure Soft mode: the network statistic
 	// λ_s and the per-task minimum success probabilities F_s. Tasks
 	// absent from the map are unconstrained.
@@ -206,17 +234,21 @@ type Problem struct {
 	//     flood (it depends only on χ, not width);
 	//   - costByWidth: the per-level slot-duration column per distinct
 	//     message width (beacon width included);
+	//   - chargeByWidth: the per-level flood-charge column (pC) per
+	//     distinct width — the χ cost columns of the energy objective
+	//     and the terms of its admissibility bound;
 	//   - windowFloor: minNTXForWindow memoized per distinct window, so
 	//     a rate-r task's instances share one floor computed once, not r
 	//     times (-1 records an unsatisfiable window);
 	//   - msgs: one immutable copy of App.Messages(), so the two
 	//     per-assignment hot-path consumers (χ instance build and
 	//     placement) stop deep-copying the message list per call.
-	ancestors   map[dag.TaskID][]dag.MsgID
-	msgs        []dag.Message
-	defCol      []float64
-	costByWidth map[int][]int64
-	windowFloor map[int]int
+	ancestors     map[dag.TaskID][]dag.MsgID
+	msgs          []dag.Message
+	defCol        []float64
+	costByWidth   map[int][]int64
+	chargeByWidth map[int][]int64
+	windowFloor   map[int]int
 }
 
 // Defaults for optional Problem knobs.
@@ -273,6 +305,29 @@ func (p *Problem) normalize() error {
 	}
 	if p.WarmMakespan < 0 {
 		return fmt.Errorf("core: WarmMakespan must be >= 0, got %d", p.WarmMakespan)
+	}
+	switch p.Objective {
+	case ObjectiveMakespan, ObjectiveEnergy:
+	case ObjectivePareto:
+		return fmt.Errorf("core: ObjectivePareto is not a single-schedule objective; use ParetoFront")
+	default:
+		return fmt.Errorf("core: unknown objective %v", p.Objective)
+	}
+	if p.EnergyParams.zero() {
+		p.EnergyParams = DefaultEnergyParams()
+	}
+	if err := p.EnergyParams.Validate(); err != nil {
+		return err
+	}
+	if p.MakespanCap < 0 {
+		return fmt.Errorf("core: MakespanCap must be >= 0, got %d", p.MakespanCap)
+	}
+	if p.Objective != ObjectiveMakespan {
+		// The warm hint is a makespan incumbent; under any other
+		// objective it neither prunes soundly nor breaks ties in the
+		// right order. It is a hint, never a constraint, so dropping it
+		// is always safe.
+		p.WarmMakespan = 0
 	}
 	if p.SolverNodes == 0 {
 		p.SolverNodes = DefaultSolverNodes
@@ -372,15 +427,19 @@ func (p *Problem) buildSearchCaches() {
 		}
 	}
 	p.costByWidth = make(map[int][]int64)
+	p.chargeByWidth = make(map[int][]int64)
 	addWidth := func(w int) {
 		if _, ok := p.costByWidth[w]; ok {
 			return
 		}
 		col := make([]int64, p.MaxNTX)
+		charge := make([]int64, p.MaxNTX)
 		for n := 1; n <= p.MaxNTX; n++ {
 			col[n-1] = p.Params.SlotDuration(n, w, p.Diameter)
+			charge[n-1] = p.floodChargePC(n, w)
 		}
 		p.costByWidth[w] = col
+		p.chargeByWidth[w] = charge
 	}
 	addWidth(p.Params.BeaconWidth)
 	for _, m := range p.App.Messages() {

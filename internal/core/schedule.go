@@ -45,7 +45,13 @@ type Schedule struct {
 	Makespan int64
 	Optimal  bool  // the timing search proved makespan optimality for this (χ, l)
 	BusTime  int64 // total time reserved for communication
-	Explored int   // round assignments examined by the outer search
+	// EnergyPC is the per-node radio charge of one schedule execution in
+	// picocoulombs under the problem's EnergyParams: every flood's
+	// on-time charge plus sleep leakage over the rest of the makespan.
+	// Exact integer accounting — the scalar the energy objective
+	// minimizes — computed for every schedule regardless of objective.
+	EnergyPC int64
+	Explored int // round assignments examined by the outer search
 	// SolverNodes is the branch-and-bound node count of the timing search
 	// that produced the winning placement — an observability figure (the
 	// netdag-serve metrics export it), not part of the schedule identity:

@@ -74,30 +74,41 @@ type Point struct {
 // Explore profiles every power setting over one shared mobility trace and
 // queries the scheduler per setting.
 func Explore(cfg Config) ([]Point, error) {
+	points, _, err := explore(cfg)
+	return points, err
+}
+
+// explore is the shared sweep behind Explore and ExploreFronts: it
+// returns the fig. 4 rows plus, aligned by index, the solved
+// core.Problem of each feasible setting (nil for unusable or infeasible
+// ones) so front extraction can reuse the exact problem instance.
+func explore(cfg Config) ([]Point, []*core.Problem, error) {
 	if cfg.App == nil {
-		return nil, errors.New("dse: nil application")
+		return nil, nil, errors.New("dse: nil application")
 	}
 	if len(cfg.Qs) == 0 {
-		return nil, errors.New("dse: no power settings to explore")
+		return nil, nil, errors.New("dse: no power settings to explore")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	walker, err := network.NewRandomWaypoint(cfg.MobileNodes, cfg.Speed, rng)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	trace := walker.Walk(cfg.Steps)
 	out := make([]Point, 0, len(cfg.Qs))
+	probs := make([]*core.Problem, 0, len(cfg.Qs))
 	for _, q := range cfg.Qs {
 		if q <= 0 || q > 1 {
-			return nil, fmt.Errorf("dse: power setting %v outside (0,1]", q)
+			return nil, nil, fmt.Errorf("dse: power setting %v outside (0,1]", q)
 		}
 		prof, err := network.Profile(trace, q)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		pt := Point{Q: q, WorstFSS: prof.WorstFSS, Diameter: prof.Diameter, Usable: prof.AlwaysOK}
 		if !prof.AlwaysOK || prof.Diameter < 1 {
 			out = append(out, pt) // setting unusable: no latency query
+			probs = append(probs, nil)
 			continue
 		}
 		prob := &core.Problem{
@@ -115,6 +126,7 @@ func Explore(cfg Config) ([]Point, error) {
 		sched, err := core.Solve(prob)
 		if err != nil {
 			out = append(out, pt)
+			probs = append(probs, nil)
 			continue
 		}
 		pt.Latency = sched.Makespan
@@ -124,6 +136,67 @@ func Explore(cfg Config) ([]Point, error) {
 			pt.DutyCycle = rep.RadioDutyCycle
 		}
 		out = append(out, pt)
+		probs = append(probs, prob)
+	}
+	return out, probs, nil
+}
+
+// FrontPoint is one point of a power setting's energy/latency Pareto
+// front: the exact (makespan, charge) tradeoff plus the guarantee slack
+// the schedule leaves on the task-level constraints — trading latency
+// for energy never breaks feasibility, but it can consume margin, and
+// the designer wants to see how much.
+type FrontPoint struct {
+	LatencyUS int64
+	EnergyPC  int64   // exact integer charge (core energy accounting)
+	ChargeUC  float64 // float reporting model (lwb.EnergyModel)
+	// Slack is the tightest constraint margin (core.GuaranteeSlack);
+	// +Inf when no constraint binds.
+	Slack float64
+}
+
+// QFront is one power setting's profile together with its full Pareto
+// front — the §IV-D figure extended with the energy axis. Front is nil
+// when the setting is unusable or infeasible.
+type QFront struct {
+	Point Point // the makespan-minimal summary row, as Explore reports it
+	Front []FrontPoint
+}
+
+// ExploreFronts is Explore with ObjectivePareto: per usable power
+// setting it computes the full energy/latency front instead of only the
+// minimal-latency point. The Point summaries are identical to
+// Explore's (the front's makespan-minimal end is the minimal feasible
+// latency), so callers can upgrade without changing the fig. 4 rows.
+func ExploreFronts(cfg Config) ([]QFront, error) {
+	points, probs, err := explore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QFront, len(points))
+	for i, pt := range points {
+		out[i] = QFront{Point: pt}
+		if !pt.Feasible {
+			continue
+		}
+		prob := probs[i]
+		prob.Objective = core.ObjectivePareto
+		front, err := core.ParetoFront(prob)
+		if err != nil {
+			return nil, fmt.Errorf("dse: front at Q=%v: %w", pt.Q, err)
+		}
+		for _, fp := range front {
+			rec := FrontPoint{LatencyUS: fp.Makespan, EnergyPC: fp.EnergyPC}
+			if rep, err := lwb.DefaultEnergyModel().Evaluate(fp.Sched, cfg.Params, prob.Diameter); err == nil {
+				rec.ChargeUC = rep.ChargeUC
+			}
+			slack, err := core.GuaranteeSlack(prob, fp.Sched)
+			if err != nil {
+				return nil, fmt.Errorf("dse: slack at Q=%v: %w", pt.Q, err)
+			}
+			rec.Slack = slack
+			out[i].Front = append(out[i].Front, rec)
+		}
 	}
 	return out, nil
 }

@@ -165,6 +165,26 @@ func Fig4() ([]dse.Point, error) {
 	return dse.Explore(cfg)
 }
 
+// Fig4Pareto is Fig4 with the Pareto objective: the same sweep, but
+// every feasible power setting carries its full energy/latency front —
+// the fig. 4 rows extended with the energy axis (DESIGN.md §15). The
+// Point summaries are identical to Fig4's.
+func Fig4Pareto() ([]dse.QFront, error) {
+	g, err := apps.MIMO(apps.DefaultMIMO())
+	if err != nil {
+		return nil, err
+	}
+	cons := make(map[dag.TaskID]float64)
+	for _, a := range apps.Actuators(g) {
+		cons[a] = 0.9
+	}
+	cfg := dse.DefaultConfig(g, cons)
+	cfg.MobileNodes = 13 // one mobile node per task
+	cfg.Workers = Workers
+	cfg.Portfolio = Portfolio
+	return dse.ExploreFronts(cfg)
+}
+
 // --- E5b: diameter sensitivity ------------------------------------------
 
 // DiameterRow is one point of the network-density sensitivity sweep: the

@@ -121,6 +121,9 @@ func (m EnergyModel) LifetimeHours(rep EnergyReport, periodUS int64, batteryMAH 
 	if batteryMAH <= 0 {
 		return 0, fmt.Errorf("lwb: battery capacity %v must be positive", batteryMAH)
 	}
+	if periodUS <= 0 {
+		return 0, fmt.Errorf("lwb: period %d µs must be positive", periodUS)
+	}
 	active := rep.TXTimeUS + rep.RXTimeUS + rep.SleepTimeUS
 	if periodUS < active {
 		return 0, fmt.Errorf("lwb: period %d µs shorter than the schedule's %d µs", periodUS, active)

@@ -1,0 +1,221 @@
+package lwb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+	"github.com/netdag/netdag/internal/glossy"
+)
+
+// randSchedule builds a random but internally consistent schedule: every
+// flood's duration is its eq. (3) reservation under params/diameter, so
+// the reservation always covers the TX budget and the clamp never fires.
+func randSchedule(rng *rand.Rand, params glossy.Params, diameter int) *core.Schedule {
+	s := &core.Schedule{}
+	nRounds := 1 + rng.Intn(5)
+	var t int64
+	for r := 0; r < nRounds; r++ {
+		round := core.Round{
+			Index:     r,
+			Start:     t,
+			BeaconNTX: 1 + rng.Intn(5),
+		}
+		round.Duration = params.BeaconDuration(round.BeaconNTX, diameter)
+		for i := 0; i < rng.Intn(4); i++ {
+			sl := core.Slot{
+				Msg:   0,
+				NTX:   1 + rng.Intn(5),
+				Width: 1 + rng.Intn(64),
+			}
+			sl.Duration = params.SlotDuration(sl.NTX, sl.Width, diameter)
+			round.Duration += sl.Duration
+			round.Slots = append(round.Slots, sl)
+		}
+		s.Rounds = append(s.Rounds, round)
+		s.BusTime += round.Duration
+		t += round.Duration + int64(rng.Intn(5000)) // inter-round gap
+	}
+	s.Makespan = t + int64(rng.Intn(10000)) // trailing computation
+	return s
+}
+
+// rebuildDurations recomputes every flood duration and the derived
+// aggregates after an NTX mutation, keeping the schedule consistent.
+func rebuildDurations(s *core.Schedule, params glossy.Params, diameter int) {
+	var t int64
+	s.BusTime = 0
+	for r := range s.Rounds {
+		round := &s.Rounds[r]
+		round.Start = t
+		round.Duration = params.BeaconDuration(round.BeaconNTX, diameter)
+		for i := range round.Slots {
+			round.Slots[i].Duration = params.SlotDuration(round.Slots[i].NTX, round.Slots[i].Width, diameter)
+			round.Duration += round.Slots[i].Duration
+		}
+		s.BusTime += round.Duration
+		t = round.Start + round.Duration + 1000
+	}
+	if s.Makespan < t {
+		s.Makespan = t
+	}
+}
+
+func TestEnergyEvaluateProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := DefaultEnergyModel()
+	params := glossy.DefaultParams()
+	for trial := 0; trial < 200; trial++ {
+		diameter := 1 + rng.Intn(4)
+		s := randSchedule(rng, params, diameter)
+		rep, err := m.Evaluate(s, params, diameter)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.ChargeUC < 0 || rep.TXTimeUS < 0 || rep.RXTimeUS < 0 || rep.SleepTimeUS < 0 {
+			t.Fatalf("trial %d: negative component in %+v", trial, rep)
+		}
+		// Radio-on partition: TX + RX time equals total round duration.
+		var onUS int64
+		for _, r := range s.Rounds {
+			onUS += r.Duration
+		}
+		if rep.TXTimeUS+rep.RXTimeUS != onUS {
+			t.Fatalf("trial %d: TX %d + RX %d != on-time %d", trial, rep.TXTimeUS, rep.RXTimeUS, onUS)
+		}
+		if rep.RadioDutyCycle < 0 || rep.RadioDutyCycle > 1 {
+			t.Fatalf("trial %d: duty cycle %v outside [0,1]", trial, rep.RadioDutyCycle)
+		}
+
+		// Monotone in a slot's NTX (durations rebuilt consistently: each
+		// extra transmission adds airtime AND reservation, so charge grows
+		// even though I_TX < I_RX).
+		bumped := randSchedule(rng, params, diameter)
+		*bumped = *s
+		bumped.Rounds = append([]core.Round(nil), s.Rounds...)
+		for r := range bumped.Rounds {
+			bumped.Rounds[r].Slots = append([]core.Slot(nil), s.Rounds[r].Slots...)
+		}
+		bumpedAny := false
+		for r := range bumped.Rounds {
+			if len(bumped.Rounds[r].Slots) > 0 {
+				bumped.Rounds[r].Slots[rng.Intn(len(bumped.Rounds[r].Slots))].NTX++
+				bumpedAny = true
+				break
+			}
+		}
+		if !bumpedAny {
+			bumped.Rounds[rng.Intn(len(bumped.Rounds))].BeaconNTX++
+		}
+		rebuildDurations(bumped, params, diameter)
+		repB, err := m.Evaluate(bumped, params, diameter)
+		if err != nil {
+			t.Fatalf("trial %d: bumped: %v", trial, err)
+		}
+		if repB.ChargeUC < rep.ChargeUC {
+			t.Fatalf("trial %d: charge decreased after raising NTX: %v -> %v", trial, rep.ChargeUC, repB.ChargeUC)
+		}
+		if repB.TXTimeUS <= rep.TXTimeUS {
+			t.Fatalf("trial %d: TX time did not grow after raising NTX: %d -> %d", trial, rep.TXTimeUS, repB.TXTimeUS)
+		}
+
+		// Monotone in round count: appending a round adds charge.
+		grown := &core.Schedule{Rounds: append([]core.Round(nil), s.Rounds...)}
+		extra := core.Round{Index: len(grown.Rounds), Start: s.Makespan + 1, BeaconNTX: 1}
+		extra.Duration = params.BeaconDuration(extra.BeaconNTX, diameter)
+		grown.Rounds = append(grown.Rounds, extra)
+		grown.BusTime = s.BusTime + extra.Duration
+		grown.Makespan = extra.Start + extra.Duration
+		repG, err := m.Evaluate(grown, params, diameter)
+		if err != nil {
+			t.Fatalf("trial %d: grown: %v", trial, err)
+		}
+		if repG.ChargeUC <= rep.ChargeUC {
+			t.Fatalf("trial %d: charge did not grow with an extra round: %v -> %v", trial, rep.ChargeUC, repG.ChargeUC)
+		}
+	}
+}
+
+// TestEnergyEvaluateClampRegression pins the txUS > onUS defensive clamp
+// with a hand-built degenerate schedule whose reserved duration undercuts
+// its own TX budget.
+func TestEnergyEvaluateClampRegression(t *testing.T) {
+	m := DefaultEnergyModel()
+	params := glossy.DefaultParams()
+	s := &core.Schedule{
+		Rounds: []core.Round{{
+			Index:     0,
+			Start:     0,
+			Duration:  10, // far below the beacon's real reservation
+			BeaconNTX: 5,
+		}},
+		BusTime:  10,
+		Makespan: 100,
+	}
+	rep, err := m.Evaluate(s, params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TXTimeUS != 10 || rep.RXTimeUS != 0 {
+		t.Errorf("clamp should pin TX to on-time: TX %d RX %d, want 10/0", rep.TXTimeUS, rep.RXTimeUS)
+	}
+	if rep.SleepTimeUS != 90 {
+		t.Errorf("sleep time %d, want 90", rep.SleepTimeUS)
+	}
+	if rep.ChargeUC <= 0 {
+		t.Errorf("clamped charge %v should stay positive", rep.ChargeUC)
+	}
+}
+
+func TestLifetimeEdgeCases(t *testing.T) {
+	m := DefaultEnergyModel()
+	// A realistic report to reuse across cases.
+	active := EnergyReport{TXTimeUS: 1000, RXTimeUS: 4000, SleepTimeUS: 5000, ChargeUC: 100}
+	for _, tc := range []struct {
+		name     string
+		rep      EnergyReport
+		periodUS int64
+		battery  float64
+		wantErr  bool
+	}{
+		{"zero period", active, 0, 2000, true},
+		{"negative period", active, -5, 2000, true},
+		{"period equals active time", active, 10000, 2000, false},
+		{"zero-makespan schedule", EnergyReport{}, 1_000_000, 2000, false},
+		{"huge battery no overflow", active, 1_000_000, 1e12, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := m.LifetimeHours(tc.rep, tc.periodUS, tc.battery)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("want error, got %v hours", h)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h <= 0 || math.IsInf(h, 0) || math.IsNaN(h) {
+				t.Fatalf("implausible lifetime %v", h)
+			}
+		})
+	}
+
+	// The non-positive-period error must be the explicit rejection, not
+	// the misleading "period shorter than schedule" message.
+	_, err := m.LifetimeHours(active, 0, 2000)
+	if err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if got := err.Error(); got != "lwb: period 0 µs must be positive" {
+		t.Errorf("zero-period error %q, want the explicit positivity rejection", got)
+	}
+
+	// Zero-makespan schedule under a zero-sleep model: no charge flows at
+	// all, which is degenerate (infinite lifetime) and must error.
+	noSleep := EnergyModel{RXCurrentMA: 18.8, TXCurrentMA: 17.4, SleepCurrentMA: 0, VoltageV: 3}
+	if _, err := noSleep.LifetimeHours(EnergyReport{}, 1_000_000, 2000); err == nil {
+		t.Error("zero-charge period accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/netdag/netdag/internal/spec"
+)
+
+// objectiveSpec is pipelineSpec with an explicit objective field.
+func objectiveSpec(objective string) string {
+	base := pipelineSpec(3)
+	return strings.Replace(base, `"mode": "weakly-hard",`,
+		`"mode": "weakly-hard",
+  "objective": "`+objective+`",`, 1)
+}
+
+func TestSolveObjectiveSeparatesCacheEntries(t *testing.T) {
+	s := New(Config{})
+	rm := postSolve(t, s, pipelineSpec(3), "")
+	if rm.Code != http.StatusOK {
+		t.Fatalf("makespan solve: status %d, body %s", rm.Code, rm.Body)
+	}
+	re := postSolve(t, s, objectiveSpec("energy"), "")
+	if re.Code != http.StatusOK {
+		t.Fatalf("energy solve: status %d, body %s", re.Code, re.Body)
+	}
+	// Different objective ⇒ different fingerprint ⇒ both solves are
+	// misses; the cached makespan body must never serve the energy ask.
+	if rm.Header().Get(fingerprintHdr) == re.Header().Get(fingerprintHdr) {
+		t.Error("energy objective fingerprints identically to makespan")
+	}
+	if got := re.Header().Get(cacheHeader); got != "miss" {
+		t.Errorf("energy solve cache header = %q, want miss", got)
+	}
+	var out spec.ScheduleOut
+	if err := json.Unmarshal(re.Body.Bytes(), &out); err != nil {
+		t.Fatalf("energy response is not a ScheduleOut: %v", err)
+	}
+	if out.EnergyPC <= 0 {
+		t.Errorf("energy solve exported EnergyPC %d, want positive", out.EnergyPC)
+	}
+}
+
+func TestSolveParetoObjectiveServesFront(t *testing.T) {
+	s := New(Config{})
+	r := postSolve(t, s, objectiveSpec("pareto"), "")
+	if r.Code != http.StatusOK {
+		t.Fatalf("pareto solve: status %d, body %s", r.Code, r.Body)
+	}
+	var out spec.ScheduleOut
+	if err := json.Unmarshal(r.Body.Bytes(), &out); err != nil {
+		t.Fatalf("response is not a ScheduleOut: %v", err)
+	}
+	if len(out.Front) == 0 {
+		t.Fatal("pareto solve returned no front")
+	}
+	// The body is the front's makespan-minimal point.
+	if out.MakespanUS != out.Front[0].MakespanUS || out.EnergyPC != out.Front[0].EnergyPC {
+		t.Errorf("body (%d, %d) is not the front's first point (%d, %d)",
+			out.MakespanUS, out.EnergyPC, out.Front[0].MakespanUS, out.Front[0].EnergyPC)
+	}
+	// Non-domination across the served front.
+	for i, a := range out.Front {
+		if a.Schedule == nil {
+			t.Errorf("front point %d carries no schedule", i)
+		}
+		for j, b := range out.Front {
+			if i != j && b.MakespanUS <= a.MakespanUS && b.EnergyPC <= a.EnergyPC {
+				t.Errorf("front point %d dominated by point %d", i, j)
+			}
+		}
+	}
+
+	// A repeat is a cache hit with the identical body.
+	r2 := postSolve(t, s, objectiveSpec("pareto"), "")
+	if got := r2.Header().Get(cacheHeader); got != "hit" {
+		t.Errorf("repeat pareto solve cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(r.Body.Bytes(), r2.Body.Bytes()) {
+		t.Error("cached pareto body differs from the original")
+	}
+}
+
+func TestSolveRejectsUnknownObjective(t *testing.T) {
+	s := New(Config{})
+	r := postSolve(t, s, objectiveSpec("latency"), "")
+	if r.Code != http.StatusBadRequest {
+		t.Fatalf("unknown objective: status %d, want 400", r.Code)
+	}
+}

@@ -478,14 +478,34 @@ func (s *Server) runFlight(f *spec.File, key string, start time.Time, deadline t
 
 	s.metrics.inflight.Add(1)
 	solveStart := time.Now()
-	sched, err := s.solve(ctx, p)
+	var sched *core.Schedule
+	var front []core.ParetoPoint
+	if p.Objective == core.ObjectivePareto {
+		// "pareto" asks for the full energy/latency front: an
+		// epsilon-constraint sweep of objective-scalarized solves rather
+		// than one solve, so the SolveFn instrumentation hook does not
+		// apply. A deadline-truncated sweep serves its partial front (the
+		// energy-minimal prefix) as an incomplete, never-cached body.
+		front, err = core.ParetoFrontContext(ctx, p)
+		if len(front) > 0 {
+			sched = front[0].Sched
+		}
+	} else {
+		sched, err = s.solve(ctx, p)
+	}
 	s.metrics.inflight.Add(-1)
 	s.metrics.observeSolve(time.Since(solveStart))
 
 	canceled := errors.Is(err, core.ErrCanceled)
 	switch {
 	case err == nil, canceled && sched != nil:
-		out, xerr := spec.Export(p, sched)
+		var out *spec.ScheduleOut
+		var xerr error
+		if front != nil {
+			out, xerr = spec.ExportFront(p, front)
+		} else {
+			out, xerr = spec.Export(p, sched)
+		}
 		if xerr != nil {
 			return errorResult(http.StatusInternalServerError, xerr.Error())
 		}

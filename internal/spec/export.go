@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"github.com/netdag/netdag/internal/core"
@@ -30,6 +31,31 @@ type ScheduleOut struct {
 	Rounds      []RoundOut `json:"rounds"`
 	Tasks       []TaskOut  `json:"tasks"`
 	Energy      *EnergyOut `json:"energy,omitempty"`
+	// EnergyPC is the solver's exact integer charge accounting for this
+	// schedule (picocoulombs per execution) — the scalar the energy
+	// objective minimizes. The float Energy block remains the reporting
+	// surface; this field is the bit-exact value golden tests pin.
+	EnergyPC int64 `json:"energyPC,omitempty"`
+	// Front carries the energy/latency Pareto front when the problem was
+	// solved under the "pareto" objective: one summary entry per
+	// non-dominated point, in ascending makespan order. The enclosing
+	// schedule is the front's makespan-minimal point.
+	Front []FrontPointOut `json:"front,omitempty"`
+}
+
+// FrontPointOut is one point of an exported Pareto front. Inside
+// ScheduleOut.Front the Schedule field is nil (the summary identifies the
+// point; re-solving with objective "energy" and makespanCapUS set to
+// MakespanUS reproduces it); ExportFront embeds the full schedules.
+type FrontPointOut struct {
+	MakespanUS int64 `json:"makespanUS"`
+	EnergyPC   int64 `json:"energyPC"`
+	// ChargeUC is the float reporting-model charge (lwb.EnergyModel).
+	ChargeUC float64 `json:"chargeUC"`
+	// GuaranteeSlack is the tightest constraint margin of the point's
+	// schedule (see core.GuaranteeSlack); null when no constraint binds.
+	GuaranteeSlack *float64     `json:"guaranteeSlack,omitempty"`
+	Schedule       *ScheduleOut `json:"schedule,omitempty"`
 }
 
 // RoundOut is one communication round.
@@ -109,7 +135,54 @@ func Export(p *core.Problem, s *core.Schedule) (*ScheduleOut, error) {
 			DutyCycle:  rep.RadioDutyCycle,
 		}
 	}
+	out.EnergyPC = s.EnergyPC
 	return out, nil
+}
+
+// frontPoint renders one Pareto point's summary (no embedded schedule).
+func frontPoint(p *core.Problem, pt core.ParetoPoint) FrontPointOut {
+	fp := FrontPointOut{MakespanUS: pt.Makespan, EnergyPC: pt.EnergyPC}
+	if rep, err := lwb.DefaultEnergyModel().Evaluate(pt.Sched, p.Params, p.Diameter); err == nil {
+		fp.ChargeUC = rep.ChargeUC
+	}
+	if slack, err := core.GuaranteeSlack(p, pt.Sched); err == nil && !math.IsInf(slack, 1) {
+		fp.GuaranteeSlack = &slack
+	}
+	return fp
+}
+
+// ExportFront renders a Pareto front as the makespan-minimal point's
+// schedule with the front summary attached (ScheduleOut.Front), each
+// point additionally carrying its full schedule.
+func ExportFront(p *core.Problem, front []core.ParetoPoint) (*ScheduleOut, error) {
+	if p == nil || len(front) == 0 {
+		return nil, errors.New("spec: nil problem or empty front")
+	}
+	out, err := Export(p, front[0].Sched)
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range front {
+		fp := frontPoint(p, pt)
+		sched, err := Export(p, pt.Sched)
+		if err != nil {
+			return nil, err
+		}
+		fp.Schedule = sched
+		out.Front = append(out.Front, fp)
+	}
+	return out, nil
+}
+
+// WriteFrontJSON exports a Pareto front as indented JSON.
+func WriteFrontJSON(w io.Writer, p *core.Problem, front []core.ParetoPoint) error {
+	out, err := ExportFront(p, front)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // WriteJSON exports the schedule as indented JSON.
@@ -153,6 +226,7 @@ func Import(p *core.Problem, r io.Reader) (*core.Schedule, error) {
 		Optimal:     in.Optimal,
 		Explored:    in.Explored,
 		SolverNodes: in.SolverNodes,
+		EnergyPC:    in.EnergyPC,
 		Tasks:       make(map[dag.TaskID]core.TaskTime, len(in.Tasks)),
 		Assign:      make([]int, p.App.NumMessages()),
 	}

@@ -1,0 +1,122 @@
+package spec
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"github.com/netdag/netdag/internal/core"
+)
+
+// goldenFront pins one example spec's Pareto front: the exact
+// (makespan, energy) points the ε-constraint sweep must reproduce.
+// These are regression pins in the spirit of core's golden makespans —
+// update them only for a deliberate solver change, with the new values
+// cross-checked against an independent re-derivation.
+type goldenFront struct {
+	name string
+	path string
+	want []core.ParetoPoint // Sched left nil; only the objectives pin
+}
+
+func goldenFronts() []goldenFront {
+	return []goldenFront{
+		{
+			name: "online-pipeline",
+			path: "../../examples/online/pipeline.json",
+			want: []core.ParetoPoint{{Makespan: 19684, EnergyPC: 339384080}},
+		},
+		{
+			name: "corpus-scenario-000",
+			path: "../../examples/corpus/scenario-000.json",
+			want: []core.ParetoPoint{{Makespan: 14831, EnergyPC: 213303500}},
+		},
+	}
+}
+
+// solveGoldenFront loads the spec, switches it to the Pareto objective
+// and returns the problem with its solved front.
+func solveGoldenFront(t *testing.T, path string, workers int) (*core.Problem, []core.ParetoPoint) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Objective = core.ObjectivePareto
+	p.Workers = workers
+	front, err := core.ParetoFront(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, front
+}
+
+// assertNonDominated is the O(n²) checker: no front point may weakly
+// dominate another in both objectives.
+func assertNonDominated(t *testing.T, front []core.ParetoPoint) {
+	t.Helper()
+	for i, a := range front {
+		for j, b := range front {
+			if i != j && b.Makespan <= a.Makespan && b.EnergyPC <= a.EnergyPC {
+				t.Errorf("front point %d (%d µs, %d pC) dominated by point %d (%d µs, %d pC)",
+					i, a.Makespan, a.EnergyPC, j, b.Makespan, b.EnergyPC)
+			}
+		}
+	}
+}
+
+func TestGoldenParetoFronts(t *testing.T) {
+	for _, g := range goldenFronts() {
+		t.Run(g.name, func(t *testing.T) {
+			p, front := solveGoldenFront(t, g.path, 1)
+			assertNonDominated(t, front)
+			if len(front) != len(g.want) {
+				t.Fatalf("front has %d points, want %d", len(front), len(g.want))
+			}
+			for i, pt := range front {
+				if pt.Makespan != g.want[i].Makespan || pt.EnergyPC != g.want[i].EnergyPC {
+					t.Errorf("point %d = (%d µs, %d pC), want (%d µs, %d pC)",
+						i, pt.Makespan, pt.EnergyPC, g.want[i].Makespan, g.want[i].EnergyPC)
+				}
+				if pt.Sched == nil {
+					t.Fatalf("point %d carries no schedule", i)
+				}
+				if err := pt.Sched.Validate(p.App); err != nil {
+					t.Errorf("point %d schedule invalid: %v", i, err)
+				}
+				if got := pt.Sched.EnergyPC; got != pt.EnergyPC {
+					t.Errorf("point %d: schedule energy %d pC != point energy %d pC", i, got, pt.EnergyPC)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenParetoFrontsByteIdenticalAcrossWorkers pins the exported
+// artifact, not just the objective values: the full WriteFrontJSON
+// rendering (schedules, slots, χ, slack) must be byte-identical whether
+// the sweep's solves ran sequentially or with four workers.
+func TestGoldenParetoFrontsByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, g := range goldenFronts() {
+		t.Run(g.name, func(t *testing.T) {
+			render := func(workers int) []byte {
+				p, front := solveGoldenFront(t, g.path, workers)
+				var buf bytes.Buffer
+				if err := WriteFrontJSON(&buf, p, front); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			seq := render(1)
+			par := render(4)
+			if !bytes.Equal(seq, par) {
+				t.Errorf("front JSON differs between 1 and 4 workers:\n--- workers=1\n%s\n--- workers=4\n%s", seq, par)
+			}
+		})
+	}
+}

@@ -48,6 +48,13 @@ type File struct {
 	WHStatistic     *StatSpec          `json:"whStatistic,omitempty"`
 	SoftConstraints map[string]float64 `json:"softConstraints,omitempty"`
 	WHConstraints   map[string]WHSpec  `json:"whConstraints,omitempty"`
+
+	// Objective selects what the solver minimizes: "makespan" (the
+	// default), "energy", or "pareto" for the full energy/latency front.
+	// Omitted or empty keeps the paper's makespan objective, so existing
+	// specs hash and solve exactly as before; a non-empty value folds
+	// into Fingerprint, so cached solutions never cross objectives.
+	Objective string `json:"objective,omitempty"`
 }
 
 // TaskSpec declares one task.
@@ -188,6 +195,10 @@ func Build(f *File) (*core.Problem, error) {
 		instances = func(id dag.TaskID) []dag.TaskID { return res.Instances[id] }
 		chains = res.Chains()
 	}
+	objective, err := core.ParseObjective(f.Objective)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
 	p := &core.Problem{
 		App:            g,
 		Params:         glossy.DefaultParams(),
@@ -196,6 +207,7 @@ func Build(f *File) (*core.Problem, error) {
 		MinNTX:         f.MinNTX,
 		MaxRounds:      f.MaxRounds,
 		InstanceChains: chains,
+		Objective:      objective,
 	}
 	if f.Params != nil {
 		p.Params = glossy.Params{
